@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Figure 1: opportunities and challenges of overlapping DLRM training
+ * with input preprocessing.
+ *
+ *  (a) DRAM-bandwidth and SM utilisation sampled over two training
+ *      iterations — the periodic under-utilisation RAP exploits;
+ *  (b) resource consumption of the NGram kernel as the number of
+ *      fused input features grows (4096 samples per feature);
+ *  (c) MLP-forward latency when co-run with NGram kernels of growing
+ *      size — latency climbs once resources run out.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/rap.hpp"
+
+namespace {
+
+using namespace rap;
+
+void
+figure1a()
+{
+    std::cout << "--- Fig 1(a): utilisation during two training "
+                 "iterations (Terabyte model, batch 4096, 8 GPUs) "
+                 "---\n";
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto config =
+        dlrm::makeDlrmConfig(data::DatasetPreset::CriteoTerabyte,
+                             schema);
+    const auto sharding =
+        dlrm::EmbeddingSharding::balanced(schema, 8);
+    sim::Cluster cluster(sim::dgxA100Spec(8));
+    dlrm::TrainingDriver driver(cluster, config, sharding);
+    driver.pushIterations(4);
+    cluster.run();
+
+    // Sample utilisation over iterations 2 and 3 (steady state).
+    const Seconds t0 = driver.iterationSpan(0, 2).start;
+    const Seconds t1 = driver.iterationSpan(0, 3).end;
+    const auto &trace = cluster.device(0).trace();
+    AsciiTable table({"time (us)", "SM util (%)", "DRAM BW util (%)"});
+    const int samples = 40;
+    for (int i = 0; i < samples; ++i) {
+        const Seconds lo = t0 + (t1 - t0) * i / samples;
+        const Seconds hi = t0 + (t1 - t0) * (i + 1) / samples;
+        table.addRow({AsciiTable::num((lo - t0) * 1e6, 0),
+                      AsciiTable::num(trace.avgSmUsage(lo, hi) * 100, 1),
+                      AsciiTable::num(trace.avgBwUsage(lo, hi) * 100,
+                                      1)});
+    }
+    std::cout << table.render();
+    std::cout << "avg SM " << AsciiTable::num(
+                     trace.avgSmUsage(t0, t1) * 100, 1)
+              << "%, avg DRAM BW "
+              << AsciiTable::num(trace.avgBwUsage(t0, t1) * 100, 1)
+              << "% -> large leftover for preprocessing\n\n";
+}
+
+void
+figure1b()
+{
+    std::cout << "--- Fig 1(b): NGram kernel resource use vs fused "
+                 "input features (4096 samples each) ---\n";
+    const auto spec = sim::a100Spec();
+    AsciiTable table({"#features", "latency", "SM util (%)",
+                      "DRAM BW util (%)", "GPU util (%)"});
+    for (int width : {8, 16, 32, 64, 96, 128}) {
+        preproc::OpShape shape;
+        shape.rows = 4096;
+        shape.width = width;
+        shape.avgListLength = 1.0; // one-hot Criteo features
+        shape.param = 2.0;
+        const auto kernel =
+            preproc::makeOpKernel(preproc::OpType::Ngram, shape, spec);
+        const double gpu_util =
+            std::max(kernel.demand.sm, kernel.demand.bw);
+        table.addRow({std::to_string(width),
+                      formatSeconds(kernel.exclusiveLatency),
+                      AsciiTable::num(kernel.demand.sm * 100, 1),
+                      AsciiTable::num(kernel.demand.bw * 100, 1),
+                      AsciiTable::num(gpu_util * 100, 1)});
+    }
+    std::cout << table.render()
+              << "larger kernels consume more GPU resources\n\n";
+}
+
+void
+figure1c()
+{
+    std::cout << "--- Fig 1(c): MLP forward latency when overlapped "
+                 "with NGram kernels of growing size ---\n";
+    const auto spec = sim::a100Spec();
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto config = dlrm::makeDlrmConfig(
+        data::DatasetPreset::CriteoTerabyte, schema);
+    const auto sharding = dlrm::EmbeddingSharding::balanced(schema, 8);
+    const auto mlp =
+        dlrm::makeTrainKernel(dlrm::TrainOpKind::BottomMlpForward,
+                              config, sharding, 0, 8, spec);
+
+    AsciiTable table({"#features", "MLP alone", "MLP co-run",
+                      "latency increase"});
+    const Seconds launch = spec.kernelLaunchOverhead;
+    for (int width : {0, 16, 32, 64, 96, 128}) {
+        Seconds corun = mlp.exclusiveLatency + launch;
+        if (width > 0) {
+            preproc::OpShape shape;
+            shape.rows = 4096;
+            shape.width = width;
+            shape.avgListLength = 4.0;
+            shape.param = 2.0;
+            // Same-process overlap without priority (the paper's
+            // motivation probe): measure the training kernel stretch.
+            sim::ClusterSpec one;
+            one.gpuCount = 1;
+            sim::Cluster cluster(one);
+            auto &train = cluster.device(0).newStream("train", 0);
+            auto &pre = cluster.device(0).newStream("pre", 1);
+            Seconds train_end = 0.0;
+            train.pushKernel(mlp, [&] {
+                train_end = cluster.engine().now();
+            });
+            pre.pushKernel(preproc::makeOpKernel(
+                preproc::OpType::Ngram, shape, spec));
+            cluster.run();
+            corun = train_end;
+        }
+        table.addRow({std::to_string(width),
+                      formatSeconds(mlp.exclusiveLatency + launch),
+                      formatSeconds(corun),
+                      AsciiTable::num(
+                          (corun / (mlp.exclusiveLatency + launch) -
+                           1.0) * 100.0, 1) + "%"});
+    }
+    std::cout << table.render()
+              << "latency increases once GPU resources are "
+                 "insufficient\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 1: motivation ===\n\n";
+    figure1a();
+    figure1b();
+    figure1c();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 9: end-to-end DLRM training throughput.
+ *
+ * Reproduces the paper's main result grid: training throughput of
+ * TorchArrow (CPU), CUDA-stream, MPS and RAP across 2/4/8 GPUs,
+ * preprocessing Plans 0-3 and per-GPU batch sizes 4096/8192. The
+ * paper's headline numbers for this figure: RAP averages 17.8x over
+ * TorchArrow, 2.01x over CUDA-stream and 1.43x over MPS.
+ *
+ * Pass a gpu count (2, 4 or 8) as argv[1] to restrict the run; by
+ * default all three node sizes are swept.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/rap.hpp"
+
+namespace {
+
+using namespace rap;
+
+const std::vector<core::System> kSystems = {
+    core::System::TorchArrowCpu,
+    core::System::CudaStream,
+    core::System::Mps,
+    core::System::Rap,
+};
+
+void
+runForGpuCount(int gpus, std::map<std::string, RunningStat> &speedups)
+{
+    std::cout << "=== Figure 9: end-to-end throughput on " << gpus
+              << "x A100 (samples/s) ===\n";
+    AsciiTable table({"plan", "batch", "TorchArrow", "CUDA stream",
+                      "MPS", "RAP", "RAP/TA", "RAP/stream",
+                      "RAP/MPS"});
+
+    for (int plan_id = 0; plan_id <= 3; ++plan_id) {
+        const auto plan = preproc::makePlan(plan_id);
+        for (std::int64_t batch : {4096, 8192}) {
+            std::map<core::System, double> tput;
+            for (auto system : kSystems) {
+                core::SystemConfig config;
+                config.system = system;
+                config.gpuCount = gpus;
+                config.batchPerGpu = batch;
+                tput[system] = core::runSystem(config, plan).throughput;
+            }
+            const double rap = tput[core::System::Rap];
+            const double ta = tput[core::System::TorchArrowCpu];
+            const double stream = tput[core::System::CudaStream];
+            const double mps = tput[core::System::Mps];
+            speedups["RAP/TorchArrow"].add(rap / ta);
+            speedups["RAP/CUDA-stream"].add(rap / stream);
+            speedups["RAP/MPS"].add(rap / mps);
+            table.addRow({
+                "Plan " + std::to_string(plan_id),
+                std::to_string(batch),
+                formatRate(ta),
+                formatRate(stream),
+                formatRate(mps),
+                formatRate(rap),
+                AsciiTable::num(rap / ta, 2) + "x",
+                AsciiTable::num(rap / stream, 2) + "x",
+                AsciiTable::num(rap / mps, 2) + "x",
+            });
+        }
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<int> gpu_counts = {2, 4, 8};
+    if (argc > 1)
+        gpu_counts = {std::atoi(argv[1])};
+
+    std::map<std::string, RunningStat> speedups;
+    for (int gpus : gpu_counts)
+        runForGpuCount(gpus, speedups);
+
+    std::cout << "--- Average speedups (paper: RAP 17.8x over "
+                 "TorchArrow, 2.01x over CUDA stream, 1.43x over MPS) "
+                 "---\n";
+    AsciiTable summary({"comparison", "mean speedup", "min", "max"});
+    for (auto &[name, stat] : speedups) {
+        summary.addRow({name, AsciiTable::num(stat.mean(), 2) + "x",
+                        AsciiTable::num(stat.min(), 2) + "x",
+                        AsciiTable::num(stat.max(), 2) + "x"});
+    }
+    std::cout << summary.render();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the host-side preprocessing
+ * operator implementations on real generated data.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "data/criteo.hpp"
+#include "preproc/executor.hpp"
+#include "preproc/ops.hpp"
+#include "preproc/plan.hpp"
+
+namespace {
+
+using namespace rap;
+
+preproc::OpNode
+denseNode(preproc::OpType type)
+{
+    preproc::OpNode node;
+    node.type = type;
+    node.inputs = {preproc::ColumnRef{data::FeatureKind::Dense, 0}};
+    node.output = node.inputs.front();
+    node.featureId = 0;
+    return node;
+}
+
+preproc::OpNode
+sparseNode(preproc::OpType type)
+{
+    preproc::OpNode node;
+    node.type = type;
+    node.inputs = {preproc::ColumnRef{data::FeatureKind::Sparse, 0}};
+    node.output = node.inputs.front();
+    node.featureId = 13;
+    node.params.hashSize = 1'000'000;
+    return node;
+}
+
+void
+BM_DenseOp(benchmark::State &state, preproc::OpType type)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    data::CriteoGenerator gen(schema, 1);
+    auto batch = gen.generate(static_cast<std::size_t>(state.range(0)));
+    const auto node = denseNode(type);
+    for (auto _ : state) {
+        preproc::applyOp(node, batch);
+        benchmark::DoNotOptimize(batch.dense(0).values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_SparseOp(benchmark::State &state, preproc::OpType type)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    data::CriteoGenerator gen(schema, 1);
+    auto batch = gen.generate(static_cast<std::size_t>(state.range(0)));
+    const auto node = sparseNode(type);
+    for (auto _ : state) {
+        preproc::applyOp(node, batch);
+        benchmark::DoNotOptimize(batch.sparse(0).values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_FullPlanGraph(benchmark::State &state)
+{
+    auto plan = preproc::makePlan(static_cast<int>(state.range(0)));
+    data::CriteoGenerator gen(plan.schema, 1);
+    const auto pristine = gen.generate(1024);
+    for (auto _ : state) {
+        auto batch = pristine;
+        preproc::applyGraph(plan.graph, batch);
+        benchmark::DoNotOptimize(batch.rows());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_DenseOp, FillNull, rap::preproc::OpType::FillNull)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_DenseOp, Logit, rap::preproc::OpType::Logit)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_DenseOp, BoxCox, rap::preproc::OpType::BoxCox)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_DenseOp, Bucketize, rap::preproc::OpType::Bucketize)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SparseOp, SigridHash,
+                  rap::preproc::OpType::SigridHash)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SparseOp, FirstX, rap::preproc::OpType::FirstX)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SparseOp, Clamp, rap::preproc::OpType::Clamp)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SparseOp, Ngram, rap::preproc::OpType::Ngram)
+    ->Arg(4096);
+BENCHMARK(BM_FullPlanGraph)->Arg(0)->Arg(2);
+
+BENCHMARK_MAIN();

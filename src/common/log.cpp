@@ -1,0 +1,68 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace rap {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+std::mutex log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Silent: return "SILENT";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < global_level.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::fprintf(stderr, "[rap:%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[rap:FATAL] %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[rap:PANIC] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace rap

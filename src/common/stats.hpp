@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator traces and benchmarks.
+ */
+
+#ifndef RAP_COMMON_STATS_HPP
+#define RAP_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace rap {
+
+/**
+ * Online mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** @return Number of observations. */
+    std::size_t count() const { return count_; }
+
+    /** @return Arithmetic mean, or 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return Population variance, or 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** @return Population standard deviation. */
+    double stddev() const;
+
+    /** @return Smallest observation, or +inf when empty. */
+    double min() const { return min_; }
+
+    /** @return Largest observation, or -inf when empty. */
+    double max() const { return max_; }
+
+    /** @return Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    bool any_ = false;
+};
+
+/**
+ * Compute the q-th percentile (0 <= q <= 100) of a sample set by linear
+ * interpolation. The input vector is copied; the original order is kept.
+ *
+ * @return 0 when the sample set is empty.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** @return Geometric mean of strictly positive samples, or 0 when empty. */
+double geoMean(const std::vector<double> &samples);
+
+} // namespace rap
+
+#endif // RAP_COMMON_STATS_HPP

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace rap {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    RAP_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    RAP_ASSERT(row.size() == header_.size(),
+               "row arity ", row.size(), " != header arity ",
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](std::ostringstream &oss,
+                       const std::vector<std::string> &row) {
+        oss << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << " " << row[c]
+                << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        oss << "\n";
+    };
+
+    std::ostringstream oss;
+    std::string rule = "+";
+    for (std::size_t w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    oss << rule;
+    emitRow(oss, header_);
+    oss << rule;
+    for (const auto &row : rows_)
+        emitRow(oss, row);
+    oss << rule;
+    return oss.str();
+}
+
+} // namespace rap

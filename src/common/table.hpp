@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table printer used by benchmark harnesses to emit paper-style
+ * tables and figure series on stdout.
+ */
+
+#ifndef RAP_COMMON_TABLE_HPP
+#define RAP_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/**
+ * A simple left/right aligned ASCII table with a header row.
+ *
+ * Usage:
+ * @code
+ *   AsciiTable t({"plan", "throughput"});
+ *   t.addRow({"Plan 0", "10.9M/s"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class AsciiTable
+{
+  public:
+    /** Construct with the header labels; column count is fixed from it. */
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append one data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** @return The rendered table, including a trailing newline. */
+    std::string render() const;
+
+    /** @return Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rap
+
+#endif // RAP_COMMON_TABLE_HPP

@@ -1,0 +1,59 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rap {
+
+namespace {
+
+std::string
+formatWithUnit(double value, const char *unit)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", value, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatSeconds(Seconds t)
+{
+    const double at = std::fabs(t);
+    if (at >= 1.0)
+        return formatWithUnit(t, "s");
+    if (at >= 1e-3)
+        return formatWithUnit(t * 1e3, "ms");
+    if (at >= 1e-6)
+        return formatWithUnit(t * 1e6, "us");
+    return formatWithUnit(t * 1e9, "ns");
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    const double ab = std::fabs(b);
+    if (ab >= 1024.0 * 1024.0 * 1024.0)
+        return formatWithUnit(b / (1024.0 * 1024.0 * 1024.0), "GiB");
+    if (ab >= 1024.0 * 1024.0)
+        return formatWithUnit(b / (1024.0 * 1024.0), "MiB");
+    if (ab >= 1024.0)
+        return formatWithUnit(b / 1024.0, "KiB");
+    return formatWithUnit(b, "B");
+}
+
+std::string
+formatRate(double per_second)
+{
+    const double ar = std::fabs(per_second);
+    if (ar >= 1e9)
+        return formatWithUnit(per_second / 1e9, "G/s");
+    if (ar >= 1e6)
+        return formatWithUnit(per_second / 1e6, "M/s");
+    if (ar >= 1e3)
+        return formatWithUnit(per_second / 1e3, "K/s");
+    return formatWithUnit(per_second, "/s");
+}
+
+} // namespace rap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit conventions and human-readable formatting.
+ *
+ * All simulator times are plain doubles in seconds, data volumes are
+ * doubles in bytes, and bandwidths are bytes/second. Using doubles keeps
+ * the discrete-event math simple; the helpers here document intent.
+ */
+
+#ifndef RAP_COMMON_UNITS_HPP
+#define RAP_COMMON_UNITS_HPP
+
+#include <string>
+
+namespace rap {
+
+/** Simulated time in seconds. */
+using Seconds = double;
+
+/** Data volume in bytes. */
+using Bytes = double;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+constexpr Seconds operator"" _us(long double v)
+{
+    return static_cast<Seconds>(v) * 1e-6;
+}
+
+constexpr Seconds operator"" _ms(long double v)
+{
+    return static_cast<Seconds>(v) * 1e-3;
+}
+
+constexpr Bytes operator"" _KiB(long double v)
+{
+    return static_cast<Bytes>(v) * 1024.0;
+}
+
+constexpr Bytes operator"" _MiB(long double v)
+{
+    return static_cast<Bytes>(v) * 1024.0 * 1024.0;
+}
+
+constexpr Bytes operator"" _GiB(long double v)
+{
+    return static_cast<Bytes>(v) * 1024.0 * 1024.0 * 1024.0;
+}
+
+/** Format a duration with an auto-selected unit, e.g. "3.21 ms". */
+std::string formatSeconds(Seconds t);
+
+/** Format a byte count with an auto-selected unit, e.g. "54.0 MiB". */
+std::string formatBytes(Bytes b);
+
+/** Format a rate (items/s) with K/M/G suffixes, e.g. "10.9M". */
+std::string formatRate(double per_second);
+
+} // namespace rap
+
+#endif // RAP_COMMON_UNITS_HPP

@@ -1,0 +1,112 @@
+#include "core/corun_scheduler.hpp"
+
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace rap::core {
+
+CoRunScheduler::CoRunScheduler(const HorizontalFusionPlanner &planner)
+    : planner_(planner)
+{
+}
+
+CoRunSchedule
+CoRunScheduler::schedule(std::vector<FusedKernel> kernels,
+                         const CapacityProfile &profile) const
+{
+    CoRunSchedule result;
+    if (kernels.empty())
+        return result;
+    RAP_ASSERT(!profile.ops.empty(), "capacity profile is empty");
+
+    // Line 2-5: total predicted input-preprocessing latency. Each
+    // kernel also costs one launch on the training process's launch
+    // path, so the packing charges launch overhead per kernel.
+    const Seconds launch =
+        planner_.spec().kernelLaunchOverhead;
+    Seconds total = 0.0;
+    for (const auto &k : kernels)
+        total += k.predictedLatency + launch;
+    result.totalPreprocLatency = total;
+
+    // Line 6-12: select layers by capacity, largest first, until the
+    // selected capacity covers the preprocessing latency.
+    std::vector<bool> selected(profile.ops.size(), false);
+    Seconds selected_capacity = 0.0;
+    for (std::size_t idx : profile.byCapacityDescending()) {
+        if (selected_capacity >= total)
+            break;
+        selected[idx] = true;
+        selected_capacity += profile.ops[idx].capacity;
+    }
+
+    // Line 13-29: greedy assignment in iteration order.
+    KernelSharder sharder(planner_);
+    std::deque<FusedKernel> queue(kernels.begin(), kernels.end());
+    std::vector<Seconds> used(profile.ops.size(), 0.0);
+
+    auto assignPass = [&](bool selected_only) {
+        for (std::size_t op = 0;
+             op < profile.ops.size() && !queue.empty(); ++op) {
+            if (selected_only && !selected[op])
+                continue;
+            while (!queue.empty()) {
+                ShardingContext context;
+                context.leftover = profile.ops[op].leftover;
+                context.maxLatency =
+                    profile.ops[op].capacity - used[op] - launch;
+                if (context.maxLatency <= 0.0)
+                    break;
+
+                const FusedKernel &next = queue.front();
+                if (sharder.fits(next, context)) {
+                    used[op] +=
+                        KernelSharder::effectiveLatency(next, context) +
+                        launch;
+                    result.kernels.push_back(
+                        ScheduledKernel{next, op, false});
+                    queue.pop_front();
+                    continue;
+                }
+                // Line 21-26: resource-aware kernel sharding.
+                auto shard = sharder.shard(next, context);
+                queue.pop_front();
+                if (shard.fitting) {
+                    used[op] += KernelSharder::effectiveLatency(
+                                    *shard.fitting, context) +
+                                launch;
+                    result.kernels.push_back(
+                        ScheduledKernel{std::move(*shard.fitting), op,
+                                        false});
+                }
+                if (shard.remainder)
+                    queue.push_front(std::move(*shard.remainder));
+                break; // next layer (Algorithm 1, line 25)
+            }
+        }
+    };
+
+    // First pass over the capacity-selected layers; a second pass
+    // offers the remaining kernels to every layer (a kernel whose
+    // resource envelope fits no selected layer — e.g. an unshardable
+    // singleton during an MLP phase — still finds the lookup or
+    // collective phases this way).
+    assignPass(/*selected_only=*/true);
+    assignPass(/*selected_only=*/false);
+    for (Seconds u : used)
+        result.capacityUsed += u;
+
+    // Anything left exceeds the iteration's capacity: execute it
+    // against the last op and account it as exposed latency.
+    while (!queue.empty()) {
+        FusedKernel k = std::move(queue.front());
+        queue.pop_front();
+        result.estimatedExposed += k.predictedLatency;
+        result.kernels.push_back(ScheduledKernel{
+            std::move(k), profile.ops.size() - 1, true});
+    }
+    return result;
+}
+
+} // namespace rap::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The resource-aware co-running scheduling algorithm (paper §7.1,
+ * Algorithm 1).
+ *
+ * Given the fused preprocessing kernels mapped to one GPU and the
+ * GPU's capacity profile, the scheduler:
+ *  1. predicts the total preprocessing latency L;
+ *  2. selects training layers by overlapping capacity (largest first)
+ *     until the selected capacity covers L;
+ *  3. walks the layers in iteration order, greedily assigning kernels
+ *     in MILP-step order, sharding a kernel whenever the remaining
+ *     capacity or the layer's leftover resource envelope is too small
+ *     for the whole kernel.
+ * Kernels that exceed the iteration's total capacity are appended to
+ * the final layer; their latency is the exposed preprocessing cost.
+ */
+
+#ifndef RAP_CORE_CORUN_SCHEDULER_HPP
+#define RAP_CORE_CORUN_SCHEDULER_HPP
+
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/kernel_sharding.hpp"
+
+namespace rap::core {
+
+/** One kernel placed against one training op. */
+struct ScheduledKernel
+{
+    FusedKernel kernel;
+    /** Training-op index (iteration order) the kernel overlaps. */
+    std::size_t opIndex = 0;
+    /** True when the kernel did not fit in any layer's capacity. */
+    bool overflow = false;
+};
+
+/** The co-running schedule for one GPU. */
+struct CoRunSchedule
+{
+    /** Kernels in launch order (non-decreasing opIndex). */
+    std::vector<ScheduledKernel> kernels;
+    /** Sum of predicted kernel latencies. */
+    Seconds totalPreprocLatency = 0.0;
+    /** Capacity consumed across selected layers. */
+    Seconds capacityUsed = 0.0;
+    /** Predicted exposed latency (latency of overflow kernels). */
+    Seconds estimatedExposed = 0.0;
+
+    /** @return Number of scheduled kernels (after sharding). */
+    std::size_t kernelCount() const { return kernels.size(); }
+};
+
+/**
+ * Implements Algorithm 1.
+ */
+class CoRunScheduler
+{
+  public:
+    /** @param planner Planner shared with the sharder. */
+    explicit CoRunScheduler(const HorizontalFusionPlanner &planner);
+
+    /**
+     * Schedule @p kernels (MILP-step order) against @p profile.
+     */
+    CoRunSchedule schedule(std::vector<FusedKernel> kernels,
+                           const CapacityProfile &profile) const;
+
+  private:
+    const HorizontalFusionPlanner &planner_;
+};
+
+} // namespace rap::core
+
+#endif // RAP_CORE_CORUN_SCHEDULER_HPP

@@ -1,0 +1,37 @@
+#include "core/cost_model.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::core {
+
+CoRunningCostModel::CoRunningCostModel(sim::ClusterSpec cluster_spec)
+    : clusterSpec_(std::move(cluster_spec))
+{
+}
+
+Seconds
+CoRunningCostModel::commLatency(Bytes bytes) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    return clusterSpec_.nvlinkLatency +
+           bytes / clusterSpec_.nvlinkBandwidth;
+}
+
+CoRunCost
+CoRunningCostModel::evaluate(const std::vector<FusedKernel> &kernels,
+                             const CapacityProfile &profile,
+                             Bytes comm_bytes) const
+{
+    CoRunCost cost;
+    for (const auto &kernel : kernels) {
+        cost.preprocLatency +=
+            kernel.predictedLatency +
+            clusterSpec_.gpu.kernelLaunchOverhead;
+    }
+    cost.capacity = profile.totalCapacity();
+    cost.commLatency = commLatency(comm_bytes);
+    return cost;
+}
+
+} // namespace rap::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The co-running cost model (paper §5.3).
+ *
+ * Given a candidate co-running schedule — a set of preprocessing
+ * kernels assigned to overlap a training iteration — the model
+ * predicts the exposed preprocessing latency
+ *     T_delta = sum_i(l_i) - C_op,
+ * where l_i are predicted standalone kernel latencies and C_op the
+ * iteration's total overlapping capacity. T_delta <= 0 means the
+ * preprocessing hides completely behind training. The model also
+ * prices the input communication a graph mapping induces, which the
+ * joint mapping search weighs against workload balance.
+ */
+
+#ifndef RAP_CORE_COST_MODEL_HPP
+#define RAP_CORE_COST_MODEL_HPP
+
+#include "core/capacity.hpp"
+#include "core/fusion.hpp"
+#include "sim/gpu_spec.hpp"
+
+namespace rap::core {
+
+/** Predicted cost of one GPU's co-running plan. */
+struct CoRunCost
+{
+    /** Total predicted standalone preprocessing latency (sum l_i). */
+    Seconds preprocLatency = 0.0;
+    /** Total overlapping capacity of the iteration (C_op). */
+    Seconds capacity = 0.0;
+    /** Input-communication latency on the critical path. */
+    Seconds commLatency = 0.0;
+
+    /** @return T_delta = preproc + comm - capacity (can be negative). */
+    Seconds delta() const
+    {
+        return preprocLatency + commLatency - capacity;
+    }
+
+    /** @return Exposed latency: max(0, delta()). */
+    Seconds exposed() const { return delta() > 0.0 ? delta() : 0.0; }
+};
+
+/**
+ * Co-running cost evaluation over capacity profiles.
+ */
+class CoRunningCostModel
+{
+  public:
+    explicit CoRunningCostModel(sim::ClusterSpec cluster_spec);
+
+    /**
+     * Price a kernel set against a GPU's capacity profile.
+     *
+     * @param kernels Fused kernels mapped to the GPU.
+     * @param profile The GPU's capacity profile.
+     * @param comm_bytes Input bytes the mapping ships off-GPU.
+     */
+    CoRunCost evaluate(const std::vector<FusedKernel> &kernels,
+                       const CapacityProfile &profile,
+                       Bytes comm_bytes) const;
+
+    /** @return NVLink latency of shipping @p bytes point-to-point. */
+    Seconds commLatency(Bytes bytes) const;
+
+  private:
+    sim::ClusterSpec clusterSpec_;
+};
+
+} // namespace rap::core
+
+#endif // RAP_CORE_COST_MODEL_HPP

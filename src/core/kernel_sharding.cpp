@@ -1,0 +1,92 @@
+#include "core/kernel_sharding.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::core {
+
+KernelSharder::KernelSharder(const HorizontalFusionPlanner &planner)
+    : planner_(planner)
+{
+}
+
+double
+KernelSharder::slowdown(const FusedKernel &kernel,
+                        const sim::ResourceDemand &leftover)
+{
+    double factor = 1.0;
+    if (kernel.kernel.demand.sm > 1e-9) {
+        factor = std::max(factor, kernel.kernel.demand.sm /
+                                      std::max(leftover.sm, 1e-3));
+    }
+    if (kernel.kernel.demand.bw > 1e-9) {
+        factor = std::max(factor, kernel.kernel.demand.bw /
+                                      std::max(leftover.bw, 1e-3));
+    }
+    return factor;
+}
+
+Seconds
+KernelSharder::effectiveLatency(const FusedKernel &kernel,
+                                const ShardingContext &context)
+{
+    return kernel.predictedLatency *
+           slowdown(kernel, context.leftover);
+}
+
+bool
+KernelSharder::fits(const FusedKernel &kernel,
+                    const ShardingContext &context) const
+{
+    return slowdown(kernel, context.leftover) <= kMaxSlowdown &&
+           effectiveLatency(kernel, context) <=
+               context.maxLatency + 1e-12;
+}
+
+FusedKernel
+KernelSharder::slice(const FusedKernel &kernel, int begin, int end) const
+{
+    RAP_ASSERT(begin >= 0 && end > begin &&
+                   end <= kernel.width(),
+               "invalid kernel slice [", begin, ", ", end, ")");
+    std::vector<int> ids(kernel.nodeIds.begin() + begin,
+                         kernel.nodeIds.begin() + end);
+    std::vector<preproc::OpShape> shapes(
+        kernel.memberShapes.begin() + begin,
+        kernel.memberShapes.begin() + end);
+    return planner_.materialise(kernel.type, std::move(ids),
+                                std::move(shapes), kernel.step);
+}
+
+ShardResult
+KernelSharder::shard(const FusedKernel &kernel,
+                     const ShardingContext &context) const
+{
+    ShardResult result;
+    if (fits(kernel, context)) {
+        result.fitting = kernel;
+        return result;
+    }
+
+    // Find the widest prefix that fits. Fit is monotone in width (all
+    // cost-model components grow with width), so binary search works.
+    int lo = 0;                  // known-fitting width
+    int hi = kernel.width();     // known-non-fitting width (whole)
+    while (hi - lo > 1) {
+        const int mid = (lo + hi) / 2;
+        if (fits(slice(kernel, 0, mid), context)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    if (lo == 0) {
+        result.remainder = kernel;
+        return result;
+    }
+    result.fitting = slice(kernel, 0, lo);
+    result.remainder = slice(kernel, lo, kernel.width());
+    return result;
+}
+
+} // namespace rap::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Resource-aware fused-kernel sharding (paper §6.2).
+ *
+ * The fusion MILP maximises fusion degree without regard for co-run
+ * feasibility, so a fused kernel may be too large to run beside a
+ * given DLRM training layer. Before assigning a kernel to a layer,
+ * the sharder splits it so that the assigned piece (a) has a
+ * predicted standalone latency within the layer's remaining capacity
+ * and (b) has a resource demand that fits in the layer's leftover
+ * envelope — the condition under which the contention model leaves
+ * training latency untouched.
+ */
+
+#ifndef RAP_CORE_KERNEL_SHARDING_HPP
+#define RAP_CORE_KERNEL_SHARDING_HPP
+
+#include <optional>
+#include <utility>
+
+#include "core/fusion.hpp"
+
+namespace rap::core {
+
+/** Constraints one training layer imposes on a co-running kernel. */
+struct ShardingContext
+{
+    /** Resources left over while the layer is resident. */
+    sim::ResourceDemand leftover;
+    /** Remaining overlapping capacity (standalone latency budget). */
+    Seconds maxLatency = 0.0;
+};
+
+/** Result of sharding: the piece that fits, and the remainder. */
+struct ShardResult
+{
+    std::optional<FusedKernel> fitting;
+    std::optional<FusedKernel> remainder;
+};
+
+/**
+ * Splits fused kernels against layer constraints.
+ *
+ * Because preprocessing runs on a lower-priority stream, a kernel
+ * whose demand exceeds the layer's leftover does not stretch training
+ * — it simply progresses at the reduced rate leftover/demand. The fit
+ * criterion therefore bounds the *effective* (slowdown-adjusted)
+ * latency against the remaining capacity, and additionally caps the
+ * tolerated slowdown so kernels are not parked where they would crawl.
+ */
+class KernelSharder
+{
+  public:
+    /** Maximum tolerated co-run slowdown before sharding kicks in. */
+    static constexpr double kMaxSlowdown = 2.0;
+
+    /** @param planner The planner used to re-materialise pieces. */
+    explicit KernelSharder(const HorizontalFusionPlanner &planner);
+
+    /** @return Rate penalty of co-running @p kernel in @p leftover. */
+    static double slowdown(const FusedKernel &kernel,
+                           const sim::ResourceDemand &leftover);
+
+    /** @return Wall latency of the kernel inside @p context. */
+    static Seconds effectiveLatency(const FusedKernel &kernel,
+                                    const ShardingContext &context);
+
+    /** @return True when @p kernel can co-run under @p context whole. */
+    bool fits(const FusedKernel &kernel,
+              const ShardingContext &context) const;
+
+    /**
+     * Shard @p kernel against @p context: the widest member prefix
+     * that fits becomes ShardResult::fitting; the rest (if any)
+     * becomes ShardResult::remainder. When not even a single member
+     * fits, fitting is empty and the remainder is the whole kernel.
+     */
+    ShardResult shard(const FusedKernel &kernel,
+                      const ShardingContext &context) const;
+
+  private:
+    FusedKernel slice(const FusedKernel &kernel, int begin,
+                      int end) const;
+
+    const HorizontalFusionPlanner &planner_;
+};
+
+} // namespace rap::core
+
+#endif // RAP_CORE_KERNEL_SHARDING_HPP

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end online DLRM training pipelines (paper §4, §8).
+ *
+ * OnlineTrainer assembles the full system — input preprocessing,
+ * hybrid-parallel training, and the co-running machinery — on the
+ * simulated node and measures end-to-end training throughput. Every
+ * system the paper evaluates is available:
+ *
+ *  - Ideal: standalone training, inputs always ready (upper bound);
+ *  - Rap: joint mapping + horizontal fusion + resource-aware
+ *    co-running schedule + inter-batch interleaving;
+ *  - RapNoMapping / RapNoFusion: the Fig. 10 ablations;
+ *  - CudaStream: data-parallel mapping, unfused kernels on a
+ *    low-priority stream in the training process (launches serialise
+ *    with training launches);
+ *  - Mps: same, but in a separate process (own launch path);
+ *  - SequentialGpu: preprocessing fully serialised with training;
+ *  - TorchArrowCpu: CPU-worker preprocessing pipeline (8 workers per
+ *    GPU) feeding the trainers over PCIe.
+ */
+
+#ifndef RAP_CORE_PIPELINE_HPP
+#define RAP_CORE_PIPELINE_HPP
+
+#include <optional>
+#include <string>
+
+#include "core/capacity.hpp"
+#include "core/corun_scheduler.hpp"
+#include "core/latency_predictor.hpp"
+#include "core/mapping.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::core {
+
+/** System under evaluation. */
+enum class System {
+    Ideal,
+    Rap,
+    RapNoMapping,
+    RapNoFusion,
+    /** Horizontal fusion without resource-aware scheduling (Fig. 11). */
+    HorizontalFusionOnly,
+    /**
+     * The §10 extension: RAP plus CPU offload. Preprocessing that
+     * exceeds the GPUs' total overlapping capacity is segmented off
+     * to host CPU workers instead of being exposed on the GPUs.
+     */
+    HybridRap,
+    CudaStream,
+    Mps,
+    SequentialGpu,
+    TorchArrowCpu,
+};
+
+/** @return Human-readable system name ("RAP", "MPS", ...). */
+std::string systemName(System system);
+
+/** Full experiment configuration. */
+struct SystemConfig
+{
+    System system = System::Rap;
+    int gpuCount = 8;
+    std::int64_t batchPerGpu = 4096;
+    /** Training iterations simulated. */
+    int iterations = 14;
+    /** Iterations excluded from steady-state statistics. */
+    int warmup = 3;
+    /** Inter-batch workload interleaving (§6.3; RAP variants). */
+    bool interleave = true;
+    /** Optional latency predictor (nullptr = oracle cost model). */
+    const LatencyPredictor *predictor = nullptr;
+    /**
+     * Force a specific preprocessing-graph mapping strategy instead of
+     * the system's default (the Fig. 12 mapping study).
+     */
+    std::optional<MappingStrategy> forcedMapping;
+    milp::SolverOptions solver;
+    /**
+     * Row-wise parallelism: embedding tables with at least this many
+     * rows are split across every GPU (0 = disabled). Their input
+     * features are consumed by all GPUs, so their preprocessing
+     * chains are duplicated (§7.2).
+     */
+    std::int64_t rowWiseThreshold = 0;
+    /** TorchArrow baseline: preprocessing workers per GPU. */
+    int torchArrowWorkersPerGpu = 8;
+    /** TorchArrow baseline: CPU cores per worker. */
+    int coresPerWorker = 4;
+};
+
+/** Measured outcome of one run. */
+struct RunReport
+{
+    std::string system;
+    int gpuCount = 0;
+    std::int64_t batchPerGpu = 0;
+    /** Steady-state per-iteration latency. */
+    Seconds avgIterationLatency = 0.0;
+    /** Global training throughput (samples/second). */
+    double throughput = 0.0;
+    /** Mean SM usage over the steady-state window. */
+    double avgSmUtil = 0.0;
+    /** Mean DRAM-bandwidth usage over the steady-state window. */
+    double avgBwUtil = 0.0;
+    /** Fraction of steady-state time with a kernel resident. */
+    double avgGpuBusy = 0.0;
+    /** Total peer-to-peer input-communication bytes. */
+    Bytes p2pBytes = 0.0;
+    /** Mean preprocessing kernels launched per GPU per iteration. */
+    double preprocKernelsPerIter = 0.0;
+    /** Cost-model exposed-latency prediction (RAP variants). */
+    Seconds predictedExposed = 0.0;
+    /** Mean predicted standalone preprocessing latency per GPU. */
+    Seconds preprocLatencyPerIter = 0.0;
+};
+
+/**
+ * Assembles and runs one configured system over one plan.
+ */
+class OnlineTrainer
+{
+  public:
+    OnlineTrainer(SystemConfig config, const preproc::PreprocPlan &plan);
+
+    /** Execute the simulation and return the measured report. */
+    RunReport run();
+
+  private:
+    RunReport runIdeal();
+    RunReport runTorchArrow();
+    RunReport runGpuSystem();
+
+    SystemConfig config_;
+    const preproc::PreprocPlan &plan_;
+};
+
+/** Convenience: construct and run in one call. */
+RunReport runSystem(const SystemConfig &config,
+                    const preproc::PreprocPlan &plan);
+
+} // namespace rap::core
+
+#endif // RAP_CORE_PIPELINE_HPP

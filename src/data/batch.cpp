@@ -1,0 +1,91 @@
+#include "data/batch.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::data {
+
+RecordBatch::RecordBatch(const Schema &schema, std::size_t rows)
+    : rows_(rows)
+{
+    dense_.reserve(schema.denseCount());
+    for (std::size_t i = 0; i < schema.denseCount(); ++i)
+        dense_.emplace_back(rows);
+    sparse_.resize(schema.sparseCount());
+    for (auto &col : sparse_) {
+        for (std::size_t r = 0; r < rows; ++r)
+            col.appendRow({});
+    }
+}
+
+DenseColumn &
+RecordBatch::dense(std::size_t i)
+{
+    RAP_ASSERT(i < dense_.size(), "dense column index out of range");
+    return dense_[i];
+}
+
+const DenseColumn &
+RecordBatch::dense(std::size_t i) const
+{
+    RAP_ASSERT(i < dense_.size(), "dense column index out of range");
+    return dense_[i];
+}
+
+SparseColumn &
+RecordBatch::sparse(std::size_t i)
+{
+    RAP_ASSERT(i < sparse_.size(), "sparse column index out of range");
+    return sparse_[i];
+}
+
+const SparseColumn &
+RecordBatch::sparse(std::size_t i) const
+{
+    RAP_ASSERT(i < sparse_.size(), "sparse column index out of range");
+    return sparse_[i];
+}
+
+void
+RecordBatch::setDense(std::size_t i, DenseColumn col)
+{
+    RAP_ASSERT(i < dense_.size(), "dense column index out of range");
+    RAP_ASSERT(col.size() == rows_, "dense column row-count mismatch");
+    dense_[i] = std::move(col);
+}
+
+void
+RecordBatch::setSparse(std::size_t i, SparseColumn col)
+{
+    RAP_ASSERT(i < sparse_.size(), "sparse column index out of range");
+    RAP_ASSERT(col.size() == rows_, "sparse column row-count mismatch");
+    sparse_[i] = std::move(col);
+}
+
+std::size_t
+RecordBatch::appendDense(DenseColumn col)
+{
+    RAP_ASSERT(col.size() == rows_, "dense column row-count mismatch");
+    dense_.push_back(std::move(col));
+    return dense_.size() - 1;
+}
+
+std::size_t
+RecordBatch::appendSparse(SparseColumn col)
+{
+    RAP_ASSERT(col.size() == rows_, "sparse column row-count mismatch");
+    sparse_.push_back(std::move(col));
+    return sparse_.size() - 1;
+}
+
+double
+RecordBatch::byteSize() const
+{
+    double total = 0.0;
+    for (const auto &c : dense_)
+        total += c.byteSize();
+    for (const auto &c : sparse_)
+        total += c.byteSize();
+    return total;
+}
+
+} // namespace rap::data

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A record batch: one micro-batch of raw or preprocessed DLRM input.
+ */
+
+#ifndef RAP_DATA_BATCH_HPP
+#define RAP_DATA_BATCH_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "data/column.hpp"
+#include "data/schema.hpp"
+
+namespace rap::data {
+
+/**
+ * Columnar micro-batch holding one DenseColumn per dense feature and one
+ * SparseColumn per sparse feature, in schema order.
+ */
+class RecordBatch
+{
+  public:
+    RecordBatch() = default;
+
+    /** Construct an empty batch shaped after @p schema with @p rows rows. */
+    RecordBatch(const Schema &schema, std::size_t rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t denseCount() const { return dense_.size(); }
+    std::size_t sparseCount() const { return sparse_.size(); }
+
+    DenseColumn &dense(std::size_t i);
+    const DenseColumn &dense(std::size_t i) const;
+
+    SparseColumn &sparse(std::size_t i);
+    const SparseColumn &sparse(std::size_t i) const;
+
+    /** Replace dense column @p i (must keep the same row count). */
+    void setDense(std::size_t i, DenseColumn col);
+
+    /** Replace sparse column @p i (must keep the same row count). */
+    void setSparse(std::size_t i, SparseColumn col);
+
+    /** Append an extra dense column (feature-generation output). */
+    std::size_t appendDense(DenseColumn col);
+
+    /** Append an extra sparse column (feature-generation output). */
+    std::size_t appendSparse(SparseColumn col);
+
+    /** @return Approximate total footprint in bytes. */
+    double byteSize() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::vector<DenseColumn> dense_;
+    std::vector<SparseColumn> sparse_;
+};
+
+} // namespace rap::data
+
+#endif // RAP_DATA_BATCH_HPP

@@ -1,0 +1,156 @@
+#include "data/criteo_tsv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace rap::data {
+
+namespace {
+
+/** Split a line into exactly the schema's field count, tab-separated. */
+std::vector<std::string_view>
+splitFields(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const auto tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+std::int64_t
+parseId(std::string_view field)
+{
+    std::int64_t value = 0;
+    const auto *begin = field.data();
+    const auto *end = field.data() + field.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{} || result.ptr != end)
+        RAP_FATAL("malformed sparse id in TSV field: '",
+                  std::string(field), "'");
+    return value;
+}
+
+} // namespace
+
+void
+writeCriteoTsv(std::ostream &out, const RecordBatch &batch)
+{
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+        for (std::size_t f = 0; f < batch.denseCount(); ++f) {
+            if (f > 0)
+                out << '\t';
+            const auto &col = batch.dense(f);
+            if (col.isValid(r))
+                out << col.value(r);
+        }
+        for (std::size_t s = 0; s < batch.sparseCount(); ++s) {
+            out << '\t';
+            const auto &col = batch.sparse(s);
+            for (std::size_t i = 0; i < col.listLength(r); ++i) {
+                if (i > 0)
+                    out << ',';
+                out << col.value(r, i);
+            }
+        }
+        out << '\n';
+    }
+}
+
+RecordBatch
+readCriteoTsv(std::istream &in, const Schema &schema,
+              std::size_t max_rows)
+{
+    std::vector<std::vector<float>> dense_values(schema.denseCount());
+    std::vector<std::vector<std::uint8_t>> dense_valid(
+        schema.denseCount());
+    std::vector<SparseColumn> sparse_cols(schema.sparseCount());
+
+    std::string line;
+    std::size_t rows = 0;
+    std::vector<std::int64_t> ids;
+    while ((max_rows == 0 || rows < max_rows) &&
+           std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto fields = splitFields(line);
+        if (fields.size() != schema.featureCount()) {
+            RAP_FATAL("TSV row ", rows, " has ", fields.size(),
+                      " fields, expected ", schema.featureCount());
+        }
+
+        for (std::size_t f = 0; f < schema.denseCount(); ++f) {
+            const auto field = fields[f];
+            if (field.empty()) {
+                dense_values[f].push_back(0.0f);
+                dense_valid[f].push_back(0);
+            } else {
+                dense_values[f].push_back(
+                    std::strtof(std::string(field).c_str(), nullptr));
+                dense_valid[f].push_back(1);
+            }
+        }
+        for (std::size_t s = 0; s < schema.sparseCount(); ++s) {
+            const auto field = fields[schema.denseCount() + s];
+            ids.clear();
+            if (!field.empty()) {
+                std::size_t start = 0;
+                for (;;) {
+                    const auto comma = field.find(',', start);
+                    if (comma == std::string_view::npos) {
+                        ids.push_back(
+                            parseId(field.substr(start)));
+                        break;
+                    }
+                    ids.push_back(parseId(
+                        field.substr(start, comma - start)));
+                    start = comma + 1;
+                }
+            }
+            sparse_cols[s].appendRow(ids);
+        }
+        ++rows;
+    }
+
+    RecordBatch batch(schema, rows);
+    for (std::size_t f = 0; f < schema.denseCount(); ++f) {
+        batch.setDense(f, DenseColumn(std::move(dense_values[f]),
+                                      std::move(dense_valid[f])));
+    }
+    for (std::size_t s = 0; s < schema.sparseCount(); ++s)
+        batch.setSparse(s, std::move(sparse_cols[s]));
+    return batch;
+}
+
+void
+writeCriteoTsvFile(const std::string &path, const RecordBatch &batch)
+{
+    std::ofstream out(path);
+    if (!out)
+        RAP_FATAL("cannot open TSV file for writing: ", path);
+    writeCriteoTsv(out, batch);
+    if (!out)
+        RAP_FATAL("failed writing TSV file: ", path);
+}
+
+RecordBatch
+readCriteoTsvFile(const std::string &path, const Schema &schema,
+                  std::size_t max_rows)
+{
+    std::ifstream in(path);
+    if (!in)
+        RAP_FATAL("cannot open TSV file for reading: ", path);
+    return readCriteoTsv(in, schema, max_rows);
+}
+
+} // namespace rap::data

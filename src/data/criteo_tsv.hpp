@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Criteo TSV interchange: reading and writing the click-log format
+ * the public Criteo datasets ship in (label, 13 integer features, 26
+ * hex categorical features per line, tab-separated, empty fields for
+ * missing values). Multi-hot list features are encoded as
+ * comma-separated ids within a field.
+ *
+ * This stands in for the paper's data-storage nodes: batches can be
+ * round-tripped to disk and re-ingested by the preprocessing layer.
+ */
+
+#ifndef RAP_DATA_CRITEO_TSV_HPP
+#define RAP_DATA_CRITEO_TSV_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "data/batch.hpp"
+#include "data/schema.hpp"
+
+namespace rap::data {
+
+/**
+ * Write @p batch as Criteo-style TSV to @p out (one row per line:
+ * dense fields first, then sparse fields; nulls/empty lists become
+ * empty fields; multi-hot lists are comma-separated).
+ */
+void writeCriteoTsv(std::ostream &out, const RecordBatch &batch);
+
+/**
+ * Parse Criteo-style TSV from @p in against @p schema.
+ *
+ * @param in Stream positioned at the first data line.
+ * @param schema Expected column layout (field count is validated).
+ * @param max_rows Stop after this many rows (0 = read to EOF).
+ * @return The parsed batch.
+ */
+RecordBatch readCriteoTsv(std::istream &in, const Schema &schema,
+                          std::size_t max_rows = 0);
+
+/** Convenience: write to a file path; fatal on I/O failure. */
+void writeCriteoTsvFile(const std::string &path,
+                        const RecordBatch &batch);
+
+/** Convenience: read from a file path; fatal on I/O failure. */
+RecordBatch readCriteoTsvFile(const std::string &path,
+                              const Schema &schema,
+                              std::size_t max_rows = 0);
+
+} // namespace rap::data
+
+#endif // RAP_DATA_CRITEO_TSV_HPP

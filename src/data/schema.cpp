@@ -1,0 +1,46 @@
+#include "data/schema.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::data {
+
+void
+Schema::addDense(std::string name)
+{
+    dense_.push_back(FeatureSpec{std::move(name), FeatureKind::Dense, 0,
+                                 1.0});
+}
+
+void
+Schema::addSparse(std::string name, std::int64_t hash_size,
+                  double avg_list_length)
+{
+    RAP_ASSERT(hash_size > 0, "sparse feature needs a positive hash size");
+    sparse_.push_back(FeatureSpec{std::move(name), FeatureKind::Sparse,
+                                  hash_size, avg_list_length});
+}
+
+const FeatureSpec &
+Schema::dense(std::size_t i) const
+{
+    RAP_ASSERT(i < dense_.size(), "dense feature index out of range");
+    return dense_[i];
+}
+
+const FeatureSpec &
+Schema::sparse(std::size_t i) const
+{
+    RAP_ASSERT(i < sparse_.size(), "sparse feature index out of range");
+    return sparse_[i];
+}
+
+std::int64_t
+Schema::totalHashSize() const
+{
+    std::int64_t total = 0;
+    for (const auto &f : sparse_)
+        total += f.hashSize;
+    return total;
+}
+
+} // namespace rap::data

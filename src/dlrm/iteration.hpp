@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-GPU training-iteration construction.
+ *
+ * One DLRM training iteration under hybrid parallelism is a fixed
+ * sequence of 11 operations (lookup, all-to-all, MLP forward/backward,
+ * embedding update, gradient all-reduce). This module turns a model
+ * configuration into the concrete per-GPU operation list the simulator
+ * executes, with per-op kernels or collective payloads attached.
+ */
+
+#ifndef RAP_DLRM_ITERATION_HPP
+#define RAP_DLRM_ITERATION_HPP
+
+#include <vector>
+
+#include "dlrm/layer_cost.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/interconnect.hpp"
+
+namespace rap::dlrm {
+
+/** One operation of a training iteration on one GPU. */
+struct TrainOp
+{
+    TrainOpKind kind = TrainOpKind::EmbeddingLookup;
+    std::string name;
+    bool comm = false;
+    /** Compute kernel (valid when !comm). */
+    sim::KernelDesc kernel;
+    /** Collective payload per GPU (valid when comm). */
+    Bytes commBytes = 0.0;
+    sim::CollectiveKind collectiveKind = sim::CollectiveKind::AllToAll;
+};
+
+/**
+ * Build the iteration operation list for @p gpu.
+ */
+std::vector<TrainOp> buildIteration(const DlrmConfig &config,
+                                    const EmbeddingSharding &sharding,
+                                    int gpu, int gpu_count,
+                                    const sim::GpuSpec &spec);
+
+/**
+ * Analytic lower bound on the iteration latency of @p ops: the sum of
+ * kernel exclusive latencies and collective durations (no overlap, no
+ * contention, no launch overhead).
+ */
+Seconds iterationExclusiveLatency(const std::vector<TrainOp> &ops,
+                                  const sim::ClusterSpec &cluster_spec,
+                                  int gpu_count);
+
+} // namespace rap::dlrm
+
+#endif // RAP_DLRM_ITERATION_HPP

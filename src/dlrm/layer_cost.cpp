@@ -1,0 +1,239 @@
+#include "dlrm/layer_cost.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/log.hpp"
+
+namespace rap::dlrm {
+
+namespace {
+
+/** Per-layer execution assumptions. */
+struct LayerAssumptions
+{
+    double occupancy;  ///< SM warp-slot fraction while resident
+    double memEff;     ///< achievable fraction of peak DRAM bandwidth
+};
+
+LayerAssumptions
+assumptionsFor(TrainOpKind kind)
+{
+    switch (kind) {
+      case TrainOpKind::EmbeddingLookup: return {0.18, 0.62};
+      case TrainOpKind::EmbeddingUpdate: return {0.25, 0.58};
+      case TrainOpKind::BottomMlpForward: return {0.85, 0.95};
+      case TrainOpKind::TopMlpForward: return {0.88, 0.95};
+      case TrainOpKind::TopMlpBackward: return {0.92, 0.95};
+      case TrainOpKind::BottomMlpBackward: return {0.90, 0.95};
+      case TrainOpKind::Interaction: return {0.55, 0.95};
+      case TrainOpKind::InteractionBackward: return {0.55, 0.95};
+      default: return {0.0, 0.0};
+    }
+}
+
+sim::KernelDesc
+makeKernel(std::string name, double flops, Bytes bytes,
+           const LayerAssumptions &a, const sim::GpuSpec &spec)
+{
+    const Seconds t_compute =
+        flops > 0 ? flops / (spec.peakFlops * a.occupancy) : 0.0;
+    const Seconds t_memory =
+        bytes > 0 ? bytes / (spec.dramBandwidth * a.memEff) : 0.0;
+    const Seconds latency =
+        std::max({t_compute, t_memory, spec.minKernelLatency});
+
+    sim::KernelDesc desc;
+    desc.name = std::move(name);
+    desc.profile = sim::KernelProfile{
+        flops, bytes, a.occupancy * spec.totalWarpSlots()};
+    desc.exclusiveLatency = latency;
+    desc.demand.sm = a.occupancy;
+    desc.demand.bw =
+        std::min(a.memEff, bytes / latency / spec.dramBandwidth);
+    return desc;
+}
+
+/** Forward flops of an MLP stack: 2 * B * sum(in*out). */
+double
+mlpForwardFlops(std::int64_t batch, int input_dim,
+                const std::vector<int> &layers, bool final_scalar)
+{
+    double flops = 0.0;
+    int in_dim = input_dim;
+    for (int out_dim : layers) {
+        flops += 2.0 * static_cast<double>(batch) * in_dim * out_dim;
+        in_dim = out_dim;
+    }
+    if (final_scalar)
+        flops += 2.0 * static_cast<double>(batch) * in_dim;
+    return flops;
+}
+
+/** Activation + weight traffic of an MLP stack (one direction). */
+Bytes
+mlpBytes(std::int64_t batch, int input_dim,
+         const std::vector<int> &layers)
+{
+    double act_units = input_dim;
+    double weight_units = 0.0;
+    int in_dim = input_dim;
+    for (int out_dim : layers) {
+        act_units += out_dim;
+        weight_units += static_cast<double>(in_dim) * out_dim;
+        in_dim = out_dim;
+    }
+    return 4.0 * (static_cast<double>(batch) * act_units + weight_units);
+}
+
+} // namespace
+
+std::string
+trainOpName(TrainOpKind kind)
+{
+    switch (kind) {
+      case TrainOpKind::EmbeddingLookup: return "emb_lookup";
+      case TrainOpKind::AllToAllForward: return "a2a_fwd";
+      case TrainOpKind::BottomMlpForward: return "bottom_mlp_fwd";
+      case TrainOpKind::Interaction: return "interaction";
+      case TrainOpKind::TopMlpForward: return "top_mlp_fwd";
+      case TrainOpKind::TopMlpBackward: return "top_mlp_bwd";
+      case TrainOpKind::InteractionBackward: return "interaction_bwd";
+      case TrainOpKind::BottomMlpBackward: return "bottom_mlp_bwd";
+      case TrainOpKind::AllToAllBackward: return "a2a_bwd";
+      case TrainOpKind::EmbeddingUpdate: return "emb_update";
+      case TrainOpKind::GradAllReduce: return "grad_allreduce";
+    }
+    RAP_PANIC("unknown train op kind");
+}
+
+std::array<TrainOpKind, kTrainOpCount>
+trainOpOrder()
+{
+    return {TrainOpKind::EmbeddingLookup,
+            TrainOpKind::AllToAllForward,
+            TrainOpKind::BottomMlpForward,
+            TrainOpKind::Interaction,
+            TrainOpKind::TopMlpForward,
+            TrainOpKind::TopMlpBackward,
+            TrainOpKind::InteractionBackward,
+            TrainOpKind::BottomMlpBackward,
+            TrainOpKind::AllToAllBackward,
+            TrainOpKind::EmbeddingUpdate,
+            TrainOpKind::GradAllReduce};
+}
+
+bool
+isCommOp(TrainOpKind kind)
+{
+    return kind == TrainOpKind::AllToAllForward ||
+           kind == TrainOpKind::AllToAllBackward ||
+           kind == TrainOpKind::GradAllReduce;
+}
+
+sim::KernelDesc
+makeTrainKernel(TrainOpKind kind, const DlrmConfig &config,
+                const EmbeddingSharding &sharding, int gpu,
+                int gpu_count, const sim::GpuSpec &spec)
+{
+    RAP_ASSERT(!isCommOp(kind), "comm ops have no compute kernel");
+    const auto assumptions = assumptionsFor(kind);
+    const double batch = static_cast<double>(config.batchPerGpu);
+    const double global_rows = batch * gpu_count;
+    const double dim = config.embeddingDim;
+    const auto dense_dim = static_cast<int>(config.schema.denseCount());
+
+    switch (kind) {
+      case TrainOpKind::EmbeddingLookup: {
+        const double local_work =
+            sharding.lookupWorkPerGpu(config.schema)[
+                static_cast<std::size_t>(gpu)];
+        const double local_tables =
+            static_cast<double>(sharding.tablesOf(gpu).size());
+        const Bytes bytes =
+            global_rows * (local_work * dim * 4.0 + // gathered rows
+                           local_tables * dim * 4.0); // pooled output
+        const double flops = global_rows * local_work * dim;
+        return makeKernel(trainOpName(kind), flops, bytes, assumptions,
+                          spec);
+      }
+      case TrainOpKind::EmbeddingUpdate: {
+        const double local_work =
+            sharding.lookupWorkPerGpu(config.schema)[
+                static_cast<std::size_t>(gpu)];
+        const double local_tables =
+            static_cast<double>(sharding.tablesOf(gpu).size());
+        const Bytes bytes =
+            1.5 * global_rows * (local_work * dim * 4.0 +
+                                 local_tables * dim * 4.0);
+        const double flops = 2.0 * global_rows * local_work * dim;
+        return makeKernel(trainOpName(kind), flops, bytes, assumptions,
+                          spec);
+      }
+      case TrainOpKind::BottomMlpForward:
+        return makeKernel(
+            trainOpName(kind),
+            mlpForwardFlops(config.batchPerGpu, dense_dim,
+                            config.bottomMlp, false),
+            mlpBytes(config.batchPerGpu, dense_dim, config.bottomMlp),
+            assumptions, spec);
+      case TrainOpKind::BottomMlpBackward:
+        return makeKernel(
+            trainOpName(kind),
+            2.0 * mlpForwardFlops(config.batchPerGpu, dense_dim,
+                                  config.bottomMlp, false),
+            2.0 * mlpBytes(config.batchPerGpu, dense_dim,
+                           config.bottomMlp),
+            assumptions, spec);
+      case TrainOpKind::TopMlpForward:
+        return makeKernel(
+            trainOpName(kind),
+            mlpForwardFlops(config.batchPerGpu, config.topMlpInputDim(),
+                            config.topMlp, true),
+            mlpBytes(config.batchPerGpu, config.topMlpInputDim(),
+                     config.topMlp),
+            assumptions, spec);
+      case TrainOpKind::TopMlpBackward:
+        return makeKernel(
+            trainOpName(kind),
+            2.0 * mlpForwardFlops(config.batchPerGpu,
+                                  config.topMlpInputDim(),
+                                  config.topMlp, true),
+            2.0 * mlpBytes(config.batchPerGpu, config.topMlpInputDim(),
+                           config.topMlp),
+            assumptions, spec);
+      case TrainOpKind::Interaction:
+      case TrainOpKind::InteractionBackward: {
+        const double f = config.interactionFeatures();
+        const double flops = batch * f * (f - 1.0) / 2.0 * dim * 2.0;
+        const Bytes bytes = batch * f * dim * 4.0 * 2.0;
+        const double scale =
+            kind == TrainOpKind::InteractionBackward ? 2.0 : 1.0;
+        return makeKernel(trainOpName(kind), scale * flops,
+                          scale * bytes, assumptions, spec);
+      }
+      default:
+        RAP_PANIC("unhandled train op kind");
+    }
+}
+
+Bytes
+commBytesPerGpu(TrainOpKind kind, const DlrmConfig &config, int gpu_count)
+{
+    const double batch = static_cast<double>(config.batchPerGpu);
+    const double dim = config.embeddingDim;
+    switch (kind) {
+      case TrainOpKind::AllToAllForward:
+      case TrainOpKind::AllToAllBackward:
+        // Each GPU ends up with its own batch's pooled embeddings for
+        // every table: B x T x dim floats exchanged per iteration.
+        return batch * static_cast<double>(config.tableCount()) * dim *
+               4.0;
+      case TrainOpKind::GradAllReduce:
+        return config.mlpParameterCount() * 4.0;
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace rap::dlrm

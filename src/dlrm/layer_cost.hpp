@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic cost models for DLRM training layers.
+ *
+ * Each training operation is characterised by flops, DRAM bytes, an SM
+ * occupancy assumption and a memory-efficiency factor, from which a
+ * simulator kernel (exclusive latency + resource demand) is derived.
+ * The assumptions encode the well-known resource signatures the paper
+ * exploits (Fig. 1a): MLP layers are compute-heavy with high SM
+ * occupancy and modest bandwidth; embedding lookup/update are gather /
+ * scatter streams with low SM occupancy and high — but not saturating,
+ * due to random access — bandwidth use; collectives leave the GPU's
+ * compute almost idle.
+ */
+
+#ifndef RAP_DLRM_LAYER_COST_HPP
+#define RAP_DLRM_LAYER_COST_HPP
+
+#include <array>
+#include <string>
+
+#include "dlrm/model_config.hpp"
+#include "dlrm/sharding.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/kernel.hpp"
+
+namespace rap::dlrm {
+
+/** The per-iteration training operations, in execution order. */
+enum class TrainOpKind {
+    EmbeddingLookup,
+    AllToAllForward,
+    BottomMlpForward,
+    Interaction,
+    TopMlpForward,
+    TopMlpBackward,
+    InteractionBackward,
+    BottomMlpBackward,
+    AllToAllBackward,
+    EmbeddingUpdate,
+    GradAllReduce,
+};
+
+/** Number of operations in one training iteration. */
+constexpr std::size_t kTrainOpCount = 11;
+
+/** @return Human-readable operation name. */
+std::string trainOpName(TrainOpKind kind);
+
+/** @return All operation kinds in iteration order. */
+std::array<TrainOpKind, kTrainOpCount> trainOpOrder();
+
+/** @return True for the NVLink collectives (no GPU kernel resident). */
+bool isCommOp(TrainOpKind kind);
+
+/**
+ * Build the compute kernel for @p kind on GPU @p gpu.
+ *
+ * Comm ops have no kernel — query their payload via commBytesPerGpu.
+ *
+ * @param config Model configuration.
+ * @param sharding Embedding-table placement (lookup/update work).
+ * @param gpu GPU ordinal.
+ * @param gpu_count Number of GPUs in the job.
+ * @param spec GPU hardware spec.
+ */
+sim::KernelDesc makeTrainKernel(TrainOpKind kind,
+                                const DlrmConfig &config,
+                                const EmbeddingSharding &sharding,
+                                int gpu, int gpu_count,
+                                const sim::GpuSpec &spec);
+
+/** @return Per-GPU payload of a comm op (0 for compute ops). */
+Bytes commBytesPerGpu(TrainOpKind kind, const DlrmConfig &config,
+                      int gpu_count);
+
+} // namespace rap::dlrm
+
+#endif // RAP_DLRM_LAYER_COST_HPP

@@ -1,0 +1,48 @@
+#include "dlrm/model_config.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::dlrm {
+
+int
+DlrmConfig::topMlpInputDim() const
+{
+    const int f = interactionFeatures();
+    return f * (f - 1) / 2 + (bottomMlp.empty() ? 0 : bottomMlp.back());
+}
+
+double
+DlrmConfig::mlpParameterCount() const
+{
+    double params = 0.0;
+    int in_dim = static_cast<int>(schema.denseCount());
+    for (int out_dim : bottomMlp) {
+        params += static_cast<double>(in_dim) * out_dim + out_dim;
+        in_dim = out_dim;
+    }
+    in_dim = topMlpInputDim();
+    for (int out_dim : topMlp) {
+        params += static_cast<double>(in_dim) * out_dim + out_dim;
+        in_dim = out_dim;
+    }
+    params += in_dim + 1; // final scalar output layer
+    return params;
+}
+
+DlrmConfig
+makeDlrmConfig(data::DatasetPreset preset, data::Schema schema,
+               std::int64_t batch_per_gpu)
+{
+    RAP_ASSERT(batch_per_gpu > 0, "batch size must be positive");
+    DlrmConfig config;
+    config.schema = std::move(schema);
+    config.embeddingDim = 128;
+    config.bottomMlp = {512, 256};
+    config.topMlp = preset == data::DatasetPreset::CriteoKaggle
+                        ? std::vector<int>{1024, 1024, 512}
+                        : std::vector<int>{1024, 1024, 512, 256};
+    config.batchPerGpu = batch_per_gpu;
+    return config;
+}
+
+} // namespace rap::dlrm

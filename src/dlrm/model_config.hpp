@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DLRM model configurations (paper Table 2).
+ *
+ * A DLRM couples a data-parallel bottom MLP over the dense features, a
+ * model-parallel set of embedding tables over the sparse features, a
+ * pairwise-dot feature interaction, and a data-parallel top MLP (§2.2).
+ */
+
+#ifndef RAP_DLRM_MODEL_CONFIG_HPP
+#define RAP_DLRM_MODEL_CONFIG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "data/criteo.hpp"
+#include "data/schema.hpp"
+
+namespace rap::dlrm {
+
+/** Complete model + training hyper-parameters. */
+struct DlrmConfig
+{
+    /** Feature schema; its sparse features define the embedding tables. */
+    data::Schema schema;
+    /** Embedding vector dimension (128 for both Table-2 presets). */
+    int embeddingDim = 128;
+    /** Bottom ("dense arch") MLP hidden sizes. */
+    std::vector<int> bottomMlp = {512, 256};
+    /** Top MLP hidden sizes (output layer of size 1 appended). */
+    std::vector<int> topMlp = {1024, 1024, 512};
+    /** Per-GPU mini-batch size. */
+    std::int64_t batchPerGpu = 4096;
+
+    /** @return Number of embedding tables. */
+    std::size_t tableCount() const { return schema.sparseCount(); }
+
+    /** @return Interaction feature count: tables + bottom output. */
+    int interactionFeatures() const
+    {
+        return static_cast<int>(tableCount()) + 1;
+    }
+
+    /** @return Input width of the top MLP (pairs + bottom output). */
+    int topMlpInputDim() const;
+
+    /** @return Total data-parallel (MLP) parameter count. */
+    double mlpParameterCount() const;
+};
+
+/**
+ * Build the Table-2 configuration for @p preset over @p schema:
+ * dense arch 512-256 for both; top arch 1024-1024-512 (Kaggle) or
+ * 1024-1024-512-256 (Terabyte); dimension 128.
+ */
+DlrmConfig makeDlrmConfig(data::DatasetPreset preset, data::Schema schema,
+                          std::int64_t batch_per_gpu = 4096);
+
+} // namespace rap::dlrm
+
+#endif // RAP_DLRM_MODEL_CONFIG_HPP

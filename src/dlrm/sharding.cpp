@@ -1,0 +1,125 @@
+#include "dlrm/sharding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace rap::dlrm {
+
+EmbeddingSharding
+EmbeddingSharding::balanced(const data::Schema &schema, int gpu_count)
+{
+    RAP_ASSERT(gpu_count >= 1, "sharding needs at least one GPU");
+    const std::size_t tables = schema.sparseCount();
+
+    std::vector<std::size_t> order(tables);
+    std::iota(order.begin(), order.end(), 0);
+    auto weight = [&schema](std::size_t t) {
+        const auto &spec = schema.sparse(t);
+        // Lookup traffic scales with list length; capacity pressure with
+        // hash size. Blend both so giant tables spread out.
+        return spec.avgListLength +
+               static_cast<double>(spec.hashSize) * 1e-8;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return weight(a) > weight(b);
+                     });
+
+    EmbeddingSharding sharding;
+    sharding.gpuCount_ = gpu_count;
+    sharding.owner_.assign(tables, 0);
+    std::vector<double> load(static_cast<std::size_t>(gpu_count), 0.0);
+    for (std::size_t t : order) {
+        const auto g = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        sharding.owner_[t] = g;
+        load[static_cast<std::size_t>(g)] += weight(t);
+    }
+    return sharding;
+}
+
+EmbeddingSharding
+EmbeddingSharding::roundRobin(const data::Schema &schema, int gpu_count)
+{
+    RAP_ASSERT(gpu_count >= 1, "sharding needs at least one GPU");
+    EmbeddingSharding sharding;
+    sharding.gpuCount_ = gpu_count;
+    sharding.owner_.resize(schema.sparseCount());
+    for (std::size_t t = 0; t < sharding.owner_.size(); ++t)
+        sharding.owner_[t] = static_cast<int>(t % gpu_count);
+    return sharding;
+}
+
+EmbeddingSharding
+EmbeddingSharding::balancedWithRowWise(const data::Schema &schema,
+                                       int gpu_count,
+                                       std::int64_t row_wise_threshold)
+{
+    RAP_ASSERT(row_wise_threshold > 0,
+               "row-wise threshold must be positive");
+    auto sharding = balanced(schema, gpu_count);
+    for (std::size_t t = 0; t < sharding.owner_.size(); ++t) {
+        if (schema.sparse(t).hashSize >= row_wise_threshold)
+            sharding.owner_[t] = kRowWise;
+    }
+    return sharding;
+}
+
+int
+EmbeddingSharding::owner(std::size_t table) const
+{
+    RAP_ASSERT(table < owner_.size(), "table index out of range");
+    RAP_ASSERT(owner_[table] != kRowWise,
+               "row-wise table ", table, " has no single owner");
+    return owner_[table];
+}
+
+bool
+EmbeddingSharding::isRowWise(std::size_t table) const
+{
+    RAP_ASSERT(table < owner_.size(), "table index out of range");
+    return owner_[table] == kRowWise;
+}
+
+std::vector<int>
+EmbeddingSharding::consumersOf(std::size_t table) const
+{
+    if (isRowWise(table)) {
+        std::vector<int> all(static_cast<std::size_t>(gpuCount_));
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+    }
+    return {owner_[table]};
+}
+
+std::vector<std::size_t>
+EmbeddingSharding::tablesOf(int gpu) const
+{
+    std::vector<std::size_t> result;
+    for (std::size_t t = 0; t < owner_.size(); ++t) {
+        if (owner_[t] == gpu || owner_[t] == kRowWise)
+            result.push_back(t);
+    }
+    return result;
+}
+
+std::vector<double>
+EmbeddingSharding::lookupWorkPerGpu(const data::Schema &schema) const
+{
+    std::vector<double> work(static_cast<std::size_t>(gpuCount_), 0.0);
+    for (std::size_t t = 0; t < owner_.size(); ++t) {
+        const double len = schema.sparse(t).avgListLength;
+        if (owner_[t] == kRowWise) {
+            // A row-wise table's gather traffic spreads over all GPUs.
+            for (auto &w : work)
+                w += len / static_cast<double>(gpuCount_);
+        } else {
+            work[static_cast<std::size_t>(owner_[t])] += len;
+        }
+    }
+    return work;
+}
+
+} // namespace rap::dlrm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Embedding-table sharding across GPUs (model parallelism).
+ *
+ * The hybrid-parallel paradigm (§2.2) partitions the embedding tables
+ * over GPUs while replicating the MLPs. The owner of a table is also
+ * the consumer of that sparse feature's preprocessed output, which is
+ * what makes preprocessing-graph mapping a locality problem.
+ */
+
+#ifndef RAP_DLRM_SHARDING_HPP
+#define RAP_DLRM_SHARDING_HPP
+
+#include <vector>
+
+#include "data/schema.hpp"
+
+namespace rap::dlrm {
+
+/**
+ * Assignment of each embedding table (sparse feature) to one GPU.
+ */
+class EmbeddingSharding
+{
+  public:
+    EmbeddingSharding() = default;
+
+    /**
+     * Greedy longest-processing-time sharding: tables are sorted by
+     * lookup work (hash size weighted by mean list length x dim) and
+     * placed on the currently least-loaded GPU.
+     */
+    static EmbeddingSharding balanced(const data::Schema &schema,
+                                      int gpu_count);
+
+    /** Round-robin sharding in schema order (a simpler baseline). */
+    static EmbeddingSharding roundRobin(const data::Schema &schema,
+                                        int gpu_count);
+
+    /**
+     * Balanced sharding with row-wise parallelism: tables whose hash
+     * size reaches @p row_wise_threshold are split row-wise across
+     * every GPU (so every GPU consumes that feature's preprocessed
+     * input — the duplication case of §7.2); the rest are placed
+     * greedily as in balanced().
+     */
+    static EmbeddingSharding balancedWithRowWise(
+        const data::Schema &schema, int gpu_count,
+        std::int64_t row_wise_threshold);
+
+    /**
+     * @return GPU owning sparse feature @p table; must not be called
+     *         for row-wise tables (they have no single owner).
+     */
+    int owner(std::size_t table) const;
+
+    /** @return True when @p table is split row-wise over all GPUs. */
+    bool isRowWise(std::size_t table) const;
+
+    /** @return GPUs consuming feature @p table's preprocessed input. */
+    std::vector<int> consumersOf(std::size_t table) const;
+
+    /** @return Sparse feature indices owned by @p gpu. */
+    std::vector<std::size_t> tablesOf(int gpu) const;
+
+    int gpuCount() const { return gpuCount_; }
+    std::size_t tableCount() const { return owner_.size(); }
+
+    /**
+     * @return Per-GPU embedding-lookup work weights (mean list length
+     *         summed over owned tables), used by the layer cost model.
+     */
+    std::vector<double> lookupWorkPerGpu(
+        const data::Schema &schema) const;
+
+  private:
+    /** Owner GPU per table; kRowWise marks a row-wise table. */
+    static constexpr int kRowWise = -1;
+    std::vector<int> owner_;
+    int gpuCount_ = 0;
+};
+
+} // namespace rap::dlrm
+
+#endif // RAP_DLRM_SHARDING_HPP

@@ -1,0 +1,125 @@
+#include "milp/problem.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/log.hpp"
+
+namespace rap::milp {
+
+void
+FusionProblem::validate() const
+{
+    const auto n = static_cast<int>(size());
+    for (const auto &[op, pre] : deps) {
+        RAP_ASSERT(op >= 0 && op < n, "dependency op out of range");
+        RAP_ASSERT(pre >= 0 && pre < n,
+                   "dependency prerequisite out of range");
+        RAP_ASSERT(op != pre, "op cannot depend on itself");
+    }
+    (void)asapLevels(); // panics on cycles
+}
+
+std::vector<int>
+FusionProblem::asapLevels() const
+{
+    const std::size_t n = size();
+    std::vector<std::vector<int>> out(n);
+    std::vector<int> indegree(n, 0);
+    for (const auto &[op, pre] : deps) {
+        out[static_cast<std::size_t>(pre)].push_back(op);
+        ++indegree[static_cast<std::size_t>(op)];
+    }
+    std::queue<int> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            ready.push(static_cast<int>(i));
+    }
+    std::vector<int> level(n, 0);
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const int op = ready.front();
+        ready.pop();
+        ++visited;
+        for (int next : out[static_cast<std::size_t>(op)]) {
+            level[static_cast<std::size_t>(next)] =
+                std::max(level[static_cast<std::size_t>(next)],
+                         level[static_cast<std::size_t>(op)] + 1);
+            if (--indegree[static_cast<std::size_t>(next)] == 0)
+                ready.push(next);
+        }
+    }
+    RAP_ASSERT(visited == n, "fusion problem dependency graph is cyclic");
+    return level;
+}
+
+std::vector<std::vector<int>>
+FusionProblem::successors() const
+{
+    std::vector<std::vector<int>> out(size());
+    for (const auto &[op, pre] : deps)
+        out[static_cast<std::size_t>(pre)].push_back(op);
+    return out;
+}
+
+int
+FusionProblem::typeCount() const
+{
+    int max_type = -1;
+    for (int t : type)
+        max_type = std::max(max_type, t);
+    return max_type + 1;
+}
+
+std::vector<std::vector<int>>
+FusionSolution::groups(const FusionProblem &problem) const
+{
+    RAP_ASSERT(step.size() == problem.size(),
+               "solution size does not match problem");
+    std::map<std::pair<int, int>, std::vector<int>> by_key;
+    for (std::size_t i = 0; i < step.size(); ++i) {
+        by_key[{step[i], problem.type[i]}].push_back(
+            static_cast<int>(i));
+    }
+    std::vector<std::vector<int>> result;
+    result.reserve(by_key.size());
+    for (auto &[key, ops] : by_key)
+        result.push_back(std::move(ops));
+    return result;
+}
+
+double
+fusionObjective(const FusionProblem &problem,
+                const std::vector<int> &step)
+{
+    RAP_ASSERT(step.size() == problem.size(),
+               "assignment size does not match problem");
+    std::map<std::pair<int, int>, double> count;
+    for (std::size_t i = 0; i < step.size(); ++i)
+        count[{problem.type[i], step[i]}] += 1.0;
+    double objective = 0.0;
+    for (const auto &[key, c] : count)
+        objective += c * c;
+    return objective;
+}
+
+bool
+isFeasible(const FusionProblem &problem, const std::vector<int> &step)
+{
+    if (step.size() != problem.size())
+        return false;
+    for (int s : step) {
+        if (s < 0)
+            return false;
+    }
+    for (const auto &[op, pre] : problem.deps) {
+        if (step[static_cast<std::size_t>(op)] <
+            step[static_cast<std::size_t>(pre)] + 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace rap::milp

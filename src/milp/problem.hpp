@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The horizontal-fusion scheduling problem (paper §6.2, Eq. 1-4).
+ *
+ * Formulation. N operations each carry a type; a binary matrix
+ * X[i][t] assigns operation i to time step t. Constraints:
+ *   (Eq. 1) every operation is assigned exactly one step;
+ *   (Eq. 2) an operation's step strictly exceeds its dependencies'.
+ * Operations of the same type assigned to the same step fuse into one
+ * kernel. The objective (Eq. 3-4) maximises the sum over types and
+ * steps of the squared per-step type counts — i.e. it pushes same-type
+ * operations together as hard as the dependencies allow.
+ *
+ * This module is substrate-generic: types are integers; the core
+ * library maps preprocessing operator types onto them.
+ */
+
+#ifndef RAP_MILP_PROBLEM_HPP
+#define RAP_MILP_PROBLEM_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rap::milp {
+
+/** A typed-DAG fusion-scheduling instance. */
+struct FusionProblem
+{
+    /** Type id of each operation. */
+    std::vector<int> type;
+    /** Dependency pairs: (op, prerequisite). */
+    std::vector<std::pair<int, int>> deps;
+
+    std::size_t size() const { return type.size(); }
+
+    /** Panic on out-of-range indices or dependency cycles. */
+    void validate() const;
+
+    /**
+     * @return Longest-path level of each op (sources at 0); the
+     *         earliest feasible time step under Eq. 2.
+     */
+    std::vector<int> asapLevels() const;
+
+    /** @return Direct successors of each op. */
+    std::vector<std::vector<int>> successors() const;
+
+    /** @return Number of distinct type ids (max + 1). */
+    int typeCount() const;
+};
+
+/** An assignment of every operation to a time step. */
+struct FusionSolution
+{
+    /** Time step per operation. */
+    std::vector<int> step;
+    /** Objective value (Eq. 3-4). */
+    double objective = 0.0;
+    /** True when the solver proved optimality. */
+    bool optimal = false;
+    /** Branch-and-bound nodes explored (diagnostics). */
+    std::uint64_t nodesExplored = 0;
+
+    /**
+     * Extract the fusion groups: ops sharing (type, step), ordered by
+     * step then type. Singleton groups are included.
+     */
+    std::vector<std::vector<int>> groups(
+        const FusionProblem &problem) const;
+};
+
+/** @return Eq. 3-4 objective of @p step for @p problem. */
+double fusionObjective(const FusionProblem &problem,
+                       const std::vector<int> &step);
+
+/** @return True when @p step satisfies Eq. 1-2. */
+bool isFeasible(const FusionProblem &problem,
+                const std::vector<int> &step);
+
+} // namespace rap::milp
+
+#endif // RAP_MILP_PROBLEM_HPP

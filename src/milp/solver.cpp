@@ -1,0 +1,419 @@
+#include "milp/solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace rap::milp {
+
+namespace {
+
+/**
+ * Exact depth-first branch-and-bound.
+ *
+ * Operations are assigned in topological order, so every dependency of
+ * the current op already has a step. Pruning uses an admissible
+ * join-the-biggest-group bound; ops of singleton types are assigned
+ * greedily (a dominance argument), and candidate steps are explored in
+ * descending same-type-count order so good incumbents appear early.
+ */
+class BranchBound
+{
+  public:
+    BranchBound(const FusionProblem &problem, std::uint64_t max_nodes)
+        : p_(problem), maxNodes_(max_nodes)
+    {
+        const std::size_t n = p_.size();
+        horizon_ = static_cast<int>(n);
+        deps_of_.resize(n);
+        for (const auto &[op, pre] : p_.deps)
+            deps_of_[static_cast<std::size_t>(op)].push_back(pre);
+
+        // Topological order via ASAP levels (stable within a level).
+        topo_.resize(n);
+        std::iota(topo_.begin(), topo_.end(), 0);
+        const auto levels = p_.asapLevels();
+        std::stable_sort(topo_.begin(), topo_.end(),
+                         [&](int a, int b) {
+                             return levels[static_cast<std::size_t>(a)] <
+                                    levels[static_cast<std::size_t>(b)];
+                         });
+
+        typeMultiplicity_.assign(
+            static_cast<std::size_t>(p_.typeCount()), 0);
+        for (int t : p_.type)
+            ++typeMultiplicity_[static_cast<std::size_t>(t)];
+
+        const auto types = static_cast<std::size_t>(p_.typeCount());
+        counts_.assign(types, std::vector<int>(
+                                  static_cast<std::size_t>(horizon_), 0));
+        maxCount_.assign(types, 0);
+        remaining_.assign(types, 0);
+        for (int t : p_.type)
+            ++remaining_[static_cast<std::size_t>(t)];
+        assign_.assign(n, -1);
+    }
+
+    FusionSolution
+    run()
+    {
+        dfs(0, 0.0, -1);
+        FusionSolution solution;
+        solution.step = bestAssign_;
+        solution.objective = best_;
+        solution.optimal = !budgetExhausted_;
+        solution.nodesExplored = nodes_;
+        return solution;
+    }
+
+  private:
+    double
+    upperBound(double current) const
+    {
+        double bound = current;
+        for (std::size_t t = 0; t < remaining_.size(); ++t) {
+            const double c = maxCount_[t];
+            const double r = remaining_[t];
+            bound += 2.0 * c * r + r * r;
+        }
+        return bound;
+    }
+
+    void
+    dfs(std::size_t k, double objective, int max_used_step)
+    {
+        if (budgetExhausted_)
+            return;
+        if (++nodes_ > maxNodes_) {
+            budgetExhausted_ = true;
+            return;
+        }
+        if (k == p_.size()) {
+            if (objective > best_) {
+                best_ = objective;
+                bestAssign_ = assign_;
+            }
+            return;
+        }
+        if (upperBound(objective) <= best_)
+            return;
+
+        const int op = topo_[k];
+        const auto type = static_cast<std::size_t>(
+            p_.type[static_cast<std::size_t>(op)]);
+        int lo = 0;
+        for (int dep : deps_of_[static_cast<std::size_t>(op)])
+            lo = std::max(lo, assign_[static_cast<std::size_t>(dep)] + 1);
+        // The full horizon must stay reachable: an op may need to jump
+        // past currently-unused steps to meet future ops whose levels
+        // force them high, so every step in [lo, horizon) is explored.
+        const int hi = horizon_ - 1;
+        if (lo > hi)
+            return;
+
+        // Dominance: an op whose type occurs once can never fuse, and
+        // placing it at the earliest feasible step is maximally
+        // permissive for its successors — no branching needed.
+        std::vector<int> steps;
+        if (typeMultiplicity_[type] == 1) {
+            steps = {lo};
+        } else {
+            for (int s = lo; s <= hi; ++s)
+                steps.push_back(s);
+            // Try steps in descending same-type-count order so the
+            // best groups are explored (and the incumbent raised)
+            // early.
+            std::stable_sort(steps.begin(), steps.end(),
+                             [&](int a, int b) {
+                                 return counts_[type][
+                                            static_cast<std::size_t>(
+                                                a)] >
+                                        counts_[type][
+                                            static_cast<std::size_t>(
+                                                b)];
+                             });
+        }
+
+        --remaining_[type];
+        for (int s : steps) {
+            auto &count = counts_[type][static_cast<std::size_t>(s)];
+            const double delta = 2.0 * count + 1.0;
+            ++count;
+            const int prev_max = maxCount_[type];
+            maxCount_[type] = std::max(maxCount_[type], count);
+            assign_[static_cast<std::size_t>(op)] = s;
+
+            dfs(k + 1, objective + delta, std::max(max_used_step, s));
+
+            assign_[static_cast<std::size_t>(op)] = -1;
+            --count;
+            maxCount_[type] = prev_max;
+            if (budgetExhausted_)
+                break;
+        }
+        ++remaining_[type];
+    }
+
+    const FusionProblem &p_;
+    std::uint64_t maxNodes_;
+    std::uint64_t nodes_ = 0;
+    bool budgetExhausted_ = false;
+    int horizon_ = 0;
+    std::vector<std::vector<int>> deps_of_;
+    std::vector<int> topo_;
+    std::vector<std::vector<int>> counts_; // [type][step]
+    std::vector<int> maxCount_;            // per type
+    std::vector<int> remaining_;           // per type
+    std::vector<int> typeMultiplicity_;    // per type
+    std::vector<int> assign_;
+    double best_ = -1.0;
+    std::vector<int> bestAssign_;
+};
+
+} // namespace
+
+FusionSolver::FusionSolver(SolverOptions options)
+    : options_(options)
+{
+}
+
+FusionSolution
+FusionSolver::solve(const FusionProblem &problem) const
+{
+    problem.validate();
+    if (problem.size() == 0) {
+        FusionSolution empty;
+        empty.optimal = true;
+        return empty;
+    }
+    if (problem.size() <= options_.exactLimit) {
+        auto solution = solveExact(problem);
+        if (solution.optimal)
+            return solution;
+        // Budget ran out: fall through and keep the better of the two.
+        auto heuristic = solveHeuristic(problem);
+        return heuristic.objective > solution.objective ? heuristic
+                                                        : solution;
+    }
+    return solveHeuristic(problem);
+}
+
+FusionSolution
+FusionSolver::solveExact(const FusionProblem &problem) const
+{
+    problem.validate();
+    BranchBound bnb(problem, options_.maxNodes);
+    auto solution = bnb.run();
+    RAP_ASSERT(isFeasible(problem, solution.step),
+               "exact solver produced an infeasible assignment");
+    return solution;
+}
+
+FusionSolution
+FusionSolver::solveHeuristic(const FusionProblem &problem) const
+{
+    problem.validate();
+    const std::size_t n = problem.size();
+
+    const std::vector<int> asap = problem.asapLevels();
+    // Steps beyond the deepest level plus a small slack never help the
+    // grouping objective; capping the horizon keeps relocation windows
+    // small on large plans.
+    int max_level = 0;
+    for (int s : asap)
+        max_level = std::max(max_level, s);
+    const int horizon =
+        std::min(static_cast<int>(n), max_level + 8);
+
+    // Second restart seed: ALAP levels (chains aligned at their
+    // tails), which often escapes the ASAP seed's local optimum.
+    std::vector<int> alap(n, max_level);
+    {
+        const auto succ_levels = problem.successors();
+        // Process in reverse topological order (ids ordered by level).
+        std::vector<int> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return asap[static_cast<std::size_t>(a)] >
+                   asap[static_cast<std::size_t>(b)];
+        });
+        for (int i : order) {
+            for (int nxt : succ_levels[static_cast<std::size_t>(i)]) {
+                alap[static_cast<std::size_t>(i)] = std::min(
+                    alap[static_cast<std::size_t>(i)],
+                    alap[static_cast<std::size_t>(nxt)] - 1);
+            }
+        }
+    }
+
+    std::vector<int> step = asap;
+    const auto succ = problem.successors();
+    std::vector<std::vector<int>> deps_of(n);
+    for (const auto &[op, pre] : problem.deps)
+        deps_of[static_cast<std::size_t>(op)].push_back(pre);
+
+    // Per-(type, step) population for incremental objective deltas.
+    std::map<std::pair<int, int>, int> count;
+    for (std::size_t i = 0; i < n; ++i)
+        ++count[{problem.type[i], step[i]}];
+
+    // Jointly relocate a whole (type, step) group to another step.
+    // Fixes coordination failures single-op moves cannot escape
+    // (e.g. merging a pair into another pair).
+    auto tryGroupMoves = [&]() {
+        bool improved = false;
+        std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
+        for (std::size_t i = 0; i < n; ++i)
+            groups[{problem.type[i], step[i]}].push_back(i);
+        for (auto &[key, members] : groups) {
+            const auto [type, cur] = key;
+            // Joint window of the whole group.
+            int lo = 0;
+            int hi = horizon - 1;
+            for (std::size_t i : members) {
+                for (int dep : deps_of[i])
+                    lo = std::max(
+                        lo, step[static_cast<std::size_t>(dep)] + 1);
+                for (int nxt : succ[i])
+                    hi = std::min(
+                        hi, step[static_cast<std::size_t>(nxt)] - 1);
+            }
+            const auto size = static_cast<int>(members.size());
+            double best_gain = 0.0;
+            int best_step = cur;
+            for (int s = lo; s <= hi; ++s) {
+                if (s == cur)
+                    continue;
+                const auto it = count.find({type, s});
+                const int target = it == count.end() ? 0 : it->second;
+                // (target + size)^2 - target^2 - size^2 = 2*target*size.
+                const double gain = 2.0 * target * size;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_step = s;
+                }
+            }
+            if (best_gain > 0.0) {
+                count[{type, cur}] -= size;
+                count[{type, best_step}] += size;
+                for (std::size_t i : members)
+                    step[i] = best_step;
+                improved = true;
+            }
+        }
+        return improved;
+    };
+
+    for (int round = 0; round < options_.localSearchRounds; ++round) {
+        bool improved = tryGroupMoves();
+        for (std::size_t i = 0; i < n; ++i) {
+            const int type = problem.type[i];
+            int lo = 0;
+            for (int dep : deps_of[i])
+                lo = std::max(lo,
+                              step[static_cast<std::size_t>(dep)] + 1);
+            int hi = horizon - 1;
+            for (int nxt : succ[i])
+                hi = std::min(hi,
+                              step[static_cast<std::size_t>(nxt)] - 1);
+            if (lo > hi)
+                continue;
+
+            const int cur = step[i];
+            const int cur_count = count[{type, cur}];
+            double best_gain = 0.0;
+            int best_step = cur;
+            for (int s = lo; s <= hi; ++s) {
+                if (s == cur)
+                    continue;
+                const auto it = count.find({type, s});
+                const int target = it == count.end() ? 0 : it->second;
+                // Leaving a group of size c loses 2c-1; joining a group
+                // of size c' gains 2c'+1.
+                const double gain = 2.0 * (target - cur_count) + 2.0;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_step = s;
+                }
+            }
+            if (best_gain > 0.0) {
+                --count[{type, cur}];
+                ++count[{type, best_step}];
+                step[i] = best_step;
+                improved = true;
+            }
+        }
+        if (!improved)
+            break;
+    }
+
+    // Re-run the same local search from the ALAP seed and keep the
+    // better of the two assignments.
+    double best_objective = fusionObjective(problem, step);
+    std::vector<int> best_step = step;
+    {
+        step = alap;
+        count.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            ++count[{problem.type[i], step[i]}];
+        for (int round = 0; round < options_.localSearchRounds;
+             ++round) {
+            bool improved = tryGroupMoves();
+            for (std::size_t i = 0; i < n; ++i) {
+                const int type = problem.type[i];
+                int lo = 0;
+                for (int dep : deps_of[i])
+                    lo = std::max(
+                        lo, step[static_cast<std::size_t>(dep)] + 1);
+                int hi = horizon - 1;
+                for (int nxt : succ[i])
+                    hi = std::min(
+                        hi, step[static_cast<std::size_t>(nxt)] - 1);
+                if (lo > hi)
+                    continue;
+                const int cur = step[i];
+                const int cur_count = count[{type, cur}];
+                double best_gain = 0.0;
+                int to = cur;
+                for (int s = lo; s <= hi; ++s) {
+                    if (s == cur)
+                        continue;
+                    const auto it = count.find({type, s});
+                    const int target =
+                        it == count.end() ? 0 : it->second;
+                    const double gain =
+                        2.0 * (target - cur_count) + 2.0;
+                    if (gain > best_gain) {
+                        best_gain = gain;
+                        to = s;
+                    }
+                }
+                if (best_gain > 0.0) {
+                    --count[{type, cur}];
+                    ++count[{type, to}];
+                    step[i] = to;
+                    improved = true;
+                }
+            }
+            if (!improved)
+                break;
+        }
+        const double objective = fusionObjective(problem, step);
+        if (objective > best_objective) {
+            best_objective = objective;
+            best_step = step;
+        }
+    }
+
+    FusionSolution solution;
+    solution.step = std::move(best_step);
+    solution.objective = best_objective;
+    solution.optimal = false;
+    RAP_ASSERT(isFeasible(problem, solution.step),
+               "heuristic solver produced an infeasible assignment");
+    return solution;
+}
+
+} // namespace rap::milp

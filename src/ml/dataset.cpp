@@ -1,0 +1,51 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace rap::ml {
+
+void
+MlDataset::add(std::vector<double> features, double target)
+{
+    if (!x.empty()) {
+        RAP_ASSERT(features.size() == x.front().size(),
+                   "ragged feature row");
+    }
+    x.push_back(std::move(features));
+    y.push_back(target);
+}
+
+void
+MlDataset::validate() const
+{
+    RAP_ASSERT(x.size() == y.size(), "x/y length mismatch");
+    for (const auto &row : x)
+        RAP_ASSERT(row.size() == x.front().size(), "ragged feature row");
+}
+
+std::pair<MlDataset, MlDataset>
+trainEvalSplit(const MlDataset &dataset, double train_fraction,
+               std::uint64_t seed)
+{
+    RAP_ASSERT(train_fraction > 0.0 && train_fraction < 1.0,
+               "train fraction must be in (0, 1)");
+    dataset.validate();
+
+    std::vector<std::size_t> order(dataset.size());
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    rng.shuffle(order);
+
+    const auto train_count = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(dataset.size()));
+    MlDataset train, eval;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        auto &dst = i < train_count ? train : eval;
+        dst.add(dataset.x[order[i]], dataset.y[order[i]]);
+    }
+    return {std::move(train), std::move(eval)};
+}
+
+} // namespace rap::ml

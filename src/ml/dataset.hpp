@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tabular regression dataset used by the GBDT latency predictor.
+ */
+
+#ifndef RAP_ML_DATASET_HPP
+#define RAP_ML_DATASET_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rap::ml {
+
+/** Row-major feature matrix plus targets. */
+struct MlDataset
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+
+    std::size_t size() const { return x.size(); }
+    std::size_t featureCount() const
+    {
+        return x.empty() ? 0 : x.front().size();
+    }
+
+    /** Append one sample. */
+    void add(std::vector<double> features, double target);
+
+    /** Panic if rows are ragged or x/y lengths differ. */
+    void validate() const;
+};
+
+/**
+ * Deterministically shuffle and split into train/eval partitions.
+ *
+ * @param dataset Source samples.
+ * @param train_fraction Fraction assigned to the train split (e.g. 0.9
+ *        for the paper's 9:1 protocol).
+ * @param seed Shuffle seed.
+ */
+std::pair<MlDataset, MlDataset> trainEvalSplit(const MlDataset &dataset,
+                                               double train_fraction,
+                                               std::uint64_t seed);
+
+} // namespace rap::ml
+
+#endif // RAP_ML_DATASET_HPP

@@ -1,0 +1,85 @@
+#include "ml/gbdt.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace rap::ml {
+
+Gbdt::Gbdt(GbdtParams params)
+    : params_(std::move(params))
+{
+    RAP_ASSERT(params_.trees >= 1, "GBDT needs at least one tree");
+    RAP_ASSERT(params_.learningRate > 0.0 && params_.learningRate <= 1.0,
+               "learning rate must be in (0, 1]");
+    RAP_ASSERT(params_.subsample > 0.0 && params_.subsample <= 1.0,
+               "subsample must be in (0, 1]");
+}
+
+void
+Gbdt::fit(const MlDataset &train)
+{
+    train.validate();
+    RAP_ASSERT(train.size() >= 2, "need at least two training samples");
+
+    const std::size_t n = train.size();
+    bias_ = std::accumulate(train.y.begin(), train.y.end(), 0.0) /
+            static_cast<double>(n);
+
+    std::vector<double> prediction(n, bias_);
+    std::vector<double> residual(n, 0.0);
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+
+    Rng rng(params_.seed);
+    trees_.clear();
+    trees_.reserve(static_cast<std::size_t>(params_.trees));
+
+    for (int round = 0; round < params_.trees; ++round) {
+        for (std::size_t i = 0; i < n; ++i)
+            residual[i] = train.y[i] - prediction[i];
+
+        std::vector<std::size_t> sample;
+        if (params_.subsample < 1.0) {
+            sample.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (rng.bernoulli(params_.subsample))
+                    sample.push_back(i);
+            }
+            if (sample.size() < 2 * params_.tree.minSamplesLeaf)
+                sample = all;
+        } else {
+            sample = all;
+        }
+
+        RegressionTree tree;
+        tree.fit(train.x, residual, sample, params_.tree);
+        for (std::size_t i = 0; i < n; ++i)
+            prediction[i] +=
+                params_.learningRate * tree.predict(train.x[i]);
+        trees_.push_back(std::move(tree));
+    }
+    fitted_ = true;
+}
+
+double
+Gbdt::predict(const std::vector<double> &row) const
+{
+    RAP_ASSERT(fitted_, "predict on an unfitted GBDT");
+    double value = bias_;
+    for (const auto &tree : trees_)
+        value += params_.learningRate * tree.predict(row);
+    return value;
+}
+
+std::vector<double>
+Gbdt::predictAll(const MlDataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (const auto &row : data.x)
+        out.push_back(predict(row));
+    return out;
+}
+
+} // namespace rap::ml

@@ -1,0 +1,83 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace rap::ml {
+
+namespace {
+
+void
+checkLengths(const std::vector<double> &predicted,
+             const std::vector<double> &actual)
+{
+    RAP_ASSERT(predicted.size() == actual.size(),
+               "prediction/actual length mismatch");
+    RAP_ASSERT(!predicted.empty(), "metrics need at least one sample");
+}
+
+} // namespace
+
+double
+withinToleranceAccuracy(const std::vector<double> &predicted,
+                        const std::vector<double> &actual,
+                        double tolerance)
+{
+    checkLengths(predicted, actual);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double scale = std::fabs(actual[i]);
+        const double err = std::fabs(predicted[i] - actual[i]);
+        if (err <= tolerance * std::max(scale, 1e-300))
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(predicted.size());
+}
+
+double
+meanAbsoluteError(const std::vector<double> &predicted,
+                  const std::vector<double> &actual)
+{
+    checkLengths(predicted, actual);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        sum += std::fabs(predicted[i] - actual[i]);
+    return sum / static_cast<double>(predicted.size());
+}
+
+double
+rootMeanSquaredError(const std::vector<double> &predicted,
+                     const std::vector<double> &actual)
+{
+    checkLengths(predicted, actual);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &actual)
+{
+    checkLengths(predicted, actual);
+    const double mean =
+        std::accumulate(actual.begin(), actual.end(), 0.0) /
+        static_cast<double>(actual.size());
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - mean) * (actual[i] - mean);
+    }
+    if (ss_tot <= 0.0)
+        return ss_res <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace rap::ml

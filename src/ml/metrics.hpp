@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regression evaluation metrics, including the paper's within-10%
+ * accuracy criterion (Table 5).
+ */
+
+#ifndef RAP_ML_METRICS_HPP
+#define RAP_ML_METRICS_HPP
+
+#include <vector>
+
+namespace rap::ml {
+
+/**
+ * Fraction of samples whose prediction deviates from the actual value
+ * by at most @p tolerance relatively (|pred - y| <= tolerance * |y|).
+ */
+double withinToleranceAccuracy(const std::vector<double> &predicted,
+                               const std::vector<double> &actual,
+                               double tolerance = 0.10);
+
+/** Mean absolute error. */
+double meanAbsoluteError(const std::vector<double> &predicted,
+                         const std::vector<double> &actual);
+
+/** Root mean squared error. */
+double rootMeanSquaredError(const std::vector<double> &predicted,
+                            const std::vector<double> &actual);
+
+/** Coefficient of determination (R^2). */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &actual);
+
+} // namespace rap::ml
+
+#endif // RAP_ML_METRICS_HPP

@@ -1,0 +1,166 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace rap::ml {
+
+namespace {
+
+double
+meanOf(const std::vector<double> &residual,
+       const std::vector<std::size_t> &indices)
+{
+    double sum = 0.0;
+    for (std::size_t i : indices)
+        sum += residual[i];
+    return indices.empty() ? 0.0
+                           : sum / static_cast<double>(indices.size());
+}
+
+/** Best split of @p indices on @p feature by sum-of-squares reduction. */
+struct SplitCandidate
+{
+    bool valid = false;
+    double gain = 0.0;
+    double threshold = 0.0;
+};
+
+SplitCandidate
+bestSplitOnFeature(const std::vector<std::vector<double>> &x,
+                   const std::vector<double> &residual,
+                   std::vector<std::size_t> &indices, std::size_t feature,
+                   std::size_t min_leaf)
+{
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return x[a][feature] < x[b][feature];
+              });
+
+    const std::size_t n = indices.size();
+    double total_sum = 0.0;
+    for (std::size_t i : indices)
+        total_sum += residual[i];
+
+    SplitCandidate best;
+    double left_sum = 0.0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+        left_sum += residual[indices[k]];
+        const std::size_t left_n = k + 1;
+        const std::size_t right_n = n - left_n;
+        if (left_n < min_leaf || right_n < min_leaf)
+            continue;
+        // Can't split between equal feature values.
+        if (x[indices[k]][feature] == x[indices[k + 1]][feature])
+            continue;
+        const double right_sum = total_sum - left_sum;
+        // Variance-reduction gain (up to constants):
+        // sum_l^2/n_l + sum_r^2/n_r - sum^2/n.
+        const double gain =
+            left_sum * left_sum / static_cast<double>(left_n) +
+            right_sum * right_sum / static_cast<double>(right_n) -
+            total_sum * total_sum / static_cast<double>(n);
+        if (!best.valid || gain > best.gain) {
+            best.valid = true;
+            best.gain = gain;
+            best.threshold = 0.5 * (x[indices[k]][feature] +
+                                    x[indices[k + 1]][feature]);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+void
+RegressionTree::fit(const std::vector<std::vector<double>> &x,
+                    const std::vector<double> &residual,
+                    const std::vector<std::size_t> &indices,
+                    const TreeParams &params)
+{
+    RAP_ASSERT(!indices.empty(), "cannot fit a tree on zero samples");
+    nodes_.clear();
+    build(x, residual, indices, 0, params);
+}
+
+int
+RegressionTree::build(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &residual,
+                      std::vector<std::size_t> indices, int node_depth,
+                      const TreeParams &params)
+{
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<std::size_t>(node_id)].depth = node_depth;
+    nodes_[static_cast<std::size_t>(node_id)].value =
+        meanOf(residual, indices);
+
+    if (node_depth >= params.maxDepth ||
+        indices.size() < 2 * params.minSamplesLeaf) {
+        return node_id;
+    }
+
+    const std::size_t features = x.front().size();
+    SplitCandidate best;
+    std::size_t best_feature = 0;
+    for (std::size_t f = 0; f < features; ++f) {
+        auto candidate = bestSplitOnFeature(x, residual, indices, f,
+                                            params.minSamplesLeaf);
+        if (candidate.valid &&
+            (!best.valid || candidate.gain > best.gain)) {
+            best = candidate;
+            best_feature = f;
+        }
+    }
+    if (!best.valid || best.gain < params.minGain)
+        return node_id;
+
+    std::vector<std::size_t> left, right;
+    for (std::size_t i : indices) {
+        (x[i][best_feature] <= best.threshold ? left : right)
+            .push_back(i);
+    }
+    if (left.empty() || right.empty())
+        return node_id;
+
+    const int left_id =
+        build(x, residual, std::move(left), node_depth + 1, params);
+    const int right_id =
+        build(x, residual, std::move(right), node_depth + 1, params);
+
+    auto &node = nodes_[static_cast<std::size_t>(node_id)];
+    node.leaf = false;
+    node.feature = best_feature;
+    node.threshold = best.threshold;
+    node.left = left_id;
+    node.right = right_id;
+    return node_id;
+}
+
+double
+RegressionTree::predict(const std::vector<double> &row) const
+{
+    RAP_ASSERT(!nodes_.empty(), "predict on an unfitted tree");
+    int node_id = 0;
+    for (;;) {
+        const auto &node = nodes_[static_cast<std::size_t>(node_id)];
+        if (node.leaf)
+            return node.value;
+        node_id = row[node.feature] <= node.threshold ? node.left
+                                                      : node.right;
+    }
+}
+
+int
+RegressionTree::depth() const
+{
+    int max_depth = 0;
+    for (const auto &node : nodes_)
+        max_depth = std::max(max_depth, node.depth);
+    return max_depth;
+}
+
+} // namespace rap::ml

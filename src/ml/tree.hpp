@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CART-style regression tree with exact greedy variance-reduction
+ * splits — the weak learner of the GBDT latency predictor.
+ */
+
+#ifndef RAP_ML_TREE_HPP
+#define RAP_ML_TREE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace rap::ml {
+
+/** Tree-growing hyper-parameters. */
+struct TreeParams
+{
+    int maxDepth = 6;
+    std::size_t minSamplesLeaf = 4;
+    /** Minimum variance-reduction gain to accept a split. */
+    double minGain = 1e-12;
+};
+
+/**
+ * Regression tree stored as a flat node array.
+ */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit to (x, residual) pairs restricted to @p indices.
+     *
+     * @param x Row-major feature matrix.
+     * @param residual Regression targets (boosting residuals).
+     * @param indices Row subset to fit on.
+     * @param params Growing limits.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &residual,
+             const std::vector<std::size_t> &indices,
+             const TreeParams &params);
+
+    /** @return Prediction for one feature row. */
+    double predict(const std::vector<double> &row) const;
+
+    /** @return Number of nodes (leaves + internal). */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** @return Depth of the deepest leaf. */
+    int depth() const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        double value = 0.0;   ///< leaf prediction
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+        int depth = 0;
+    };
+
+    int build(const std::vector<std::vector<double>> &x,
+              const std::vector<double> &residual,
+              std::vector<std::size_t> indices, int node_depth,
+              const TreeParams &params);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace rap::ml
+
+#endif // RAP_ML_TREE_HPP

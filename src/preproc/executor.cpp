@@ -1,0 +1,49 @@
+#include "preproc/executor.hpp"
+
+#include "common/log.hpp"
+#include "preproc/ops.hpp"
+
+namespace rap::preproc {
+
+void
+applyGraph(const PreprocGraph &graph, data::RecordBatch &batch)
+{
+    for (int id : graph.topoOrder())
+        applyOp(graph.node(id), batch);
+}
+
+OpShape
+nodeShape(const OpNode &node, const data::Schema &schema,
+          std::int64_t rows)
+{
+    OpShape shape;
+    shape.rows = rows;
+    shape.width = 1;
+    shape.param = opPerfParam(node.type, node.params);
+    shape.avgListLength = 1.0;
+    RAP_ASSERT(!node.inputs.empty(), "node has no inputs");
+    const auto &primary = node.inputs.front();
+    if (primary.kind == data::FeatureKind::Sparse &&
+        primary.index < schema.sparseCount()) {
+        shape.avgListLength = schema.sparse(primary.index).avgListLength;
+        // Ngram reads all of its inputs.
+        if (node.type == OpType::Ngram)
+            shape.avgListLength *=
+                static_cast<double>(node.inputs.size());
+    }
+    return shape;
+}
+
+Seconds
+graphExclusiveLatency(const PreprocGraph &graph, std::int64_t rows,
+                      const sim::GpuSpec &spec)
+{
+    Seconds total = 0.0;
+    for (const auto &node : graph.nodes()) {
+        const auto shape = nodeShape(node, graph.schema(), rows);
+        total += makeOpKernel(node.type, shape, spec).exclusiveLatency;
+    }
+    return total;
+}
+
+} // namespace rap::preproc

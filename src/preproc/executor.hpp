@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Host execution of a preprocessing graph plus shape extraction.
+ */
+
+#ifndef RAP_PREPROC_EXECUTOR_HPP
+#define RAP_PREPROC_EXECUTOR_HPP
+
+#include "data/batch.hpp"
+#include "preproc/cost_model.hpp"
+#include "preproc/graph.hpp"
+
+namespace rap::preproc {
+
+/**
+ * Execute every node of @p graph on @p batch in topological order using
+ * the host reference semantics.
+ */
+void applyGraph(const PreprocGraph &graph, data::RecordBatch &batch);
+
+/**
+ * Derive the kernel workload shape of a single (unfused) node: width 1,
+ * the batch row count, the primary input feature's mean list length
+ * (from the schema) and the operator's performance parameter.
+ */
+OpShape nodeShape(const OpNode &node, const data::Schema &schema,
+                  std::int64_t rows);
+
+/**
+ * Total standalone GPU latency of @p graph at the given batch size if
+ * each node ran as its own kernel under @p spec (no fusion, no launch
+ * overhead). Useful as a workload-size metric.
+ */
+Seconds graphExclusiveLatency(const PreprocGraph &graph,
+                              std::int64_t rows,
+                              const sim::GpuSpec &spec);
+
+} // namespace rap::preproc
+
+#endif // RAP_PREPROC_EXECUTOR_HPP

@@ -1,0 +1,106 @@
+#include "preproc/op_types.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::preproc {
+
+std::string
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Logit: return "Logit";
+      case OpType::BoxCox: return "BoxCox";
+      case OpType::Onehot: return "Onehot";
+      case OpType::SigridHash: return "SigridHash";
+      case OpType::FirstX: return "FirstX";
+      case OpType::Clamp: return "Clamp";
+      case OpType::Bucketize: return "Bucketize";
+      case OpType::Ngram: return "Ngram";
+      case OpType::MapId: return "MapId";
+      case OpType::FillNull: return "FillNull";
+      case OpType::Cast: return "Cast";
+    }
+    RAP_PANIC("unknown op type");
+}
+
+OpCategory
+opCategory(OpType type)
+{
+    switch (type) {
+      case OpType::Logit:
+      case OpType::BoxCox:
+      case OpType::Onehot:
+        return OpCategory::DenseNorm;
+      case OpType::SigridHash:
+      case OpType::FirstX:
+      case OpType::Clamp:
+        return OpCategory::SparseNorm;
+      case OpType::Bucketize:
+      case OpType::Ngram:
+      case OpType::MapId:
+        return OpCategory::FeatureGen;
+      case OpType::FillNull:
+      case OpType::Cast:
+        return OpCategory::Other;
+    }
+    RAP_PANIC("unknown op type");
+}
+
+PredictorCategory
+predictorCategory(OpType type)
+{
+    switch (type) {
+      case OpType::FirstX: return PredictorCategory::FirstX;
+      case OpType::Ngram: return PredictorCategory::Ngram;
+      case OpType::Onehot: return PredictorCategory::Onehot;
+      case OpType::Bucketize: return PredictorCategory::Bucketize;
+      default: return PredictorCategory::OneDimensional;
+    }
+}
+
+std::string
+predictorCategoryName(PredictorCategory cat)
+{
+    switch (cat) {
+      case PredictorCategory::OneDimensional: return "1D Ops";
+      case PredictorCategory::FirstX: return "FirstX";
+      case PredictorCategory::Ngram: return "Ngram";
+      case PredictorCategory::Onehot: return "Onehot";
+      case PredictorCategory::Bucketize: return "Bucketize";
+    }
+    RAP_PANIC("unknown predictor category");
+}
+
+bool
+isDenseOp(OpType type)
+{
+    switch (type) {
+      case OpType::Logit:
+      case OpType::BoxCox:
+      case OpType::Onehot:
+      case OpType::Bucketize:
+      case OpType::Cast:
+        return true;
+      case OpType::SigridHash:
+      case OpType::FirstX:
+      case OpType::Clamp:
+      case OpType::Ngram:
+      case OpType::MapId:
+        return false;
+      case OpType::FillNull:
+        // FillNull exists for both shapes; the node's column kind decides.
+        return true;
+    }
+    RAP_PANIC("unknown op type");
+}
+
+std::array<OpType, kOpTypeCount>
+allOpTypes()
+{
+    return {OpType::Logit,      OpType::BoxCox, OpType::Onehot,
+            OpType::SigridHash, OpType::FirstX, OpType::Clamp,
+            OpType::Bucketize,  OpType::Ngram,  OpType::MapId,
+            OpType::FillNull,   OpType::Cast};
+}
+
+} // namespace rap::preproc

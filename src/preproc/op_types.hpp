@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The DLRM input-preprocessing operator vocabulary (paper Table 1).
+ */
+
+#ifndef RAP_PREPROC_OP_TYPES_HPP
+#define RAP_PREPROC_OP_TYPES_HPP
+
+#include <array>
+#include <string>
+
+namespace rap::preproc {
+
+/**
+ * All preprocessing operator types from Table 1.
+ */
+enum class OpType {
+    // Dense normalisation (DN)
+    Logit,      ///< logit transform for normalisation
+    BoxCox,     ///< Box-Cox transform for normalisation
+    Onehot,     ///< one-hot encode a dense feature
+    // Sparse normalisation (SN)
+    SigridHash, ///< hash ids into the embedding hash space
+    FirstX,     ///< truncate an id list to its first X entries
+    Clamp,      ///< clamp ids into [lo, hi]
+    // Feature generation (FG)
+    Bucketize,  ///< map a dense value to a bucket index via borders
+    Ngram,      ///< n-gram across multiple sparse features
+    MapId,      ///< map feature ids to fixed values
+    // Others
+    FillNull,   ///< fill NA/NaN values with a default
+    Cast,       ///< cast data to a different type
+};
+
+/** Number of distinct operator types. */
+constexpr std::size_t kOpTypeCount = 11;
+
+/** Operator category from Table 1. */
+enum class OpCategory {
+    DenseNorm,
+    SparseNorm,
+    FeatureGen,
+    Other,
+};
+
+/**
+ * Predictor category from Table 5: Ngram, Onehot, Bucketize and FirstX
+ * have unique performance-related parameters and get dedicated latency
+ * predictors; every other operator's latency depends only on the input
+ * shape and is grouped as "1D Ops".
+ */
+enum class PredictorCategory {
+    OneDimensional,
+    FirstX,
+    Ngram,
+    Onehot,
+    Bucketize,
+};
+
+/** Number of distinct predictor categories. */
+constexpr std::size_t kPredictorCategoryCount = 5;
+
+/** @return Human-readable operator name ("SigridHash", ...). */
+std::string opTypeName(OpType type);
+
+/** @return The Table-1 category of @p type. */
+OpCategory opCategory(OpType type);
+
+/** @return The Table-5 predictor category of @p type. */
+PredictorCategory predictorCategory(OpType type);
+
+/** @return Human-readable predictor-category name ("1D Ops", ...). */
+std::string predictorCategoryName(PredictorCategory cat);
+
+/** @return True when @p type consumes (primarily) a dense column. */
+bool isDenseOp(OpType type);
+
+/** @return Array of all operator types, for iteration. */
+std::array<OpType, kOpTypeCount> allOpTypes();
+
+} // namespace rap::preproc
+
+#endif // RAP_PREPROC_OP_TYPES_HPP

@@ -1,0 +1,271 @@
+#include "preproc/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace rap::preproc {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+data::DenseColumn &
+denseIn(const OpNode &node, data::RecordBatch &batch, std::size_t i = 0)
+{
+    RAP_ASSERT(i < node.inputs.size(), "op input index out of range");
+    RAP_ASSERT(node.inputs[i].kind == data::FeatureKind::Dense,
+               opTypeName(node.type), " expects a dense input");
+    return batch.dense(node.inputs[i].index);
+}
+
+data::SparseColumn &
+sparseIn(const OpNode &node, data::RecordBatch &batch, std::size_t i = 0)
+{
+    RAP_ASSERT(i < node.inputs.size(), "op input index out of range");
+    RAP_ASSERT(node.inputs[i].kind == data::FeatureKind::Sparse,
+               opTypeName(node.type), " expects a sparse input");
+    return batch.sparse(node.inputs[i].index);
+}
+
+void
+applyFillNull(const OpNode &node, data::RecordBatch &batch)
+{
+    if (node.inputs[0].kind == data::FeatureKind::Dense) {
+        auto &col = denseIn(node, batch);
+        for (std::size_t r = 0; r < col.size(); ++r) {
+            if (!col.isValid(r))
+                col.set(r, static_cast<float>(node.params.fillValue));
+        }
+        return;
+    }
+    // Sparse: replace empty lists with the configured default id.
+    auto &col = sparseIn(node, batch);
+    data::SparseColumn out;
+    const auto fill_id =
+        static_cast<std::int64_t>(node.params.fillValue);
+    std::vector<std::int64_t> ids;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        ids.clear();
+        const std::size_t len = col.listLength(r);
+        if (len == 0) {
+            ids.push_back(fill_id);
+        } else {
+            for (std::size_t i = 0; i < len; ++i)
+                ids.push_back(col.value(r, i));
+        }
+        out.appendRow(ids);
+    }
+    batch.setSparse(node.output.index, std::move(out));
+}
+
+void
+applyCast(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = denseIn(node, batch);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        if (col.isValid(r))
+            col.set(r, std::trunc(col.value(r)));
+    }
+}
+
+void
+applyLogit(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = denseIn(node, batch);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.isValid(r))
+            continue;
+        const double x = col.value(r);
+        // Squash to (0, 1) first so unbounded features stay finite.
+        const double squashed =
+            std::clamp(x / (1.0 + std::fabs(x)), kEps, 1.0 - kEps);
+        col.set(r,
+                static_cast<float>(std::log(squashed / (1.0 - squashed))));
+    }
+}
+
+void
+applyBoxCox(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = denseIn(node, batch);
+    const double lambda = node.params.boxcoxLambda;
+    RAP_ASSERT(std::fabs(lambda) > kEps,
+               "BoxCox lambda must be non-zero");
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.isValid(r))
+            continue;
+        const double x = std::max(0.0, double{col.value(r)});
+        col.set(r, static_cast<float>(
+                       (std::pow(x, lambda) - 1.0) / lambda));
+    }
+}
+
+void
+applyOnehot(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = denseIn(node, batch);
+    const int bins = std::max(node.params.onehotBins, 2);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.isValid(r))
+            continue;
+        const double x = std::max(0.0, double{col.value(r)});
+        const double unit = x / (1.0 + x); // [0, 1)
+        const int bin = std::min(static_cast<int>(unit * bins), bins - 1);
+        col.set(r, static_cast<float>(bin));
+    }
+}
+
+void
+applyBucketize(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = denseIn(node, batch);
+    const int borders = std::max(node.params.bucketBorders, 2);
+    // Quadratic borders: b_i = i^2, i in [1, borders].
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.isValid(r))
+            continue;
+        const double x = std::max(0.0, double{col.value(r)});
+        // Count borders strictly below x == floor(sqrt(x)) clamped.
+        const int bucket = std::min(
+            static_cast<int>(std::floor(std::sqrt(x))), borders - 1);
+        col.set(r, static_cast<float>(bucket));
+    }
+}
+
+void
+applySigridHash(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = sparseIn(node, batch);
+    const auto hash_size =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            node.params.hashSize, 1));
+    for (auto &id : col.mutableValues()) {
+        id = static_cast<std::int64_t>(
+            hashMix64(static_cast<std::uint64_t>(id)) % hash_size);
+    }
+}
+
+void
+applyFirstX(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = sparseIn(node, batch);
+    const auto keep = static_cast<std::size_t>(
+        std::max(node.params.firstX, 1));
+    data::SparseColumn out;
+    std::vector<std::int64_t> ids;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+        ids.clear();
+        const std::size_t len = std::min(col.listLength(r), keep);
+        for (std::size_t i = 0; i < len; ++i)
+            ids.push_back(col.value(r, i));
+        out.appendRow(ids);
+    }
+    batch.setSparse(node.output.index, std::move(out));
+}
+
+void
+applyClamp(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = sparseIn(node, batch);
+    for (auto &id : col.mutableValues())
+        id = std::clamp(id, node.params.clampLo, node.params.clampHi);
+}
+
+void
+applyMapId(const OpNode &node, data::RecordBatch &batch)
+{
+    auto &col = sparseIn(node, batch);
+    const auto hash_size =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            node.params.hashSize, 1));
+    const auto mul = static_cast<std::uint64_t>(node.params.mapMul);
+    const auto add = static_cast<std::uint64_t>(node.params.mapAdd);
+    for (auto &id : col.mutableValues()) {
+        id = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(id) * mul + add) % hash_size);
+    }
+}
+
+void
+applyNgram(const OpNode &node, data::RecordBatch &batch)
+{
+    const int n = std::max(node.params.ngramN, 1);
+    const auto hash_size =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            node.params.hashSize, 1));
+
+    // Gather the input columns (all sparse); output replaces input 0.
+    std::vector<const data::SparseColumn *> cols;
+    for (std::size_t i = 0; i < node.inputs.size(); ++i)
+        cols.push_back(&sparseIn(node, batch, i));
+
+    const std::size_t rows = cols.front()->size();
+    data::SparseColumn out;
+    std::vector<std::int64_t> merged;
+    std::vector<std::int64_t> grams;
+    for (std::size_t r = 0; r < rows; ++r) {
+        merged.clear();
+        for (const auto *col : cols) {
+            const std::size_t len = col->listLength(r);
+            for (std::size_t i = 0; i < len; ++i)
+                merged.push_back(col->value(r, i));
+        }
+        grams.clear();
+        if (!merged.empty()) {
+            const std::size_t windows =
+                merged.size() >= static_cast<std::size_t>(n)
+                    ? merged.size() - static_cast<std::size_t>(n) + 1
+                    : 1;
+            for (std::size_t w = 0; w < windows; ++w) {
+                std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+                for (int k = 0; k < n; ++k) {
+                    const std::size_t idx =
+                        std::min(w + static_cast<std::size_t>(k),
+                                 merged.size() - 1);
+                    h = hashMix64(
+                        h ^ static_cast<std::uint64_t>(merged[idx]));
+                }
+                grams.push_back(
+                    static_cast<std::int64_t>(h % hash_size));
+            }
+        }
+        out.appendRow(grams);
+    }
+    batch.setSparse(node.output.index, std::move(out));
+}
+
+} // namespace
+
+std::uint64_t
+hashMix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+void
+applyOp(const OpNode &node, data::RecordBatch &batch)
+{
+    switch (node.type) {
+      case OpType::FillNull: applyFillNull(node, batch); return;
+      case OpType::Cast: applyCast(node, batch); return;
+      case OpType::Logit: applyLogit(node, batch); return;
+      case OpType::BoxCox: applyBoxCox(node, batch); return;
+      case OpType::Onehot: applyOnehot(node, batch); return;
+      case OpType::Bucketize: applyBucketize(node, batch); return;
+      case OpType::SigridHash: applySigridHash(node, batch); return;
+      case OpType::FirstX: applyFirstX(node, batch); return;
+      case OpType::Clamp: applyClamp(node, batch); return;
+      case OpType::MapId: applyMapId(node, batch); return;
+      case OpType::Ngram: applyNgram(node, batch); return;
+    }
+    RAP_PANIC("unknown op type");
+}
+
+} // namespace rap::preproc

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Host-side reference semantics of every preprocessing operator.
+ *
+ * These implementations execute the operators on real columnar data so
+ * that correctness is testable end-to-end; the simulator separately
+ * charges the GPU cost of the equivalent kernels via the cost model.
+ * All operators are deterministic and write their result in place of
+ * the node's output column.
+ */
+
+#ifndef RAP_PREPROC_OPS_HPP
+#define RAP_PREPROC_OPS_HPP
+
+#include <cstdint>
+
+#include "data/batch.hpp"
+#include "preproc/graph.hpp"
+
+namespace rap::preproc {
+
+/** Execute one operator node on @p batch (host reference semantics). */
+void applyOp(const OpNode &node, data::RecordBatch &batch);
+
+/** The 64-bit mixer used by SigridHash and Ngram (exposed for tests). */
+std::uint64_t hashMix64(std::uint64_t x);
+
+} // namespace rap::preproc
+
+#endif // RAP_PREPROC_OPS_HPP

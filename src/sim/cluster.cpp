@@ -1,0 +1,43 @@
+#include "sim/cluster.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+Cluster::Cluster(ClusterSpec spec)
+    : spec_(std::move(spec))
+{
+    RAP_ASSERT(spec_.gpuCount >= 1, "cluster needs at least one GPU");
+    devices_.reserve(static_cast<std::size_t>(spec_.gpuCount));
+    for (int g = 0; g < spec_.gpuCount; ++g) {
+        devices_.push_back(std::make_unique<Device>(
+            engine_, spec_.gpu, g, spec_.pcieBandwidth, spec_.pcieLatency,
+            spec_.nvlinkBandwidth, spec_.nvlinkLatency));
+    }
+    host_ = std::make_unique<Host>(engine_, spec_.cpuCores);
+}
+
+Device &
+Cluster::device(int id)
+{
+    RAP_ASSERT(id >= 0 && id < gpuCount(), "device id out of range: ", id);
+    return *devices_[static_cast<std::size_t>(id)];
+}
+
+const Device &
+Cluster::device(int id) const
+{
+    RAP_ASSERT(id >= 0 && id < gpuCount(), "device id out of range: ", id);
+    return *devices_[static_cast<std::size_t>(id)];
+}
+
+CollectivePtr
+Cluster::makeCollective(CollectiveKind kind, Bytes bytes_per_gpu,
+                        std::string name)
+{
+    return std::make_shared<Collective>(
+        engine_, kind, bytes_per_gpu, gpuCount(), spec_.nvlinkBandwidth,
+        spec_.nvlinkLatency, std::move(name));
+}
+
+} // namespace rap::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The simulated training node: engine + GPUs + host CPU + interconnect.
+ */
+
+#ifndef RAP_SIM_CLUSTER_HPP
+#define RAP_SIM_CLUSTER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/host.hpp"
+#include "sim/interconnect.hpp"
+
+namespace rap::sim {
+
+/**
+ * A complete simulated multi-GPU training node (e.g. a DGX-A100).
+ *
+ * Owns the discrete-event engine, one Device per GPU, the Host CPU
+ * pool, and manufactures collectives spanning the GPUs.
+ */
+class Cluster
+{
+  public:
+    /** Build a node from @p spec. */
+    explicit Cluster(ClusterSpec spec);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    Engine &engine() { return engine_; }
+    const ClusterSpec &spec() const { return spec_; }
+
+    int gpuCount() const { return static_cast<int>(devices_.size()); }
+
+    Device &device(int id);
+    const Device &device(int id) const;
+
+    Host &host() { return *host_; }
+
+    /**
+     * Create a single-use collective over all GPUs.
+     *
+     * @param kind Collective flavour.
+     * @param bytes_per_gpu Payload contributed by each GPU.
+     * @param name Diagnostic name.
+     */
+    CollectivePtr makeCollective(CollectiveKind kind, Bytes bytes_per_gpu,
+                                 std::string name);
+
+    /** Run the simulation until all queued work drains. */
+    void run() { engine_.run(); }
+
+  private:
+    ClusterSpec spec_;
+    Engine engine_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    std::unique_ptr<Host> host_;
+};
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_CLUSTER_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The simulated GPU: stream ownership, the kernel-launch path, and the
+ * block-level proportional-share contention model.
+ *
+ * Contention model. Every resident kernel occupies a ResourceDemand
+ * (fraction of SM warp slots, fraction of DRAM bandwidth). Resources
+ * are granted by priority class: within a class, kernels share
+ * proportionally (when the class's summed demand exceeds what is
+ * available, every kernel in it scales by the oversubscription
+ * factor); lower classes only receive what higher classes leave
+ * unused. Equal-priority streams therefore model MPS-style fair
+ * sharing — co-running stays free until summed demand crosses 1.0,
+ * after which everyone slows (the paper's Figure 1c behaviour) —
+ * while a lower-priority stream models CUDA stream priorities, whose
+ * kernels are starved during heavy training layers instead of
+ * slowing the trainer.
+ */
+
+#ifndef RAP_SIM_DEVICE_HPP
+#define RAP_SIM_DEVICE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stream.hpp"
+#include "sim/trace.hpp"
+
+namespace rap::sim {
+
+/**
+ * One simulated GPU.
+ */
+class Device
+{
+  public:
+    /**
+     * @param engine The simulation engine.
+     * @param spec GPU hardware description.
+     * @param id Device ordinal within the cluster.
+     * @param h2d_bandwidth Host-to-device link bandwidth.
+     * @param h2d_latency Host-to-device per-transfer latency.
+     * @param p2p_bandwidth Peer egress (NVLink) bandwidth.
+     * @param p2p_latency Peer per-transfer latency.
+     */
+    Device(Engine &engine, GpuSpec spec, int id,
+           BytesPerSecond h2d_bandwidth, Seconds h2d_latency,
+           BytesPerSecond p2p_bandwidth, Seconds p2p_latency);
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /**
+     * Create a stream on this device.
+     *
+     * @param name Diagnostic name.
+     * @param launch_group Kernel-launch serialisation group (streams
+     *        of one process share a group).
+     * @param priority 0 = highest; lower-priority streams' kernels
+     *        only receive the resources higher classes leave unused.
+     */
+    Stream &newStream(std::string name, int launch_group = 0,
+                      int priority = 0);
+
+    /**
+     * Launch @p desc from @p stream: the launch occupies the stream's
+     * launch-group thread for the spec's launch overhead, after which
+     * the kernel becomes resident; @p done fires at kernel completion.
+     */
+    void launchKernel(Stream &stream, KernelDesc desc,
+                      std::function<void()> done);
+
+    /** Submit a copy on the H2D or P2P link; @p done at completion. */
+    void submitCopy(CopyKind kind, Bytes bytes, std::function<void()> done);
+
+    int id() const { return id_; }
+    const GpuSpec &spec() const { return spec_; }
+    Trace &trace() { return trace_; }
+    const Trace &trace() const { return trace_; }
+
+    /** @return Number of kernels currently resident. */
+    std::size_t residentCount() const { return resident_.size(); }
+
+    /** @return Summed demand of the currently-resident kernels. */
+    ResourceDemand residentDemand() const;
+
+    /** @return H2D link (for tests and statistics). */
+    LinkServer &h2dLink() { return h2d_; }
+
+    /** @return P2P egress link (for tests and statistics). */
+    LinkServer &p2pLink() { return p2p_; }
+
+  private:
+    struct Resident
+    {
+        KernelDesc desc;
+        Seconds remaining = 0.0;
+        double rate = 1.0;
+        Seconds start = 0.0;
+        std::string streamName;
+        int priority = 0;
+        std::function<void()> done;
+        std::uint64_t id = 0;
+    };
+
+    /** Advance resident kernels' progress up to the current time. */
+    void advanceToNow();
+
+    /** Recompute rates, retire finished kernels, schedule next wake. */
+    void refresh();
+
+    void addResident(KernelDesc desc, const std::string &stream_name,
+                     int priority, std::function<void()> done);
+
+    Engine &engine_;
+    GpuSpec spec_;
+    int id_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+    std::vector<Resident> resident_;
+    std::map<int, Seconds> launchFree_;
+    Seconds lastUpdate_ = 0.0;
+    std::uint64_t wakeGeneration_ = 0;
+    std::uint64_t nextKernelId_ = 0;
+    double currentSmUsage_ = 0.0;
+    double currentBwUsage_ = 0.0;
+    LinkServer h2d_;
+    LinkServer p2p_;
+    Trace trace_;
+};
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_DEVICE_HPP

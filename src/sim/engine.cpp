@@ -1,0 +1,74 @@
+#include "sim/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+void
+Engine::schedule(Seconds t, std::function<void()> fn)
+{
+    RAP_ASSERT(t >= now_ - 1e-12, "cannot schedule into the past: t=", t,
+               " now=", now_);
+    queue_.push(Item{std::max(t, now_), nextSeq_++, std::move(fn)});
+}
+
+void
+Engine::scheduleAfter(Seconds dt, std::function<void()> fn)
+{
+    schedule(now_ + dt, std::move(fn));
+}
+
+void
+Engine::run()
+{
+    while (!queue_.empty()) {
+        Item item = queue_.top();
+        queue_.pop();
+        now_ = item.time;
+        ++executed_;
+        item.fn();
+    }
+}
+
+void
+Engine::runUntil(Seconds t)
+{
+    while (!queue_.empty() && queue_.top().time <= t) {
+        Item item = queue_.top();
+        queue_.pop();
+        now_ = item.time;
+        ++executed_;
+        item.fn();
+    }
+    now_ = std::max(now_, t);
+}
+
+void
+SimEvent::addWaiter(Engine &engine, std::function<void()> fn)
+{
+    if (fired_) {
+        engine.schedule(engine.now(), std::move(fn));
+    } else {
+        waiters_.push_back(std::move(fn));
+    }
+}
+
+void
+SimEvent::fire(Engine &engine)
+{
+    if (fired_)
+        return;
+    fired_ = true;
+    fireTime_ = engine.now();
+    for (auto &w : waiters_)
+        engine.schedule(engine.now(), std::move(w));
+    waiters_.clear();
+}
+
+SimEventPtr
+makeEvent(std::string name)
+{
+    return std::make_shared<SimEvent>(std::move(name));
+}
+
+} // namespace rap::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Discrete-event simulation core: the engine clock/queue and the
+ * CUDA-event-like synchronisation primitive.
+ */
+
+#ifndef RAP_SIM_ENGINE_HPP
+#define RAP_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rap::sim {
+
+/**
+ * The discrete-event engine: a time-ordered callback queue.
+ *
+ * Events scheduled for the same instant fire in scheduling order, which
+ * keeps every simulation fully deterministic.
+ */
+class Engine
+{
+  public:
+    /** @return Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p t (>= now()).
+     */
+    void schedule(Seconds t, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p dt seconds from now. */
+    void scheduleAfter(Seconds dt, std::function<void()> fn);
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /** Run until the queue drains or the clock passes @p t. */
+    void runUntil(Seconds t);
+
+    /** @return Total number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Item
+    {
+        Seconds time;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct ItemCompare
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+    Seconds now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * One-shot synchronisation event, analogous to a cudaEvent_t.
+ *
+ * Streams wait on it (blocking their queue) and record it (firing it).
+ * Once fired it stays fired; late waiters pass through immediately.
+ */
+class SimEvent
+{
+  public:
+    explicit SimEvent(std::string name) : name_(std::move(name)) {}
+
+    bool fired() const { return fired_; }
+
+    /** @return The simulated time the event fired (valid once fired). */
+    Seconds fireTime() const { return fireTime_; }
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Register a continuation to run when the event fires. If already
+     * fired, the continuation runs via the engine at the current time.
+     */
+    void addWaiter(Engine &engine, std::function<void()> fn);
+
+    /** Fire the event now; releases all waiters through the engine. */
+    void fire(Engine &engine);
+
+  private:
+    std::string name_;
+    bool fired_ = false;
+    Seconds fireTime_ = 0.0;
+    std::vector<std::function<void()>> waiters_;
+};
+
+using SimEventPtr = std::shared_ptr<SimEvent>;
+
+/** @return A fresh named SimEvent. */
+SimEventPtr makeEvent(std::string name);
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_ENGINE_HPP

@@ -1,0 +1,22 @@
+#include "sim/gpu_spec.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+GpuSpec
+a100Spec()
+{
+    return GpuSpec{};
+}
+
+ClusterSpec
+dgxA100Spec(int gpu_count)
+{
+    RAP_ASSERT(gpu_count >= 1, "cluster needs at least one GPU");
+    ClusterSpec spec;
+    spec.gpuCount = gpu_count;
+    return spec;
+}
+
+} // namespace rap::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hardware descriptions for the simulated training node.
+ *
+ * The defaults model one NVIDIA DGX-A100: 8x A100-40GB GPUs fully
+ * connected through NVSwitch, plus 2x 64-core host CPUs — the paper's
+ * evaluation platform (§8.1).
+ */
+
+#ifndef RAP_SIM_GPU_SPEC_HPP
+#define RAP_SIM_GPU_SPEC_HPP
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace rap::sim {
+
+/** Static description of a single simulated GPU. */
+struct GpuSpec
+{
+    std::string name = "A100-SXM4-40GB";
+    /** Peak single-precision throughput (FLOP/s). */
+    double peakFlops = 19.5e12;
+    /** HBM2e bandwidth. */
+    BytesPerSecond dramBandwidth = 1555e9;
+    /** Number of streaming multiprocessors. */
+    int smCount = 108;
+    /** Maximum resident warps per SM. */
+    int warpSlotsPerSm = 64;
+    /** CPU-side cost of launching one kernel. */
+    Seconds kernelLaunchOverhead = 4e-6;
+    /** Floor on any kernel's execution latency (scheduling overheads). */
+    Seconds minKernelLatency = 2e-6;
+
+    /** @return Total warp slots across all SMs. */
+    int totalWarpSlots() const { return smCount * warpSlotsPerSm; }
+};
+
+/** Static description of the whole training node. */
+struct ClusterSpec
+{
+    GpuSpec gpu;
+    int gpuCount = 8;
+    /** Per-GPU unidirectional NVLink/NVSwitch bandwidth. */
+    BytesPerSecond nvlinkBandwidth = 300e9;
+    /** Per-message NVLink latency. */
+    Seconds nvlinkLatency = 3e-6;
+    /** Per-GPU host-to-device (PCIe) bandwidth. */
+    BytesPerSecond pcieBandwidth = 25e9;
+    /** Per-transfer PCIe latency. */
+    Seconds pcieLatency = 10e-6;
+    /** Host CPU cores (2x AMD EPYC 7742). */
+    int cpuCores = 128;
+};
+
+/** @return The default single-A100 spec. */
+GpuSpec a100Spec();
+
+/** @return A DGX-A100-like node with @p gpu_count GPUs. */
+ClusterSpec dgxA100Spec(int gpu_count = 8);
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_GPU_SPEC_HPP

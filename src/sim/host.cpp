@@ -1,0 +1,51 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+Host::Host(Engine &engine, int cores)
+    : engine_(engine), cores_(cores), freeCores_(cores)
+{
+    RAP_ASSERT(cores_ >= 1, "host needs at least one core");
+}
+
+Stream &
+Host::newStream(std::string name)
+{
+    streams_.push_back(std::make_unique<Stream>(
+        engine_, std::move(name), nullptr, this, 0));
+    return *streams_.back();
+}
+
+void
+Host::submit(Seconds duration, int cores, std::function<void()> done)
+{
+    RAP_ASSERT(duration >= 0, "task duration must be >= 0");
+    const int clamped = std::clamp(cores, 1, cores_);
+    pending_.push_back(Task{duration, clamped, std::move(done)});
+    tryStart();
+}
+
+void
+Host::tryStart()
+{
+    while (!pending_.empty() && pending_.front().cores <= freeCores_) {
+        Task task = std::move(pending_.front());
+        pending_.pop_front();
+        freeCores_ -= task.cores;
+        coreSecondsUsed_ += task.duration * task.cores;
+        engine_.scheduleAfter(
+            task.duration,
+            [this, cores = task.cores, done = std::move(task.done)] {
+                freeCores_ += cores;
+                if (done)
+                    done();
+                tryStart();
+            });
+    }
+}
+
+} // namespace rap::sim

@@ -1,0 +1,62 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+KernelDesc
+KernelDesc::fromProfile(std::string name, const KernelProfile &profile,
+                        const GpuSpec &spec)
+{
+    RAP_ASSERT(profile.flops >= 0 && profile.bytes >= 0 &&
+                   profile.warps >= 0,
+               "kernel profile components must be non-negative");
+
+    const double total_slots = spec.totalWarpSlots();
+    const double sm_frac =
+        std::clamp(profile.warps / total_slots, 0.0, 1.0);
+
+    // Flop rate reachable with this warp footprint. Even a single-warp
+    // kernel achieves a small fraction of peak, so floor at one SM.
+    const double min_sm_frac = 1.0 / spec.smCount;
+    const double flop_rate =
+        spec.peakFlops * std::max(sm_frac, min_sm_frac);
+
+    const Seconds t_compute =
+        profile.flops > 0 ? profile.flops / flop_rate : 0.0;
+    const Seconds t_memory =
+        profile.bytes > 0 ? profile.bytes / spec.dramBandwidth : 0.0;
+
+    KernelDesc desc;
+    desc.name = std::move(name);
+    desc.profile = profile;
+    desc.exclusiveLatency =
+        std::max({t_compute, t_memory, spec.minKernelLatency});
+    desc.demand.sm = sm_frac;
+    desc.demand.bw = desc.exclusiveLatency > 0
+                         ? std::clamp(profile.bytes /
+                                          desc.exclusiveLatency /
+                                          spec.dramBandwidth,
+                                      0.0, 1.0)
+                         : 0.0;
+    return desc;
+}
+
+KernelDesc
+KernelDesc::synthetic(std::string name, Seconds latency,
+                      ResourceDemand demand)
+{
+    RAP_ASSERT(latency > 0, "synthetic kernel needs positive latency");
+    RAP_ASSERT(demand.sm >= 0 && demand.sm <= 1 && demand.bw >= 0 &&
+                   demand.bw <= 1,
+               "synthetic kernel demand must be within [0, 1]");
+    KernelDesc desc;
+    desc.name = std::move(name);
+    desc.exclusiveLatency = latency;
+    desc.demand = demand;
+    return desc;
+}
+
+} // namespace rap::sim

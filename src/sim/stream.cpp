@@ -1,0 +1,189 @@
+#include "sim/stream.hpp"
+
+#include "common/log.hpp"
+#include "sim/device.hpp"
+#include "sim/host.hpp"
+
+namespace rap::sim {
+
+Stream::Stream(Engine &engine, std::string name, Device *device,
+               Host *host, int launch_group, int priority)
+    : engine_(engine), name_(std::move(name)), device_(device),
+      host_(host), launchGroup_(launch_group), priority_(priority)
+{
+    RAP_ASSERT((device_ != nullptr) != (host_ != nullptr),
+               "a stream belongs to exactly one of device/host");
+}
+
+void
+Stream::pushKernel(KernelDesc desc, std::function<void()> on_done)
+{
+    RAP_ASSERT(device_, "kernels require a device stream");
+    Op op;
+    op.kind = Op::Kind::Kernel;
+    op.kernel = std::move(desc);
+    op.callback = std::move(on_done);
+    push(std::move(op));
+}
+
+void
+Stream::pushCopy(CopyKind kind, Bytes bytes, std::function<void()> on_done)
+{
+    RAP_ASSERT(device_, "copies require a device stream");
+    Op op;
+    op.kind = Op::Kind::Copy;
+    op.copyKind = kind;
+    op.bytes = bytes;
+    op.callback = std::move(on_done);
+    push(std::move(op));
+}
+
+void
+Stream::pushCpuTask(Seconds cpu_seconds, int cores,
+                    std::function<void()> on_done)
+{
+    RAP_ASSERT(host_, "CPU tasks require a host stream");
+    Op op;
+    op.kind = Op::Kind::CpuTask;
+    op.cpuSeconds = cpu_seconds;
+    op.cpuCores = cores;
+    op.callback = std::move(on_done);
+    push(std::move(op));
+}
+
+void
+Stream::pushWait(SimEventPtr event)
+{
+    RAP_ASSERT(event, "cannot wait on a null event");
+    Op op;
+    op.kind = Op::Kind::Wait;
+    op.event = std::move(event);
+    push(std::move(op));
+}
+
+void
+Stream::pushRecord(SimEventPtr event)
+{
+    RAP_ASSERT(event, "cannot record a null event");
+    Op op;
+    op.kind = Op::Kind::Record;
+    op.event = std::move(event);
+    push(std::move(op));
+}
+
+void
+Stream::pushCallback(std::function<void()> fn)
+{
+    Op op;
+    op.kind = Op::Kind::Callback;
+    op.callback = std::move(fn);
+    push(std::move(op));
+}
+
+void
+Stream::pushDelay(Seconds duration)
+{
+    RAP_ASSERT(duration >= 0, "delay must be >= 0");
+    Op op;
+    op.kind = Op::Kind::Delay;
+    op.delay = duration;
+    push(std::move(op));
+}
+
+void
+Stream::pushCollective(CollectivePtr collective,
+                       std::function<void()> on_done)
+{
+    RAP_ASSERT(device_, "collectives require a device stream");
+    RAP_ASSERT(collective, "cannot join a null collective");
+    Op op;
+    op.kind = Op::Kind::Collective;
+    op.collective = std::move(collective);
+    op.callback = std::move(on_done);
+    push(std::move(op));
+}
+
+void
+Stream::push(Op op)
+{
+    ++pushedOps_;
+    queue_.push_back(std::move(op));
+    maybeStart();
+}
+
+void
+Stream::opDone(std::function<void()> user_cb)
+{
+    if (user_cb)
+        user_cb();
+    busy_ = false;
+    maybeStart();
+}
+
+void
+Stream::maybeStart()
+{
+    while (!busy_ && !queue_.empty()) {
+        Op op = std::move(queue_.front());
+        queue_.pop_front();
+
+        switch (op.kind) {
+          case Op::Kind::Callback:
+            if (op.callback)
+                op.callback();
+            break;
+
+          case Op::Kind::Record:
+            op.event->fire(engine_);
+            break;
+
+          case Op::Kind::Wait:
+            if (op.event->fired())
+                break;
+            busy_ = true;
+            op.event->addWaiter(engine_, [this] {
+                busy_ = false;
+                maybeStart();
+            });
+            return;
+
+          case Op::Kind::Kernel:
+            busy_ = true;
+            device_->launchKernel(*this, std::move(op.kernel),
+                                  [this, cb = std::move(op.callback)] {
+                                      opDone(cb);
+                                  });
+            return;
+
+          case Op::Kind::Copy:
+            busy_ = true;
+            device_->submitCopy(op.copyKind, op.bytes,
+                                [this, cb = std::move(op.callback)] {
+                                    opDone(cb);
+                                });
+            return;
+
+          case Op::Kind::CpuTask:
+            busy_ = true;
+            host_->submit(op.cpuSeconds, op.cpuCores,
+                          [this, cb = std::move(op.callback)] {
+                              opDone(cb);
+                          });
+            return;
+
+          case Op::Kind::Collective:
+            busy_ = true;
+            op.collective->arrive([this, cb = std::move(op.callback)] {
+                opDone(cb);
+            });
+            return;
+
+          case Op::Kind::Delay:
+            busy_ = true;
+            engine_.scheduleAfter(op.delay, [this] { opDone({}); });
+            return;
+        }
+    }
+}
+
+} // namespace rap::sim

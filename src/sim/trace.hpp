@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Utilisation and kernel-timing traces recorded by each simulated GPU.
+ *
+ * The trace feeds the paper's profiling figures: the per-iteration
+ * DRAM/SM utilisation curves of Figure 1(a) and the turning-point
+ * utilisation numbers of Table 4.
+ */
+
+#ifndef RAP_SIM_TRACE_HPP
+#define RAP_SIM_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rap::sim {
+
+/** A period of constant resource usage on one GPU. */
+struct UtilSegment
+{
+    Seconds begin = 0.0;
+    Seconds end = 0.0;
+    double smUsage = 0.0; ///< fraction of warp slots consumed
+    double bwUsage = 0.0; ///< fraction of DRAM bandwidth consumed
+    int residentKernels = 0;
+};
+
+/** Completion record of one simulated kernel. */
+struct KernelRecord
+{
+    std::string name;
+    std::string stream;
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    Seconds exclusiveLatency = 0.0;
+
+    /** @return Wall time the kernel actually took. */
+    Seconds duration() const { return end - start; }
+
+    /** @return Extra time caused by contention (>= 0). */
+    Seconds stretch() const { return duration() - exclusiveLatency; }
+};
+
+/**
+ * Per-device trace accumulating utilisation segments and kernel records.
+ */
+class Trace
+{
+  public:
+    /** Enable/disable segment recording (kernel records always kept). */
+    void setRecordSegments(bool on) { recordSegments_ = on; }
+
+    /** Append a utilisation segment (called by Device). */
+    void addSegment(const UtilSegment &segment);
+
+    /** Append a kernel record (called by Device). */
+    void addKernel(KernelRecord record);
+
+    const std::vector<UtilSegment> &segments() const { return segments_; }
+    const std::vector<KernelRecord> &kernels() const { return kernels_; }
+
+    /** Average SM usage over [t0, t1], weighting by segment length. */
+    double avgSmUsage(Seconds t0, Seconds t1) const;
+
+    /** Average DRAM-bandwidth usage over [t0, t1]. */
+    double avgBwUsage(Seconds t0, Seconds t1) const;
+
+    /** Fraction of [t0, t1] with at least one kernel resident. */
+    double busyFraction(Seconds t0, Seconds t1) const;
+
+    /** Drop all recorded data. */
+    void clear();
+
+  private:
+    double integrate(Seconds t0, Seconds t1,
+                     double (*value)(const UtilSegment &)) const;
+
+    std::vector<UtilSegment> segments_;
+    std::vector<KernelRecord> kernels_;
+    bool recordSegments_ = true;
+};
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_TRACE_HPP

@@ -1,0 +1,125 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+bool
+inWindow(const TraceExportOptions &options, Seconds start, Seconds end)
+{
+    if (end < options.begin)
+        return false;
+    if (options.end > 0.0 && start > options.end)
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const Cluster &cluster, TraceExportOptions options)
+{
+    std::ostringstream oss;
+    oss << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "\n" << event;
+    };
+
+    for (int g = 0; g < cluster.gpuCount(); ++g) {
+        const auto &trace = cluster.device(g).trace();
+        const int pid = g;
+
+        // Process metadata: one "process" per GPU.
+        {
+            std::ostringstream e;
+            e << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+              << pid << ",\"args\":{\"name\":\"GPU " << g << "\"}}";
+            emit(e.str());
+        }
+
+        // Kernel events: one thread track per stream.
+        std::map<std::string, int> stream_tids;
+        for (const auto &record : trace.kernels()) {
+            if (!inWindow(options, record.start, record.end))
+                continue;
+            auto [it, inserted] = stream_tids.try_emplace(
+                record.stream,
+                static_cast<int>(stream_tids.size()) + 1);
+            if (inserted) {
+                std::ostringstream m;
+                m << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                  << pid << ",\"tid\":" << it->second
+                  << ",\"args\":{\"name\":\""
+                  << escape(record.stream) << "\"}}";
+                emit(m.str());
+            }
+            std::ostringstream e;
+            e << "{\"name\":\"" << escape(record.name)
+              << "\",\"ph\":\"X\",\"pid\":" << pid
+              << ",\"tid\":" << it->second
+              << ",\"ts\":" << record.start * 1e6
+              << ",\"dur\":" << record.duration() * 1e6
+              << ",\"args\":{\"exclusive_us\":"
+              << record.exclusiveLatency * 1e6
+              << ",\"stretch_us\":" << record.stretch() * 1e6 << "}}";
+            emit(e.str());
+        }
+
+        if (!options.includeCounters)
+            continue;
+        for (const auto &segment : trace.segments()) {
+            if (!inWindow(options, segment.begin, segment.end))
+                continue;
+            std::ostringstream e;
+            e << "{\"name\":\"utilisation\",\"ph\":\"C\",\"pid\":"
+              << pid << ",\"ts\":" << segment.begin * 1e6
+              << ",\"args\":{\"sm\":" << segment.smUsage
+              << ",\"bw\":" << segment.bwUsage << "}}";
+            emit(e.str());
+        }
+    }
+
+    oss << "\n],\"displayTimeUnit\":\"ms\"}";
+    return oss.str();
+}
+
+void
+writeChromeTrace(const Cluster &cluster, const std::string &path,
+                 TraceExportOptions options)
+{
+    std::ofstream out(path);
+    if (!out)
+        RAP_FATAL("cannot open trace output file: ", path);
+    out << toChromeTraceJson(cluster, options);
+    if (!out)
+        RAP_FATAL("failed writing trace output file: ", path);
+}
+
+} // namespace rap::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome-tracing (about://tracing / Perfetto) export of simulation
+ * traces: every kernel becomes a complete event on its stream's track,
+ * grouped per GPU, with SM / DRAM-bandwidth counter tracks.
+ */
+
+#ifndef RAP_SIM_TRACE_EXPORT_HPP
+#define RAP_SIM_TRACE_EXPORT_HPP
+
+#include <string>
+
+#include "sim/cluster.hpp"
+
+namespace rap::sim {
+
+/** Export options. */
+struct TraceExportOptions
+{
+    /** Emit SM/BW counter tracks sampled from utilisation segments. */
+    bool includeCounters = true;
+    /** Drop events ending before this time. */
+    Seconds begin = 0.0;
+    /** Drop events starting after this time (0 = no limit). */
+    Seconds end = 0.0;
+};
+
+/**
+ * Render the cluster's recorded traces as a Chrome trace-event JSON
+ * document (the "traceEvents" array format). Timestamps are emitted
+ * in microseconds as the format requires.
+ */
+std::string toChromeTraceJson(const Cluster &cluster,
+                              TraceExportOptions options = {});
+
+/** Convenience: write the JSON to @p path; fatal on I/O failure. */
+void writeChromeTrace(const Cluster &cluster, const std::string &path,
+                      TraceExportOptions options = {});
+
+} // namespace rap::sim
+
+#endif // RAP_SIM_TRACE_EXPORT_HPP

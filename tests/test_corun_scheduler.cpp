@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the resource-aware co-running scheduler (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/corun_scheduler.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::core {
+namespace {
+
+/** A hand-built capacity profile with known envelopes. */
+CapacityProfile
+syntheticProfile()
+{
+    CapacityProfile profile;
+    auto add = [&](const char *name, Seconds duration, double sm,
+                   double bw, bool comm = false) {
+        OpCapacity op;
+        op.name = name;
+        op.comm = comm;
+        op.duration = duration;
+        op.capacity = duration;
+        op.leftover = {sm, bw};
+        profile.ops.push_back(op);
+    };
+    add("lookup", 200e-6, 0.8, 0.4);
+    add("a2a", 150e-6, 1.0, 0.9, true);
+    add("mlp_fwd", 300e-6, 0.12, 0.8);
+    add("mlp_bwd", 600e-6, 0.08, 0.8);
+    profile.iterationLatency = 1250e-6;
+    return profile;
+}
+
+std::vector<FusedKernel>
+planKernels(const HorizontalFusionPlanner &planner, int plan_id = 0)
+{
+    const auto plan = preproc::makePlan(plan_id);
+    static std::map<int, preproc::PreprocPlan> cache;
+    if (!cache.count(plan_id))
+        cache.emplace(plan_id, preproc::makePlan(plan_id));
+    return planner.plan(cache.at(plan_id).graph, 4096);
+}
+
+TEST(CoRunScheduler, EveryKernelScheduled)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    auto kernels = planKernels(planner);
+    const std::size_t node_total = [&] {
+        std::size_t n = 0;
+        for (const auto &k : kernels)
+            n += k.nodeIds.size();
+        return n;
+    }();
+
+    const auto schedule =
+        scheduler.schedule(kernels, syntheticProfile());
+    std::size_t scheduled_nodes = 0;
+    for (const auto &sk : schedule.kernels)
+        scheduled_nodes += sk.kernel.nodeIds.size();
+    EXPECT_EQ(scheduled_nodes, node_total);
+}
+
+TEST(CoRunScheduler, OpIndicesValid)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto profile = syntheticProfile();
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), profile);
+    for (const auto &sk : schedule.kernels)
+        EXPECT_LT(sk.opIndex, profile.ops.size());
+}
+
+TEST(CoRunScheduler, LightLoadHasNoExposure)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), syntheticProfile());
+    EXPECT_DOUBLE_EQ(schedule.estimatedExposed, 0.0);
+    EXPECT_GT(schedule.totalPreprocLatency, 0.0);
+    for (const auto &sk : schedule.kernels)
+        EXPECT_FALSE(sk.overflow);
+}
+
+TEST(CoRunScheduler, AssignedKernelsRespectEnvelopes)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto profile = syntheticProfile();
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), profile);
+    for (const auto &sk : schedule.kernels) {
+        if (sk.overflow)
+            continue;
+        const double slow = KernelSharder::slowdown(
+            sk.kernel, profile.ops[sk.opIndex].leftover);
+        EXPECT_LE(slow, KernelSharder::kMaxSlowdown + 1e-9)
+            << sk.kernel.kernel.name << " on "
+            << profile.ops[sk.opIndex].name;
+    }
+}
+
+TEST(CoRunScheduler, OverloadReportsExposure)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    // Shrink the iteration so plan 0 cannot fit at all.
+    CapacityProfile tiny;
+    OpCapacity op;
+    op.name = "op";
+    op.duration = 10e-6;
+    op.capacity = 10e-6;
+    op.leftover = {0.5, 0.5};
+    tiny.ops.push_back(op);
+    tiny.iterationLatency = 10e-6;
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), tiny);
+    EXPECT_GT(schedule.estimatedExposed, 0.0);
+    bool any_overflow = false;
+    for (const auto &sk : schedule.kernels)
+        any_overflow |= sk.overflow;
+    EXPECT_TRUE(any_overflow);
+}
+
+TEST(CoRunScheduler, ShardsWideKernelsAcrossLayers)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    auto kernels = planKernels(planner);
+    const std::size_t kernel_count = kernels.size();
+    const auto schedule =
+        scheduler.schedule(std::move(kernels), syntheticProfile());
+    // Sharding may only increase the kernel count.
+    EXPECT_GE(schedule.kernelCount(), kernel_count);
+}
+
+TEST(CoRunScheduler, CapacityAccountingConsistent)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto profile = syntheticProfile();
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), profile);
+    EXPECT_LE(schedule.capacityUsed,
+              profile.totalCapacity() + 1e-9);
+    EXPECT_GT(schedule.capacityUsed, 0.0);
+}
+
+TEST(CoRunScheduler, EmptyKernelListIsNoOp)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto schedule = scheduler.schedule({}, syntheticProfile());
+    EXPECT_TRUE(schedule.kernels.empty());
+    EXPECT_DOUBLE_EQ(schedule.totalPreprocLatency, 0.0);
+}
+
+TEST(CoRunScheduler, PrefersHighCapacityLayers)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    const auto profile = syntheticProfile();
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), profile);
+    // mlp_bwd (index 3) has the largest capacity and must host work;
+    // plan-0 preprocessing is light, so nothing should land on the
+    // low-leftover mlp_fwd before the big layers fill up.
+    std::set<std::size_t> used_ops;
+    for (const auto &sk : schedule.kernels)
+        used_ops.insert(sk.opIndex);
+    EXPECT_TRUE(used_ops.count(3) || used_ops.count(1) ||
+                used_ops.count(0));
+}
+
+} // namespace
+} // namespace rap::core

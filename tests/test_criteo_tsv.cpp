@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Criteo TSV reader/writer (the data-storage substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/criteo.hpp"
+#include "data/criteo_tsv.hpp"
+
+namespace rap::data {
+namespace {
+
+Schema
+smallSchema()
+{
+    Schema schema;
+    schema.addDense("d0");
+    schema.addDense("d1");
+    schema.addSparse("s0", 1000, 2.0);
+    schema.addSparse("s1", 1000, 1.0);
+    return schema;
+}
+
+TEST(CriteoTsv, RoundTripPreservesEverything)
+{
+    const auto schema = smallSchema();
+    RecordBatch batch(schema, 3);
+    batch.dense(0).set(0, 1.5f);
+    batch.dense(0).setNull(1);
+    batch.dense(0).set(2, -2.0f);
+    batch.dense(1).set(0, 7.0f);
+    batch.dense(1).set(1, 8.0f);
+    batch.dense(1).set(2, 9.0f);
+    SparseColumn s0;
+    s0.appendRow({10, 20, 30});
+    s0.appendRow({});
+    s0.appendRow({5});
+    batch.setSparse(0, std::move(s0));
+    SparseColumn s1;
+    s1.appendRow({1});
+    s1.appendRow({2});
+    s1.appendRow({});
+    batch.setSparse(1, std::move(s1));
+
+    std::stringstream buffer;
+    writeCriteoTsv(buffer, batch);
+    const auto parsed = readCriteoTsv(buffer, schema);
+
+    ASSERT_EQ(parsed.rows(), 3u);
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(0), 1.5f);
+    EXPECT_FALSE(parsed.dense(0).isValid(1));
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(2), -2.0f);
+    EXPECT_FLOAT_EQ(parsed.dense(1).value(2), 9.0f);
+    EXPECT_EQ(parsed.sparse(0).listLength(0), 3u);
+    EXPECT_EQ(parsed.sparse(0).value(0, 1), 20);
+    EXPECT_EQ(parsed.sparse(0).listLength(1), 0u);
+    EXPECT_EQ(parsed.sparse(1).value(1, 0), 2);
+    EXPECT_EQ(parsed.sparse(1).listLength(2), 0u);
+}
+
+TEST(CriteoTsv, GeneratedBatchRoundTrips)
+{
+    const auto schema = makePresetSchema(DatasetPreset::CriteoKaggle);
+    CriteoGenerator gen(schema, 31);
+    const auto batch = gen.generate(200);
+
+    std::stringstream buffer;
+    writeCriteoTsv(buffer, batch);
+    const auto parsed = readCriteoTsv(buffer, schema);
+
+    ASSERT_EQ(parsed.rows(), batch.rows());
+    for (std::size_t s = 0; s < schema.sparseCount(); ++s) {
+        EXPECT_EQ(parsed.sparse(s).values(), batch.sparse(s).values());
+        EXPECT_EQ(parsed.sparse(s).offsets(),
+                  batch.sparse(s).offsets());
+    }
+    for (std::size_t f = 0; f < schema.denseCount(); ++f) {
+        for (std::size_t r = 0; r < batch.rows(); ++r) {
+            ASSERT_EQ(parsed.dense(f).isValid(r),
+                      batch.dense(f).isValid(r));
+        }
+    }
+}
+
+TEST(CriteoTsv, MaxRowsLimitsReading)
+{
+    const auto schema = smallSchema();
+    RecordBatch batch(schema, 5);
+    std::stringstream buffer;
+    writeCriteoTsv(buffer, batch);
+    const auto parsed = readCriteoTsv(buffer, schema, 2);
+    EXPECT_EQ(parsed.rows(), 2u);
+}
+
+TEST(CriteoTsv, SkipsBlankLines)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("1.0\t2.0\t3\t4\n\n5.0\t6.0\t7\t8\n");
+    const auto parsed = readCriteoTsv(buffer, schema);
+    EXPECT_EQ(parsed.rows(), 2u);
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(1), 5.0f);
+}
+
+TEST(CriteoTsvDeath, WrongFieldCountIsFatal)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("1.0\t2.0\t3\n");
+    EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
+                ::testing::ExitedWithCode(1), "fields");
+}
+
+TEST(CriteoTsvDeath, MalformedIdIsFatal)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("1.0\t2.0\tabc\t4\n");
+    EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(CriteoTsv, FileRoundTrip)
+{
+    const auto schema = smallSchema();
+    RecordBatch batch(schema, 4);
+    batch.dense(0).set(0, 3.25f);
+    const std::string path = "/tmp/rap_tsv_test.tsv";
+    writeCriteoTsvFile(path, batch);
+    const auto parsed = readCriteoTsvFile(path, schema);
+    EXPECT_EQ(parsed.rows(), 4u);
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(0), 3.25f);
+    std::remove(path.c_str());
+}
+
+TEST(CriteoTsvDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT((void)readCriteoTsvFile("/nonexistent/x.tsv",
+                                        smallSchema()),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace rap::data

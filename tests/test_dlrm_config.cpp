@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for DLRM model configurations (Table 2) and sharding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dlrm/model_config.hpp"
+#include "dlrm/sharding.hpp"
+
+namespace rap::dlrm {
+namespace {
+
+TEST(DlrmConfig, KagglePresetMatchesTable2)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    const auto config =
+        makeDlrmConfig(data::DatasetPreset::CriteoKaggle, schema);
+    EXPECT_EQ(config.embeddingDim, 128);
+    EXPECT_EQ(config.bottomMlp, (std::vector<int>{512, 256}));
+    EXPECT_EQ(config.topMlp, (std::vector<int>{1024, 1024, 512}));
+    EXPECT_EQ(config.tableCount(), 26u);
+}
+
+TEST(DlrmConfig, TerabytePresetMatchesTable2)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto config =
+        makeDlrmConfig(data::DatasetPreset::CriteoTerabyte, schema);
+    EXPECT_EQ(config.topMlp, (std::vector<int>{1024, 1024, 512, 256}));
+}
+
+TEST(DlrmConfig, InteractionDimensions)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    const auto config =
+        makeDlrmConfig(data::DatasetPreset::CriteoKaggle, schema);
+    EXPECT_EQ(config.interactionFeatures(), 27);
+    // 27*26/2 pairwise dots + 256 bottom output.
+    EXPECT_EQ(config.topMlpInputDim(), 27 * 26 / 2 + 256);
+}
+
+TEST(DlrmConfig, ParameterCountPlausible)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    const auto config =
+        makeDlrmConfig(data::DatasetPreset::CriteoKaggle, schema);
+    const double params = config.mlpParameterCount();
+    // Dominated by the 607x1024 + 1024x1024 + 1024x512 top stack.
+    EXPECT_GT(params, 2.0e6);
+    EXPECT_LT(params, 4.0e6);
+}
+
+TEST(Sharding, BalancedCoversAllTables)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto sharding = EmbeddingSharding::balanced(schema, 8);
+    EXPECT_EQ(sharding.tableCount(), 26u);
+    std::size_t total = 0;
+    for (int g = 0; g < 8; ++g) {
+        for (std::size_t t : sharding.tablesOf(g)) {
+            EXPECT_EQ(sharding.owner(t), g);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, 26u);
+}
+
+TEST(Sharding, BalancedBeatsRoundRobinOnLookupWork)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto balanced = EmbeddingSharding::balanced(schema, 4);
+    const auto rr = EmbeddingSharding::roundRobin(schema, 4);
+    auto imbalance = [&](const EmbeddingSharding &sharding) {
+        const auto work = sharding.lookupWorkPerGpu(schema);
+        const auto [lo, hi] =
+            std::minmax_element(work.begin(), work.end());
+        return *hi - *lo;
+    };
+    EXPECT_LE(imbalance(balanced), imbalance(rr));
+}
+
+TEST(Sharding, EveryGpuGetsWork)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
+    const auto sharding = EmbeddingSharding::balanced(schema, 8);
+    const auto work = sharding.lookupWorkPerGpu(schema);
+    for (double w : work)
+        EXPECT_GT(w, 0.0);
+}
+
+TEST(Sharding, SingleGpuOwnsEverything)
+{
+    const auto schema =
+        data::makePresetSchema(data::DatasetPreset::CriteoKaggle);
+    const auto sharding = EmbeddingSharding::balanced(schema, 1);
+    EXPECT_EQ(sharding.tablesOf(0).size(), 26u);
+}
+
+} // namespace
+} // namespace rap::dlrm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the host graph executor and the shape/latency helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/criteo.hpp"
+#include "preproc/executor.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::preproc {
+namespace {
+
+TEST(Executor, ApplyGraphIsDeterministic)
+{
+    const auto plan = makePlan(2);
+    data::CriteoGenerator gen_a(plan.schema, 77);
+    data::CriteoGenerator gen_b(plan.schema, 77);
+    auto batch_a = gen_a.generate(128);
+    auto batch_b = gen_b.generate(128);
+    applyGraph(plan.graph, batch_a);
+    applyGraph(plan.graph, batch_b);
+    for (std::size_t f = 0; f < batch_a.denseCount(); ++f) {
+        EXPECT_EQ(batch_a.dense(f).values(),
+                  batch_b.dense(f).values());
+    }
+    for (std::size_t s = 0; s < batch_a.sparseCount(); ++s) {
+        EXPECT_EQ(batch_a.sparse(s).values(),
+                  batch_b.sparse(s).values());
+        EXPECT_EQ(batch_a.sparse(s).offsets(),
+                  batch_b.sparse(s).offsets());
+    }
+}
+
+TEST(Executor, AllPlansExecuteOnRealData)
+{
+    for (int plan_id : {0, 1, 2, 3}) {
+        const auto plan = makePlan(plan_id);
+        data::CriteoGenerator gen(plan.schema, 5);
+        auto batch = gen.generate(64);
+        applyGraph(plan.graph, batch);
+        EXPECT_EQ(batch.rows(), 64u) << "plan " << plan_id;
+        // Every hash-bounded sparse id is inside its hash space.
+        for (std::size_t s = 0; s < plan.schema.sparseCount(); ++s) {
+            for (auto id : batch.sparse(s).values())
+                ASSERT_GE(id, 0) << "plan " << plan_id;
+        }
+    }
+}
+
+TEST(Executor, NodeShapeReflectsSchema)
+{
+    const auto plan = makePlan(1);
+    const auto sparse_nodes =
+        plan.graph.featureNodes(sparseFeatureId(plan.schema, 4));
+    const auto shape = nodeShape(plan.graph.node(sparse_nodes.front()),
+                                 plan.schema, 4096);
+    EXPECT_EQ(shape.rows, 4096);
+    EXPECT_EQ(shape.width, 1);
+    EXPECT_DOUBLE_EQ(shape.avgListLength,
+                     plan.schema.sparse(4).avgListLength);
+}
+
+TEST(Executor, NgramShapeAccountsForAllInputs)
+{
+    const auto plan = makePlan(1);
+    OpNode ngram;
+    ngram.type = OpType::Ngram;
+    ngram.inputs = {ColumnRef{data::FeatureKind::Sparse, 4},
+                    ColumnRef{data::FeatureKind::Sparse, 5}};
+    ngram.output = ngram.inputs.front();
+    ngram.featureId = sparseFeatureId(plan.schema, 4);
+    const auto shape = nodeShape(ngram, plan.schema, 4096);
+    EXPECT_DOUBLE_EQ(shape.avgListLength,
+                     plan.schema.sparse(4).avgListLength * 2.0);
+}
+
+TEST(Executor, GraphExclusiveLatencyScalesWithPlanSize)
+{
+    const auto spec = sim::a100Spec();
+    const Seconds small =
+        graphExclusiveLatency(makePlan(0).graph, 4096, spec);
+    const Seconds large =
+        graphExclusiveLatency(makePlan(3).graph, 4096, spec);
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(large, 3.0 * small);
+}
+
+TEST(Executor, GraphExclusiveLatencyScalesWithBatch)
+{
+    const auto spec = sim::a100Spec();
+    const auto plan = makePlan(2);
+    EXPECT_GE(graphExclusiveLatency(plan.graph, 65536, spec),
+              graphExclusiveLatency(plan.graph, 1024, spec));
+}
+
+} // namespace
+} // namespace rap::preproc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for resource-aware fused-kernel sharding (§6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/kernel_sharding.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::core {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : planner(sim::a100Spec()),
+          sharder(planner)
+    {
+        // A wide fused SigridHash over long lists: big SM footprint.
+        std::vector<int> ids;
+        std::vector<preproc::OpShape> shapes;
+        for (int i = 0; i < 64; ++i) {
+            ids.push_back(i);
+            preproc::OpShape shape;
+            shape.rows = 4096;
+            shape.width = 1;
+            shape.avgListLength = 8.0;
+            shapes.push_back(shape);
+        }
+        wide = planner.materialise(preproc::OpType::SigridHash, ids,
+                                   shapes, 0);
+    }
+    HorizontalFusionPlanner planner;
+    KernelSharder sharder;
+    FusedKernel wide;
+};
+
+TEST(KernelSharder, SlowdownComputation)
+{
+    Fixture f;
+    // Demand known from the cost model; slowdown vs a tight envelope.
+    const double demand_sm = f.wide.kernel.demand.sm;
+    ASSERT_GT(demand_sm, 0.2);
+    const double slow = KernelSharder::slowdown(
+        f.wide, sim::ResourceDemand{demand_sm / 2.0, 1.0});
+    EXPECT_NEAR(slow, 2.0, 0.05);
+    // Roomy envelope: no slowdown.
+    EXPECT_DOUBLE_EQ(
+        KernelSharder::slowdown(f.wide, sim::ResourceDemand{1.0, 1.0}),
+        1.0);
+}
+
+TEST(KernelSharder, FitsWhenRoomAndBudgetSuffice)
+{
+    Fixture f;
+    ShardingContext roomy;
+    roomy.leftover = {1.0, 1.0};
+    roomy.maxLatency = 10 * f.wide.predictedLatency;
+    EXPECT_TRUE(f.sharder.fits(f.wide, roomy));
+
+    ShardingContext no_budget = roomy;
+    no_budget.maxLatency = f.wide.predictedLatency / 2.0;
+    EXPECT_FALSE(f.sharder.fits(f.wide, no_budget));
+
+    ShardingContext starved = roomy;
+    starved.leftover = {f.wide.kernel.demand.sm /
+                            (KernelSharder::kMaxSlowdown + 1.0),
+                        1.0};
+    EXPECT_FALSE(f.sharder.fits(f.wide, starved));
+}
+
+TEST(KernelSharder, WholeKernelReturnedWhenFitting)
+{
+    Fixture f;
+    ShardingContext roomy;
+    roomy.leftover = {1.0, 1.0};
+    roomy.maxLatency = 1.0;
+    const auto result = f.sharder.shard(f.wide, roomy);
+    ASSERT_TRUE(result.fitting.has_value());
+    EXPECT_FALSE(result.remainder.has_value());
+    EXPECT_EQ(result.fitting->width(), 64);
+}
+
+TEST(KernelSharder, SplitsAgainstTightEnvelope)
+{
+    Fixture f;
+    ShardingContext tight;
+    tight.leftover = {f.wide.kernel.demand.sm / 4.0, 1.0};
+    tight.maxLatency = 1.0;
+    const auto result = f.sharder.shard(f.wide, tight);
+    ASSERT_TRUE(result.fitting.has_value());
+    ASSERT_TRUE(result.remainder.has_value());
+    // The pieces partition the members in order.
+    EXPECT_EQ(result.fitting->width() + result.remainder->width(), 64);
+    EXPECT_EQ(result.fitting->nodeIds.front(), 0);
+    EXPECT_EQ(result.remainder->nodeIds.back(), 63);
+    // The fitting piece respects the envelope.
+    EXPECT_TRUE(f.sharder.fits(*result.fitting, tight));
+    // The fitting piece is maximal: one more member would not fit.
+    ShardingContext check = tight;
+    EXPECT_FALSE(f.sharder.fits(f.wide, check));
+}
+
+TEST(KernelSharder, SplitsAgainstLatencyBudget)
+{
+    Fixture f;
+    ShardingContext budget;
+    budget.leftover = {1.0, 1.0};
+    budget.maxLatency = f.wide.predictedLatency / 3.0;
+    const auto result = f.sharder.shard(f.wide, budget);
+    ASSERT_TRUE(result.fitting.has_value());
+    ASSERT_TRUE(result.remainder.has_value());
+    EXPECT_LE(result.fitting->predictedLatency,
+              budget.maxLatency + 1e-12);
+}
+
+TEST(KernelSharder, NothingFitsReturnsWholeAsRemainder)
+{
+    Fixture f;
+    ShardingContext impossible;
+    impossible.leftover = {1e-4, 1e-4};
+    impossible.maxLatency = 1e-9;
+    const auto result = f.sharder.shard(f.wide, impossible);
+    EXPECT_FALSE(result.fitting.has_value());
+    ASSERT_TRUE(result.remainder.has_value());
+    EXPECT_EQ(result.remainder->width(), 64);
+}
+
+TEST(KernelSharder, ShardedPiecesKeepKernelMetadata)
+{
+    Fixture f;
+    ShardingContext tight;
+    tight.leftover = {f.wide.kernel.demand.sm / 3.0, 1.0};
+    tight.maxLatency = 1.0;
+    const auto result = f.sharder.shard(f.wide, tight);
+    ASSERT_TRUE(result.fitting.has_value());
+    EXPECT_EQ(result.fitting->type, preproc::OpType::SigridHash);
+    EXPECT_EQ(result.fitting->step, f.wide.step);
+    EXPECT_GT(result.fitting->predictedLatency, 0.0);
+    EXPECT_LT(result.fitting->kernel.demand.sm,
+              f.wide.kernel.demand.sm);
+}
+
+} // namespace
+} // namespace rap::core

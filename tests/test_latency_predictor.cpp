@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the ML-based preprocessing latency predictor (§5.2).
+ *
+ * Training is relatively slow (five GBDTs over ~11K samples), so the
+ * predictor is built once per test binary in a shared environment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/latency_predictor.hpp"
+
+namespace rap::core {
+namespace {
+
+const LatencyPredictor &
+sharedPredictor()
+{
+    static const LatencyPredictor predictor = [] {
+        PredictorTrainOptions options;
+        options.totalSamples = 4000; // keep the test binary fast
+        return LatencyPredictor::trainOffline(sim::a100Spec(), options);
+    }();
+    return predictor;
+}
+
+TEST(LatencyPredictor, TrainsAllCategories)
+{
+    const auto &predictor = sharedPredictor();
+    EXPECT_TRUE(predictor.trained());
+    for (const auto &cat : predictor.report().categories) {
+        EXPECT_FALSE(cat.name.empty());
+        EXPECT_GT(cat.trainSamples, 0u);
+        EXPECT_GT(cat.evalSamples, 0u);
+        // 9:1 protocol.
+        EXPECT_NEAR(static_cast<double>(cat.trainSamples) /
+                        static_cast<double>(cat.trainSamples +
+                                            cat.evalSamples),
+                    0.9, 0.02);
+    }
+}
+
+TEST(LatencyPredictor, AccuraciesInPaperBand)
+{
+    // Table 5 reports 92.9%..98.5%; require a sane floor here.
+    for (const auto &cat : sharedPredictor().report().categories) {
+        EXPECT_GT(cat.within10, 0.80) << cat.name;
+        EXPECT_LE(cat.within10, 1.0) << cat.name;
+    }
+}
+
+TEST(LatencyPredictor, PredictsCloseToMeasurement)
+{
+    const auto &predictor = sharedPredictor();
+    preproc::OpShape shape;
+    shape.rows = 4096;
+    shape.width = 26;
+    shape.avgListLength = 3.0;
+    for (auto type : {preproc::OpType::SigridHash,
+                      preproc::OpType::FillNull,
+                      preproc::OpType::Clamp}) {
+        const Seconds predicted = predictor.predict(type, shape);
+        const Seconds measured = predictor.measure(type, shape);
+        EXPECT_GT(predicted, 0.0);
+        EXPECT_NEAR(predicted, measured, 0.5 * measured)
+            << preproc::opTypeName(type);
+    }
+}
+
+TEST(LatencyPredictor, TracksWorkloadScale)
+{
+    const auto &predictor = sharedPredictor();
+    preproc::OpShape small;
+    small.rows = 1024;
+    small.width = 2;
+    small.avgListLength = 2.0;
+    preproc::OpShape large = small;
+    large.rows = 16384;
+    large.width = 100;
+    large.avgListLength = 10.0;
+    EXPECT_GT(predictor.predict(preproc::OpType::SigridHash, large),
+              predictor.predict(preproc::OpType::SigridHash, small));
+}
+
+TEST(LatencyPredictor, NgramSensitiveToN)
+{
+    const auto &predictor = sharedPredictor();
+    preproc::OpShape shape;
+    shape.rows = 8192;
+    shape.width = 64;
+    shape.avgListLength = 8.0;
+    shape.param = 1.0;
+    const Seconds unigram =
+        predictor.predict(preproc::OpType::Ngram, shape);
+    shape.param = 4.0;
+    const Seconds fourgram =
+        predictor.predict(preproc::OpType::Ngram, shape);
+    EXPECT_GT(fourgram, 0.8 * unigram); // n raises flops; never cheaper
+}
+
+TEST(LatencyPredictorDeath, PredictBeforeTrainingPanics)
+{
+    LatencyPredictor untrained;
+    preproc::OpShape shape;
+    EXPECT_DEATH(
+        (void)untrained.predict(preproc::OpType::FillNull, shape),
+        "before training");
+}
+
+} // namespace
+} // namespace rap::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for DLRM layer cost models and iteration construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dlrm/iteration.hpp"
+
+namespace rap::dlrm {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : schema(data::makePresetSchema(
+              data::DatasetPreset::CriteoKaggle)),
+          config(makeDlrmConfig(data::DatasetPreset::CriteoKaggle,
+                                schema)),
+          sharding(EmbeddingSharding::balanced(schema, 4)),
+          spec(sim::a100Spec())
+    {
+    }
+    data::Schema schema;
+    DlrmConfig config;
+    EmbeddingSharding sharding;
+    sim::GpuSpec spec;
+};
+
+TEST(TrainOps, OrderAndCount)
+{
+    const auto order = trainOpOrder();
+    EXPECT_EQ(order.size(), kTrainOpCount);
+    EXPECT_EQ(order.front(), TrainOpKind::EmbeddingLookup);
+    EXPECT_EQ(order.back(), TrainOpKind::GradAllReduce);
+}
+
+TEST(TrainOps, CommClassification)
+{
+    EXPECT_TRUE(isCommOp(TrainOpKind::AllToAllForward));
+    EXPECT_TRUE(isCommOp(TrainOpKind::AllToAllBackward));
+    EXPECT_TRUE(isCommOp(TrainOpKind::GradAllReduce));
+    EXPECT_FALSE(isCommOp(TrainOpKind::TopMlpForward));
+    EXPECT_FALSE(isCommOp(TrainOpKind::EmbeddingLookup));
+}
+
+TEST(LayerCost, ResourceSignaturesMatchFig1a)
+{
+    Fixture f;
+    const auto lookup =
+        makeTrainKernel(TrainOpKind::EmbeddingLookup, f.config,
+                        f.sharding, 0, 4, f.spec);
+    const auto mlp = makeTrainKernel(TrainOpKind::TopMlpForward,
+                                     f.config, f.sharding, 0, 4,
+                                     f.spec);
+    // Embedding lookup: low SM, high bandwidth.
+    EXPECT_LT(lookup.demand.sm, 0.3);
+    EXPECT_GT(lookup.demand.bw, 0.5);
+    // MLP: high SM, low bandwidth.
+    EXPECT_GT(mlp.demand.sm, 0.8);
+    EXPECT_LT(mlp.demand.bw, 0.4);
+}
+
+TEST(LayerCost, BackwardCostsMoreThanForward)
+{
+    Fixture f;
+    const auto fwd = makeTrainKernel(TrainOpKind::TopMlpForward,
+                                     f.config, f.sharding, 0, 4,
+                                     f.spec);
+    const auto bwd = makeTrainKernel(TrainOpKind::TopMlpBackward,
+                                     f.config, f.sharding, 0, 4,
+                                     f.spec);
+    EXPECT_GT(bwd.exclusiveLatency, fwd.exclusiveLatency);
+}
+
+TEST(LayerCost, LookupScalesWithGpuCount)
+{
+    // More GPUs -> more global rows for the same local tables.
+    Fixture f;
+    const auto sharding8 = EmbeddingSharding::balanced(f.schema, 8);
+    const auto k2 = makeTrainKernel(TrainOpKind::EmbeddingLookup,
+                                    f.config,
+                                    EmbeddingSharding::balanced(
+                                        f.schema, 2),
+                                    0, 2, f.spec);
+    const auto k8 = makeTrainKernel(TrainOpKind::EmbeddingLookup,
+                                    f.config, sharding8, 0, 8, f.spec);
+    // 8 GPUs: 4x the rows but ~1/4 the tables: roughly comparable,
+    // both positive.
+    EXPECT_GT(k2.exclusiveLatency, 0.0);
+    EXPECT_GT(k8.exclusiveLatency, 0.0);
+}
+
+TEST(LayerCost, CommBytesFormulas)
+{
+    Fixture f;
+    const double expect_a2a = 4096.0 * 26.0 * 128.0 * 4.0;
+    EXPECT_DOUBLE_EQ(commBytesPerGpu(TrainOpKind::AllToAllForward,
+                                     f.config, 4),
+                     expect_a2a);
+    EXPECT_DOUBLE_EQ(commBytesPerGpu(TrainOpKind::AllToAllBackward,
+                                     f.config, 4),
+                     expect_a2a);
+    EXPECT_NEAR(commBytesPerGpu(TrainOpKind::GradAllReduce, f.config,
+                                4),
+                f.config.mlpParameterCount() * 4.0, 1.0);
+    EXPECT_DOUBLE_EQ(commBytesPerGpu(TrainOpKind::TopMlpForward,
+                                     f.config, 4),
+                     0.0);
+}
+
+TEST(LayerCostDeath, CommOpsHaveNoKernel)
+{
+    Fixture f;
+    EXPECT_DEATH(makeTrainKernel(TrainOpKind::AllToAllForward, f.config,
+                                 f.sharding, 0, 4, f.spec),
+                 "no compute kernel");
+}
+
+TEST(Iteration, BuildsAllOpsInOrder)
+{
+    Fixture f;
+    const auto ops = buildIteration(f.config, f.sharding, 0, 4, f.spec);
+    ASSERT_EQ(ops.size(), kTrainOpCount);
+    const auto order = trainOpOrder();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        EXPECT_EQ(ops[i].kind, order[i]);
+        EXPECT_EQ(ops[i].comm, isCommOp(order[i]));
+        if (ops[i].comm) {
+            EXPECT_GT(ops[i].commBytes, 0.0);
+        } else {
+            EXPECT_GT(ops[i].kernel.exclusiveLatency, 0.0);
+        }
+    }
+}
+
+TEST(Iteration, ExclusiveLatencyPositiveAndOrdered)
+{
+    Fixture f;
+    const auto cluster_spec = sim::dgxA100Spec(4);
+    const auto ops = buildIteration(f.config, f.sharding, 0, 4, f.spec);
+    const auto latency =
+        iterationExclusiveLatency(ops, cluster_spec, 4);
+    EXPECT_GT(latency, 1e-3);  // DLRM iterations are in the ms range
+    EXPECT_LT(latency, 100e-3);
+
+    // A larger batch strictly increases the bound.
+    auto big = f.config;
+    big.batchPerGpu = 8192;
+    const auto big_ops = buildIteration(big, f.sharding, 0, 4, f.spec);
+    EXPECT_GT(iterationExclusiveLatency(big_ops, cluster_spec, 4),
+              latency);
+}
+
+} // namespace
+} // namespace rap::dlrm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for logging and assertion macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace rap {
+namespace {
+
+TEST(Log, LevelRoundTrip)
+{
+    const auto old_level = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(old_level);
+}
+
+TEST(Log, ConcatStreamsArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LogDeath, AssertPanicsWithMessage)
+{
+    EXPECT_DEATH(RAP_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LogDeath, AssertPassesSilently)
+{
+    RAP_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(RAP_PANIC("boom"), "boom");
+}
+
+TEST(LogDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(RAP_FATAL("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace rap

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the GBDT regression stack (trees, boosting, metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/metrics.hpp"
+
+namespace rap::ml {
+namespace {
+
+MlDataset
+makeDataset(std::size_t n, std::uint64_t seed,
+            double (*fn)(double, double))
+{
+    Rng rng(seed);
+    MlDataset data;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(0.0, 10.0);
+        const double b = rng.uniform(0.0, 10.0);
+        data.add({a, b}, fn(a, b));
+    }
+    return data;
+}
+
+TEST(RegressionTree, FitsAStepFunction)
+{
+    MlDataset data;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i / 10.0;
+        data.add({x}, x < 5.0 ? 1.0 : 3.0);
+    }
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    RegressionTree tree;
+    tree.fit(data.x, data.y, all, TreeParams{});
+    EXPECT_NEAR(tree.predict({2.0}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({8.0}), 3.0, 1e-9);
+}
+
+TEST(RegressionTree, DepthLimitRespected)
+{
+    auto data = makeDataset(500, 3, [](double a, double b) {
+        return a * b;
+    });
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    TreeParams params;
+    params.maxDepth = 3;
+    RegressionTree tree;
+    tree.fit(data.x, data.y, all, params);
+    EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(RegressionTree, ConstantTargetIsOneLeaf)
+{
+    MlDataset data;
+    for (int i = 0; i < 50; ++i)
+        data.add({static_cast<double>(i)}, 7.0);
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    RegressionTree tree;
+    tree.fit(data.x, data.y, all, TreeParams{});
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_NEAR(tree.predict({123.0}), 7.0, 1e-12);
+}
+
+TEST(Gbdt, FitsMultiplicativeSurface)
+{
+    auto train = makeDataset(4000, 5, [](double a, double b) {
+        return a * b + 3.0;
+    });
+    auto eval = makeDataset(500, 6, [](double a, double b) {
+        return a * b + 3.0;
+    });
+    Gbdt model;
+    model.fit(train);
+    const auto pred = model.predictAll(eval);
+    EXPECT_LT(meanAbsoluteError(pred, eval.y), 2.0);
+    EXPECT_GT(rSquared(pred, eval.y), 0.95);
+}
+
+TEST(Gbdt, DeterministicForSeed)
+{
+    auto train = makeDataset(500, 5, [](double a, double b) {
+        return a + b;
+    });
+    Gbdt a, b;
+    a.fit(train);
+    b.fit(train);
+    EXPECT_DOUBLE_EQ(a.predict({3.0, 4.0}), b.predict({3.0, 4.0}));
+}
+
+TEST(Gbdt, MoreTreesImproveFit)
+{
+    auto train = makeDataset(2000, 7, [](double a, double b) {
+        return std::sin(a) * b;
+    });
+    auto eval = makeDataset(400, 8, [](double a, double b) {
+        return std::sin(a) * b;
+    });
+    GbdtParams few;
+    few.trees = 5;
+    GbdtParams many;
+    many.trees = 150;
+    Gbdt small(few), large(many);
+    small.fit(train);
+    large.fit(train);
+    EXPECT_LT(meanAbsoluteError(large.predictAll(eval), eval.y),
+              meanAbsoluteError(small.predictAll(eval), eval.y));
+}
+
+TEST(GbdtDeath, PredictBeforeFitPanics)
+{
+    Gbdt model;
+    EXPECT_DEATH((void)model.predict({1.0}), "unfitted");
+}
+
+TEST(Dataset, SplitRespectsFraction)
+{
+    auto data = makeDataset(1000, 9, [](double a, double) {
+        return a;
+    });
+    auto [train, eval] = trainEvalSplit(data, 0.9, 1);
+    EXPECT_EQ(train.size(), 900u);
+    EXPECT_EQ(eval.size(), 100u);
+}
+
+TEST(Dataset, SplitIsPartition)
+{
+    MlDataset data;
+    for (int i = 0; i < 100; ++i)
+        data.add({static_cast<double>(i)}, i);
+    auto [train, eval] = trainEvalSplit(data, 0.8, 2);
+    std::vector<double> seen;
+    for (const auto &row : train.x)
+        seen.push_back(row[0]);
+    for (const auto &row : eval.x)
+        seen.push_back(row[0]);
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(DatasetDeath, RaggedRowsPanics)
+{
+    MlDataset data;
+    data.add({1.0, 2.0}, 0.0);
+    EXPECT_DEATH(data.add({1.0}, 0.0), "ragged");
+}
+
+TEST(Metrics, WithinToleranceAccuracy)
+{
+    const std::vector<double> actual = {100.0, 100.0, 100.0, 100.0};
+    const std::vector<double> pred = {105.0, 95.0, 115.0, 89.0};
+    EXPECT_DOUBLE_EQ(withinToleranceAccuracy(pred, actual, 0.10), 0.5);
+}
+
+TEST(Metrics, ErrorsAndR2)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0};
+    const std::vector<double> perfect = actual;
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(perfect, actual), 0.0);
+    EXPECT_DOUBLE_EQ(rootMeanSquaredError(perfect, actual), 0.0);
+    EXPECT_DOUBLE_EQ(rSquared(perfect, actual), 1.0);
+
+    const std::vector<double> off = {2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(off, actual), 1.0);
+    EXPECT_DOUBLE_EQ(rootMeanSquaredError(off, actual), 1.0);
+    EXPECT_LT(rSquared(off, actual), 1.0);
+}
+
+} // namespace
+} // namespace rap::ml

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the Table-3 preprocessing-plan presets and plan synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "preproc/plan.hpp"
+
+namespace rap::preproc {
+namespace {
+
+/** Table-3 invariants hold for every plan preset. */
+class PlanPresetTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PlanPresetTest, MatchesTable3)
+{
+    const int id = GetParam();
+    const auto spec = planSpec(id);
+    const auto plan = makePlan(id);
+    EXPECT_EQ(plan.spec.id, id);
+    EXPECT_EQ(plan.schema.denseCount(), spec.denseCount);
+    EXPECT_EQ(plan.schema.sparseCount(), spec.sparseCount);
+    EXPECT_EQ(plan.graph.nodeCount(), spec.totalOps);
+    plan.graph.validate();
+}
+
+TEST_P(PlanPresetTest, EveryFeatureHasAChain)
+{
+    const auto plan = makePlan(GetParam());
+    const auto features = plan.graph.featureIds();
+    EXPECT_EQ(features.size(), plan.schema.featureCount());
+}
+
+TEST_P(PlanPresetTest, DeterministicForSeed)
+{
+    const int id = GetParam();
+    const auto a = makePlan(id, 1234);
+    const auto b = makePlan(id, 1234);
+    ASSERT_EQ(a.graph.nodeCount(), b.graph.nodeCount());
+    for (std::size_t i = 0; i < a.graph.nodeCount(); ++i) {
+        EXPECT_EQ(a.graph.nodes()[i].type, b.graph.nodes()[i].type);
+        EXPECT_EQ(a.graph.nodes()[i].featureId,
+                  b.graph.nodes()[i].featureId);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, PlanPresetTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(PlanSpec, Table3OpsPerFeature)
+{
+    // #Op per Feature from Table 3: 2.67, 2.67, 4.92, 9.80.
+    EXPECT_NEAR(makePlan(0).graph.opsPerFeature(), 2.67, 0.01);
+    EXPECT_NEAR(makePlan(1).graph.opsPerFeature(), 2.67, 0.01);
+    EXPECT_NEAR(makePlan(2).graph.opsPerFeature(), 4.92, 0.01);
+    EXPECT_NEAR(makePlan(3).graph.opsPerFeature(), 9.92, 0.15);
+}
+
+TEST(PlanSpec, DatasetsMatchTable3)
+{
+    EXPECT_EQ(planSpec(0).dataset, data::DatasetPreset::CriteoKaggle);
+    EXPECT_EQ(planSpec(1).dataset, data::DatasetPreset::CriteoTerabyte);
+    EXPECT_EQ(planSpec(2).dataset, data::DatasetPreset::CriteoTerabyte);
+    EXPECT_EQ(planSpec(3).dataset, data::DatasetPreset::CriteoTerabyte);
+}
+
+TEST(PlanSpecDeath, UnknownPlanIsFatal)
+{
+    EXPECT_EXIT((void)planSpec(7), ::testing::ExitedWithCode(1),
+                "unknown preprocessing plan");
+}
+
+TEST(DefaultPlan, UsesTorchArrowPipeline)
+{
+    const auto plan = makePlan(0);
+    // Dense chains: FillNull -> Logit.
+    const auto dense_nodes = plan.graph.featureNodes(0);
+    ASSERT_EQ(dense_nodes.size(), 2u);
+    EXPECT_EQ(plan.graph.node(dense_nodes[0]).type, OpType::FillNull);
+    EXPECT_EQ(plan.graph.node(dense_nodes[1]).type, OpType::Logit);
+    // Sparse chains: FillNull -> SigridHash -> FirstX.
+    const auto sparse_nodes =
+        plan.graph.featureNodes(sparseFeatureId(plan.schema, 0));
+    ASSERT_EQ(sparse_nodes.size(), 3u);
+    EXPECT_EQ(plan.graph.node(sparse_nodes[0]).type, OpType::FillNull);
+    EXPECT_EQ(plan.graph.node(sparse_nodes[1]).type,
+              OpType::SigridHash);
+    EXPECT_EQ(plan.graph.node(sparse_nodes[2]).type, OpType::FirstX);
+}
+
+TEST(DefaultPlan, SparseHashSizesComeFromSchema)
+{
+    const auto plan = makePlan(1);
+    const auto nodes =
+        plan.graph.featureNodes(sparseFeatureId(plan.schema, 0));
+    EXPECT_EQ(plan.graph.node(nodes[1]).params.hashSize,
+              plan.schema.sparse(0).hashSize);
+}
+
+TEST(RandomPlan, ChainsAreSequentialPerFeature)
+{
+    const auto plan = makePlan(2);
+    for (int f : plan.graph.featureIds()) {
+        const auto nodes = plan.graph.featureNodes(f);
+        for (std::size_t i = 1; i < nodes.size(); ++i) {
+            const auto &node = plan.graph.node(nodes[i]);
+            // Every non-root chain node depends on an earlier node.
+            EXPECT_FALSE(node.deps.empty());
+        }
+    }
+}
+
+TEST(SkewedPlan, AddsOpsToHeavyFeatures)
+{
+    const auto base = makePlan(1);
+    const auto skewed = makeSkewedPlan(1, 4, 10);
+    EXPECT_EQ(skewed.graph.nodeCount(),
+              base.graph.nodeCount() + 4u * 10u);
+    // Feature with the largest hash size got the extra Ngram ops.
+    const int heavy = sparseFeatureId(skewed.schema, 0);
+    EXPECT_EQ(skewed.graph.featureNodes(heavy).size(),
+              base.graph.featureNodes(heavy).size() + 10u);
+}
+
+TEST(NgramStress, AppendsRoundRobin)
+{
+    auto plan = makePlan(0);
+    const auto before = plan.graph.nodeCount();
+    addNgramStress(plan, 13);
+    EXPECT_EQ(plan.graph.nodeCount(), before + 13u);
+    // All added ops are Ngram.
+    const auto histogram = plan.graph.opTypeHistogram();
+    EXPECT_EQ(histogram[static_cast<std::size_t>(OpType::Ngram)], 13u);
+    plan.graph.validate();
+}
+
+TEST(FeatureIdHelpers, RoundTrip)
+{
+    const auto plan = makePlan(0);
+    EXPECT_EQ(denseFeatureId(3), 3);
+    const int fid = sparseFeatureId(plan.schema, 5);
+    EXPECT_TRUE(isSparseFeatureId(plan.schema, fid));
+    EXPECT_FALSE(isSparseFeatureId(plan.schema, 3));
+    EXPECT_EQ(sparseIndexOfFeatureId(plan.schema, fid), 5u);
+}
+
+} // namespace
+} // namespace rap::preproc

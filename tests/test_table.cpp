@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace rap {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(AsciiTable, ColumnsAligned)
+{
+    AsciiTable t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    const auto out = t.render();
+    // Every rendered line has equal length.
+    std::size_t expected = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const auto nl = out.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        EXPECT_EQ(nl - pos, expected);
+        pos = nl + 1;
+    }
+}
+
+TEST(AsciiTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiTableDeath, RowArityMismatchPanics)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace rap

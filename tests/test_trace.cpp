@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for utilisation traces and window statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace rap::sim {
+namespace {
+
+TEST(Trace, SegmentAveragesWeightedByLength)
+{
+    Trace trace;
+    trace.addSegment({0.0, 1.0, 0.2, 0.8, 1});
+    trace.addSegment({1.0, 3.0, 0.8, 0.2, 2});
+    // Window [0, 3]: sm = (0.2*1 + 0.8*2)/3 = 0.6.
+    EXPECT_NEAR(trace.avgSmUsage(0.0, 3.0), 0.6, 1e-12);
+    EXPECT_NEAR(trace.avgBwUsage(0.0, 3.0), 0.4, 1e-12);
+    EXPECT_NEAR(trace.busyFraction(0.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(Trace, WindowClipsSegments)
+{
+    Trace trace;
+    trace.addSegment({0.0, 2.0, 1.0, 0.0, 1});
+    EXPECT_NEAR(trace.avgSmUsage(1.0, 3.0), 0.5, 1e-12);
+}
+
+TEST(Trace, GapsCountAsIdle)
+{
+    Trace trace;
+    trace.addSegment({0.0, 1.0, 0.5, 0.5, 1});
+    // [1, 2] has no segment: idle.
+    EXPECT_NEAR(trace.busyFraction(0.0, 2.0), 0.5, 1e-12);
+    EXPECT_NEAR(trace.avgSmUsage(0.0, 2.0), 0.25, 1e-12);
+}
+
+TEST(Trace, ZeroLengthSegmentsIgnored)
+{
+    Trace trace;
+    trace.addSegment({1.0, 1.0, 0.9, 0.9, 1});
+    EXPECT_TRUE(trace.segments().empty());
+}
+
+TEST(Trace, DisableSegmentRecording)
+{
+    Trace trace;
+    trace.setRecordSegments(false);
+    trace.addSegment({0.0, 1.0, 0.5, 0.5, 1});
+    EXPECT_TRUE(trace.segments().empty());
+}
+
+TEST(Trace, ClearDropsEverything)
+{
+    Trace trace;
+    trace.addSegment({0.0, 1.0, 0.5, 0.5, 1});
+    trace.addKernel(KernelRecord{"k", "s", 0.0, 1.0, 1.0});
+    trace.clear();
+    EXPECT_TRUE(trace.segments().empty());
+    EXPECT_TRUE(trace.kernels().empty());
+}
+
+TEST(Trace, DeviceRecordsIdleBetweenKernels)
+{
+    Cluster cluster(dgxA100Spec(1));
+    auto &stream = cluster.device(0).newStream("s");
+    stream.pushKernel(KernelDesc::synthetic("k1", 100e-6, {0.5, 0.2}));
+    stream.pushDelay(100e-6);
+    stream.pushKernel(KernelDesc::synthetic("k2", 100e-6, {0.5, 0.2}));
+    cluster.run();
+    const auto &trace = cluster.device(0).trace();
+    const Seconds end = cluster.engine().now();
+    // Roughly two thirds busy (two 100us kernels + 100us delay).
+    EXPECT_NEAR(trace.busyFraction(0.0, end), 2.0 / 3.0, 0.1);
+    EXPECT_NEAR(trace.avgSmUsage(0.0, end), 0.5 * 2.0 / 3.0, 0.05);
+}
+
+} // namespace
+} // namespace rap::sim

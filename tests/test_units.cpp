@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit tests for unit formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace rap {
+namespace {
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ(2.0_us, 2e-6);
+    EXPECT_DOUBLE_EQ(3.0_ms, 3e-3);
+    EXPECT_DOUBLE_EQ(1.0_KiB, 1024.0);
+    EXPECT_DOUBLE_EQ(1.0_MiB, 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(1.0_GiB, 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Units, FormatSecondsPicksUnit)
+{
+    EXPECT_NE(formatSeconds(2.5).find("s"), std::string::npos);
+    EXPECT_NE(formatSeconds(2.5e-3).find("ms"), std::string::npos);
+    EXPECT_NE(formatSeconds(2.5e-6).find("us"), std::string::npos);
+    EXPECT_NE(formatSeconds(2.5e-9).find("ns"), std::string::npos);
+}
+
+TEST(Units, FormatBytesPicksUnit)
+{
+    EXPECT_NE(formatBytes(10.0).find("B"), std::string::npos);
+    EXPECT_NE(formatBytes(10.0 * 1024).find("KiB"), std::string::npos);
+    EXPECT_NE(formatBytes(10.0 * 1024 * 1024).find("MiB"),
+              std::string::npos);
+    EXPECT_NE(formatBytes(10.0_GiB).find("GiB"), std::string::npos);
+}
+
+TEST(Units, FormatRatePicksUnit)
+{
+    EXPECT_NE(formatRate(5.0).find("/s"), std::string::npos);
+    EXPECT_NE(formatRate(5e3).find("K/s"), std::string::npos);
+    EXPECT_NE(formatRate(5e6).find("M/s"), std::string::npos);
+    EXPECT_NE(formatRate(5e9).find("G/s"), std::string::npos);
+}
+
+} // namespace
+} // namespace rap
