@@ -7,11 +7,18 @@
  *  A3  hybrid GPU+CPU preprocessing vs plain RAP on a workload that
  *      exceeds the GPUs' overlapping capacity (§10);
  *  A4  MILP local search vs plain ASAP level assignment (§6.2).
+ *
+ * Pass `--jobs N` to evaluate the sweep points of A1-A4 concurrently;
+ * tables render in point order either way, so the output is identical.
+ * A5 times the offline phase itself and always runs serially.
  */
 
 #include <chrono>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
@@ -20,36 +27,43 @@ namespace {
 
 using namespace rap;
 
+using Row = std::vector<std::string>;
+
 void
-ablationInterleaving()
+ablationInterleaving(ThreadPool &pool)
 {
     std::cout << "--- A1: inter-batch workload interleaving (8x A100) "
                  "---\n";
     AsciiTable table({"workload", "no interleaving", "interleaving",
                       "gain"});
-    for (int stress : {0, 3328, 6656, 13312, 26624}) {
-        auto plan = preproc::makePlan(1);
-        if (stress > 0)
-            preproc::addNgramStress(plan, stress);
-        core::SystemConfig config;
-        config.system = core::System::Rap;
-        config.gpuCount = 8;
-        config.interleave = false;
-        const auto off = core::runSystem(config, plan);
-        config.interleave = true;
-        const auto on = core::runSystem(config, plan);
-        table.addRow({"Plan 1 + " + std::to_string(stress) + " NGram",
-                      formatSeconds(off.avgIterationLatency),
-                      formatSeconds(on.avgIterationLatency),
-                      AsciiTable::num((off.avgIterationLatency /
-                                           on.avgIterationLatency -
-                                       1.0) * 100.0, 2) + "%"});
-    }
+    const std::vector<int> points = {0, 3328, 6656, 13312, 26624};
+    const auto rows = pool.parallelMap<Row>(
+        points.size(), [&](std::size_t i) {
+            const int stress = points[i];
+            auto plan = preproc::makePlan(1);
+            if (stress > 0)
+                preproc::addNgramStress(plan, stress);
+            core::SystemConfig config;
+            config.system = core::System::Rap;
+            config.gpuCount = 8;
+            config.interleave = false;
+            const auto off = core::runSystem(config, plan);
+            config.interleave = true;
+            const auto on = core::runSystem(config, plan);
+            return Row{"Plan 1 + " + std::to_string(stress) + " NGram",
+                       formatSeconds(off.avgIterationLatency),
+                       formatSeconds(on.avgIterationLatency),
+                       AsciiTable::num((off.avgIterationLatency /
+                                            on.avgIterationLatency -
+                                        1.0) * 100.0, 2) + "%"};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     std::cout << table.render() << "\n";
 }
 
 void
-ablationPredictor()
+ablationPredictor(ThreadPool &pool)
 {
     std::cout << "--- A2: trained latency predictor vs oracle cost "
                  "model ---\n";
@@ -60,77 +74,92 @@ ablationPredictor()
 
     AsciiTable table({"plan", "oracle throughput",
                       "predictor throughput", "delta"});
-    for (int plan_id : {0, 2, 3}) {
-        const auto plan = preproc::makePlan(plan_id);
-        core::SystemConfig config;
-        config.system = core::System::Rap;
-        config.gpuCount = 8;
-        const auto oracle = core::runSystem(config, plan);
-        config.predictor = &predictor;
-        const auto predicted = core::runSystem(config, plan);
-        table.addRow({"Plan " + std::to_string(plan_id),
-                      formatRate(oracle.throughput),
-                      formatRate(predicted.throughput),
-                      AsciiTable::num((predicted.throughput /
-                                           oracle.throughput -
-                                       1.0) * 100.0, 2) + "%"});
-    }
+    const std::vector<int> points = {0, 2, 3};
+    const auto rows = pool.parallelMap<Row>(
+        points.size(), [&](std::size_t i) {
+            const int plan_id = points[i];
+            const auto plan = preproc::makePlan(plan_id);
+            core::SystemConfig config;
+            config.system = core::System::Rap;
+            config.gpuCount = 8;
+            const auto oracle = core::runSystem(config, plan);
+            config.predictor = &predictor;
+            const auto predicted = core::runSystem(config, plan);
+            return Row{"Plan " + std::to_string(plan_id),
+                       formatRate(oracle.throughput),
+                       formatRate(predicted.throughput),
+                       AsciiTable::num((predicted.throughput /
+                                            oracle.throughput -
+                                        1.0) * 100.0, 2) + "%"};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     std::cout << table.render()
               << "the trained predictor is accurate enough to replace "
                  "profiling (§5.2)\n\n";
 }
 
 void
-ablationHybrid()
+ablationHybrid(ThreadPool &pool)
 {
     std::cout << "--- A3: hybrid GPU+CPU preprocessing on an "
                  "overloaded workload ---\n";
     AsciiTable table({"extra NGram ops", "RAP exposed",
                       "hybrid exposed", "RAP tput", "hybrid tput"});
-    for (int stress : {3328, 6656, 13312}) {
-        auto plan = preproc::makePlan(1);
-        preproc::addNgramStress(plan, stress);
-        core::SystemConfig config;
-        config.system = core::System::Rap;
-        config.gpuCount = 8;
-        const auto rap = core::runSystem(config, plan);
-        config.system = core::System::HybridRap;
-        const auto hybrid = core::runSystem(config, plan);
-        table.addRow({std::to_string(stress),
-                      formatSeconds(rap.predictedExposed),
-                      formatSeconds(hybrid.predictedExposed),
-                      formatRate(rap.throughput),
-                      formatRate(hybrid.throughput)});
-    }
+    const std::vector<int> points = {3328, 6656, 13312};
+    const auto rows = pool.parallelMap<Row>(
+        points.size(), [&](std::size_t i) {
+            const int stress = points[i];
+            auto plan = preproc::makePlan(1);
+            preproc::addNgramStress(plan, stress);
+            core::SystemConfig config;
+            config.system = core::System::Rap;
+            config.gpuCount = 8;
+            const auto rap = core::runSystem(config, plan);
+            config.system = core::System::HybridRap;
+            const auto hybrid = core::runSystem(config, plan);
+            return Row{std::to_string(stress),
+                       formatSeconds(rap.predictedExposed),
+                       formatSeconds(hybrid.predictedExposed),
+                       formatRate(rap.throughput),
+                       formatRate(hybrid.throughput)};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     std::cout << table.render()
               << "the CPU segment absorbs part of the overflow; the "
                  "host's throughput bounds the benefit (§10)\n\n";
 }
 
 void
-ablationSolver()
+ablationSolver(ThreadPool &pool)
 {
     std::cout << "--- A4: MILP local search vs plain ASAP levels ---\n";
     AsciiTable table({"plan", "ASAP-only objective",
                       "local-search objective", "fused kernels (LS)"});
-    for (int plan_id : {0, 2, 3}) {
-        const auto plan = preproc::makePlan(plan_id);
-        const auto problem =
-            core::HorizontalFusionPlanner::toProblem(plan.graph);
+    const std::vector<int> points = {0, 2, 3};
+    const auto rows = pool.parallelMap<Row>(
+        points.size(), [&](std::size_t i) {
+            const int plan_id = points[i];
+            const auto plan = preproc::makePlan(plan_id);
+            const auto problem =
+                core::HorizontalFusionPlanner::toProblem(plan.graph);
 
-        milp::SolverOptions no_search;
-        no_search.localSearchRounds = 0;
-        const auto asap_only =
-            milp::FusionSolver(no_search).solveHeuristic(problem);
-        const auto searched =
-            milp::FusionSolver().solveHeuristic(problem);
+            milp::SolverOptions no_search;
+            no_search.localSearchRounds = 0;
+            const auto asap_only =
+                milp::FusionSolver(no_search).solveHeuristic(problem);
+            const auto searched =
+                milp::FusionSolver().solveHeuristic(problem);
 
-        table.addRow({"Plan " + std::to_string(plan_id),
-                      AsciiTable::num(asap_only.objective, 0),
-                      AsciiTable::num(searched.objective, 0),
-                      std::to_string(
-                          searched.groups(problem).size())});
-    }
+            return Row{"Plan " + std::to_string(plan_id),
+                       AsciiTable::num(asap_only.objective, 0),
+                       AsciiTable::num(searched.objective, 0),
+                       std::to_string(
+                           searched.groups(problem).size())};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     std::cout << table.render()
               << "higher objective = higher fusion degree (Eq. 3-4)\n";
 }
@@ -139,7 +168,7 @@ void
 ablationRegenerationCost()
 {
     std::cout << "--- A5: plan-regeneration cost (host wall clock; "
-                 "paper \u00a710 claims minutes on real hardware) ---\n";
+                 "paper §10 claims minutes on real hardware) ---\n";
     AsciiTable table({"plan", "capacity profiling", "fusion + mapping "
                       "+ scheduling", "total"});
     for (int plan_id : {0, 2, 3}) {
@@ -178,19 +207,20 @@ ablationRegenerationCost()
     }
     std::cout << table.render()
               << "cheap enough to re-run whenever the input "
-                 "distribution shifts (\u00a710)\n";
+                 "distribution shifts (§10)\n";
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ThreadPool pool(bench::parseJobs(argc, argv));
     std::cout << "=== RAP design-choice ablations ===\n\n";
-    ablationInterleaving();
-    ablationPredictor();
-    ablationHybrid();
-    ablationSolver();
+    ablationInterleaving(pool);
+    ablationPredictor(pool);
+    ablationHybrid(pool);
+    ablationSolver(pool);
     std::cout << "\n";
     ablationRegenerationCost();
     return 0;

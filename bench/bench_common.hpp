@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench harnesses.
+ *
+ * Every sweep-style bench accepts `--jobs N` (or `-j N`, or
+ * `--jobs=N`) and runs its independent sweep points on a ThreadPool.
+ * Output stays deterministic: points are computed into
+ * submission-indexed slots and rendered in point order, so `--jobs 8`
+ * prints byte-identical tables to a serial run.
+ */
+
+#ifndef RAP_BENCH_COMMON_HPP
+#define RAP_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rap::bench {
+
+/**
+ * Parse the shared `--jobs` flag. Defaults to 1 (serial); `--jobs 0`
+ * selects the hardware concurrency. Unrelated arguments are ignored
+ * so benches can grow their own flags.
+ */
+inline int
+parseJobs(int argc, char **argv)
+{
+    int jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc)
+                RAP_FATAL(arg, " requires a value");
+            jobs = std::atoi(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = std::atoi(arg.c_str() + 7);
+        }
+    }
+    return jobs <= 0 ? ThreadPool::hardwareThreads() : jobs;
+}
+
+} // namespace rap::bench
+
+#endif // RAP_BENCH_COMMON_HPP

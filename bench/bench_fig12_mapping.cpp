@@ -12,18 +12,27 @@
  * and exposed communication latency from the cost model, plus the
  * measured end-to-end iteration overhead over the ideal trainer.
  * Paper: RAP reduces exposed latency ~4.3x vs DP and ~4.0x vs DL.
+ *
+ * Pass `--jobs N` to evaluate the three strategies concurrently; the
+ * table renders in strategy order either way.
  */
 
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rap;
+
+    ThreadPool pool(bench::parseJobs(argc, argv));
 
     // Skewed graph: the four largest tables (owned by distinct GPUs,
     // the largest on GPU 0's shard) get heavy extra feature
@@ -54,54 +63,70 @@ main()
                       "worst comm latency", "total comm",
                       "measured iter overhead"});
 
+    struct StrategyResult {
+        std::string name;
+        Seconds exposed = 0.0;
+        std::vector<std::string> row;
+    };
+    const std::vector<core::MappingStrategy> strategies = {
+        core::MappingStrategy::DataParallel,
+        core::MappingStrategy::DataLocality,
+        core::MappingStrategy::Rap};
+    const auto results = pool.parallelMap<StrategyResult>(
+        strategies.size(), [&](std::size_t i) {
+            const auto strategy = strategies[i];
+            const auto mapping =
+                strategy == core::MappingStrategy::Rap
+                    ? mapper.mapRap(profiles, planner)
+                    : mapper.map(strategy);
+
+            core::CoRunScheduler scheduler(planner);
+            Seconds worst_exposed = 0.0;
+            Seconds worst_comm = 0.0;
+            Bytes total_comm = 0.0;
+            for (int g = 0; g < gpus; ++g) {
+                const auto schedule = scheduler.schedule(
+                    planner.plan(mapper.buildGpuGraph(mapping, g),
+                                 4096),
+                    profiles[static_cast<std::size_t>(g)]);
+                worst_exposed = std::max(worst_exposed,
+                                         schedule.estimatedExposed);
+                worst_comm = std::max(
+                    worst_comm,
+                    cost_model.commLatency(
+                        mapping.commOutBytes[
+                            static_cast<std::size_t>(g)]));
+                total_comm +=
+                    mapping.commOutBytes[static_cast<std::size_t>(g)];
+            }
+
+            // Measured end-to-end run under the forced mapping.
+            core::SystemConfig run_config;
+            run_config.system = core::System::Rap;
+            run_config.gpuCount = gpus;
+            run_config.forcedMapping = strategy;
+            const auto report = core::runSystem(run_config, plan);
+            const Seconds overhead =
+                report.avgIterationLatency - ideal.avgIterationLatency;
+
+            StrategyResult result;
+            result.name = core::mappingStrategyName(strategy);
+            result.exposed = worst_exposed + worst_comm;
+            result.row = {core::mappingStrategyName(strategy),
+                          formatSeconds(worst_exposed),
+                          formatSeconds(worst_comm),
+                          formatBytes(total_comm),
+                          formatSeconds(std::max(overhead, 0.0))};
+            return result;
+        });
+
     Seconds rap_exposed = 0.0;
     std::map<std::string, Seconds> exposed_by_name;
-    for (auto strategy :
-         {core::MappingStrategy::DataParallel,
-          core::MappingStrategy::DataLocality,
-          core::MappingStrategy::Rap}) {
-        const auto mapping =
-            strategy == core::MappingStrategy::Rap
-                ? mapper.mapRap(profiles, planner)
-                : mapper.map(strategy);
-
-        core::CoRunScheduler scheduler(planner);
-        Seconds worst_exposed = 0.0;
-        Seconds worst_comm = 0.0;
-        Bytes total_comm = 0.0;
-        for (int g = 0; g < gpus; ++g) {
-            const auto schedule = scheduler.schedule(
-                planner.plan(mapper.buildGpuGraph(mapping, g), 4096),
-                profiles[static_cast<std::size_t>(g)]);
-            worst_exposed = std::max(worst_exposed,
-                                     schedule.estimatedExposed);
-            worst_comm = std::max(
-                worst_comm,
-                cost_model.commLatency(
-                    mapping.commOutBytes[static_cast<std::size_t>(g)]));
-            total_comm +=
-                mapping.commOutBytes[static_cast<std::size_t>(g)];
-        }
-
-        // Measured end-to-end run under the forced mapping.
-        core::SystemConfig run_config;
-        run_config.system = core::System::Rap;
-        run_config.gpuCount = gpus;
-        run_config.forcedMapping = strategy;
-        const auto report = core::runSystem(run_config, plan);
-        const Seconds overhead =
-            report.avgIterationLatency - ideal.avgIterationLatency;
-
-        exposed_by_name[core::mappingStrategyName(strategy)] =
-            worst_exposed + worst_comm;
-        if (strategy == core::MappingStrategy::Rap)
-            rap_exposed = worst_exposed + worst_comm;
-
-        table.addRow({core::mappingStrategyName(strategy),
-                      formatSeconds(worst_exposed),
-                      formatSeconds(worst_comm),
-                      formatBytes(total_comm),
-                      formatSeconds(std::max(overhead, 0.0))});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        exposed_by_name[results[i].name] = results[i].exposed;
+        if (strategies[i] == core::MappingStrategy::Rap)
+            rap_exposed = results[i].exposed;
+        table.addRow(results[i].row);
     }
     std::cout << table.render();
 

@@ -57,7 +57,9 @@ RunningStat::variance() const
 {
     if (count_ < 2)
         return 0.0;
-    return m2_ / static_cast<double>(count_);
+    // Unbiased (Bessel-corrected) sample variance: callers report the
+    // spread of small benchmark sample sets, not of full populations.
+    return m2_ / static_cast<double>(count_ - 1);
 }
 
 double

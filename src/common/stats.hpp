@@ -32,10 +32,10 @@ class RunningStat
     /** @return Arithmetic mean, or 0 when empty. */
     double mean() const { return count_ ? mean_ : 0.0; }
 
-    /** @return Population variance, or 0 when fewer than 2 samples. */
+    /** @return Unbiased sample variance, or 0 when fewer than 2 samples. */
     double variance() const;
 
-    /** @return Population standard deviation. */
+    /** @return Sample standard deviation (sqrt of variance()). */
     double stddev() const;
 
     /** @return Smallest observation, or +inf when empty. */

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A fixed-size task pool with a deterministic parallel-for/map API.
+ *
+ * The offline planning phase (capacity profiling, per-GPU fusion
+ * planning, the RAP mapping search, co-run scheduling) is
+ * embarrassingly parallel across GPUs, but plans and reports must not
+ * depend on the thread count: serial and parallel runs of the same
+ * configuration must be bit-identical. The pool guarantees this by
+ * construction — every task writes into its own submission-indexed
+ * slot and reductions happen on the calling thread in submission
+ * order, so the interleaving of workers is never observable as long as
+ * the tasks themselves are independent.
+ *
+ * Determinism contract:
+ *  - parallelMap returns results in submission (index) order;
+ *  - exceptions are delivered as the serial loop would deliver the
+ *    first one: the lowest-index exception is rethrown (later tasks
+ *    may still have run, unlike the serial loop — tasks must not rely
+ *    on earlier indices having failed);
+ *  - nested parallelFor calls on the same pool degrade to serial
+ *    inline execution on the worker thread, which keeps the pool
+ *    deadlock-free without a work-stealing scheduler.
+ */
+
+#ifndef RAP_COMMON_THREAD_POOL_HPP
+#define RAP_COMMON_THREAD_POOL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rap {
+
+/**
+ * Fixed-size worker pool executing index-space loops.
+ *
+ * A pool of size 1 (or a null pool pointer at call sites that take
+ * one) never spawns threads and runs every loop inline — the serial
+ * reference behaviour the determinism tests compare against.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks hardwareThreads(). A value
+     *        of 1 creates no threads (inline execution).
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return Worker count this pool was sized to. */
+    int threadCount() const { return threadCount_; }
+
+    /** @return The hardware concurrency (at least 1). */
+    static int hardwareThreads();
+
+    /**
+     * Run @p body(i) for every i in [0, n), blocking until all
+     * complete. The calling thread participates. If any task throws,
+     * the exception of the lowest index is rethrown after the loop
+     * drains.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map [0, n) through @p body and return the results in index
+     * order, independent of execution interleaving.
+     */
+    template <typename R>
+    std::vector<R>
+    parallelMap(std::size_t n,
+                const std::function<R(std::size_t)> &body)
+    {
+        std::vector<R> results(n);
+        parallelFor(n, [&](std::size_t i) { results[i] = body(i); });
+        return results;
+    }
+
+  private:
+    struct Batch;
+    struct State;
+
+    void workerLoop();
+
+    int threadCount_ = 1;
+    State *state_ = nullptr; // pimpl: keeps <thread> out of the header
+};
+
+} // namespace rap
+
+#endif // RAP_COMMON_THREAD_POOL_HPP

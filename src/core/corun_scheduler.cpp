@@ -98,11 +98,13 @@ CoRunScheduler::schedule(std::vector<FusedKernel> kernels,
         result.capacityUsed += u;
 
     // Anything left exceeds the iteration's capacity: execute it
-    // against the last op and account it as exposed latency.
+    // against the last op and account it as exposed latency. Overflow
+    // kernels still cost one launch each on the training process's
+    // launch path, the same per-kernel charge the packing above pays.
     while (!queue.empty()) {
         FusedKernel k = std::move(queue.front());
         queue.pop_front();
-        result.estimatedExposed += k.predictedLatency;
+        result.estimatedExposed += k.predictedLatency + launch;
         result.kernels.push_back(ScheduledKernel{
             std::move(k), profile.ops.size() - 1, true});
     }

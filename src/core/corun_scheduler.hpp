@@ -45,7 +45,7 @@ struct CoRunSchedule
     Seconds totalPreprocLatency = 0.0;
     /** Capacity consumed across selected layers. */
     Seconds capacityUsed = 0.0;
-    /** Predicted exposed latency (latency of overflow kernels). */
+    /** Predicted exposed latency (overflow kernels + their launches). */
     Seconds estimatedExposed = 0.0;
 
     /** @return Number of scheduled kernels (after sharding). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 #include <tuple>
 
@@ -220,7 +221,7 @@ GraphMapper::buildGpuGraph(const GraphMapping &mapping, int gpu) const
 GraphMapping
 GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
                     const HorizontalFusionPlanner &planner,
-                    int max_moves) const
+                    int max_moves, ThreadPool *pool) const
 {
     const int gpus = clusterSpec_.gpuCount;
     RAP_ASSERT(static_cast<int>(profiles.size()) == gpus,
@@ -234,6 +235,8 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
     // Step 2: evaluate via the intra-GPU co-running schedule
     // (Algorithm 1) and the cost model. The schedule accounts for
     // leftover-envelope slowdowns that the raw latency sum misses.
+    // Pricing reads only const state, so evaluations of different
+    // GPUs are free to run concurrently.
     auto price = [&](const GraphMapping &m, int g) {
         const auto graph = buildGpuGraph(m, g);
         const auto &profile = profiles[static_cast<std::size_t>(g)];
@@ -249,8 +252,22 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
     };
 
     std::vector<Seconds> delta(static_cast<std::size_t>(gpus));
-    for (int g = 0; g < gpus; ++g)
-        delta[static_cast<std::size_t>(g)] = price(mapping, g);
+    auto priceInto = [&](const GraphMapping &m,
+                         std::vector<int> targets) {
+        auto evaluate = [&](std::size_t i) {
+            delta[static_cast<std::size_t>(targets[i])] =
+                price(m, targets[i]);
+        };
+        if (pool != nullptr)
+            pool->parallelFor(targets.size(), evaluate);
+        else
+            for (std::size_t i = 0; i < targets.size(); ++i)
+                evaluate(i);
+    };
+
+    std::vector<int> all_gpus(static_cast<std::size_t>(gpus));
+    std::iota(all_gpus.begin(), all_gpus.end(), 0);
+    priceInto(mapping, all_gpus);
 
     // Steps 3-4: move items from the costliest GPU to the cheapest
     // while the worst-case cost improves.
@@ -300,8 +317,19 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
             .push_back(item);
         candidate = makeMapping(std::move(candidate.itemsPerGpu));
 
-        const Seconds src_new = price(candidate, src);
-        const Seconds dst_new = price(candidate, dst);
+        Seconds src_new = 0.0;
+        Seconds dst_new = 0.0;
+        {
+            auto evaluate = [&](std::size_t i) {
+                (i == 0 ? src_new : dst_new) =
+                    price(candidate, i == 0 ? src : dst);
+            };
+            if (pool != nullptr)
+                pool->parallelFor(2, evaluate);
+            else
+                for (std::size_t i = 0; i < 2; ++i)
+                    evaluate(i);
+        }
         const Seconds old_worst =
             std::max(delta[static_cast<std::size_t>(src)],
                      delta[static_cast<std::size_t>(dst)]);

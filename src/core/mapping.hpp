@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
 #include "core/corun_scheduler.hpp"
 #include "core/cost_model.hpp"
@@ -92,10 +93,14 @@ class GraphMapper
      * @param profiles Per-GPU capacity profiles.
      * @param planner Fusion planner used to price each GPU's graph.
      * @param max_moves Upper bound on accepted item moves.
+     * @param pool Optional pool for the candidate-evaluation loops;
+     *        per-GPU pricings are independent and reduced in GPU
+     *        order, so the search is deterministic in thread count.
      */
     GraphMapping mapRap(const std::vector<CapacityProfile> &profiles,
                         const HorizontalFusionPlanner &planner,
-                        int max_moves = 64) const;
+                        int max_moves = 64,
+                        ThreadPool *pool = nullptr) const;
 
     /**
      * Materialise the preprocessing graph a GPU executes under a

@@ -118,6 +118,19 @@ traitsFor(System system)
     }
 }
 
+/** Embedding-table placement shared by every system variant. */
+dlrm::EmbeddingSharding
+makeSharding(const SystemConfig &config,
+             const preproc::PreprocPlan &plan)
+{
+    return config.rowWiseThreshold > 0
+               ? dlrm::EmbeddingSharding::balancedWithRowWise(
+                     plan.schema, config.gpuCount,
+                     config.rowWiseThreshold)
+               : dlrm::EmbeddingSharding::balanced(plan.schema,
+                                                   config.gpuCount);
+}
+
 /** Aggregate utilisation statistics over the steady-state window. */
 void
 fillUtilisation(RunReport &report, sim::Cluster &cluster, Seconds t0,
@@ -174,6 +187,70 @@ runSystem(const SystemConfig &config, const preproc::PreprocPlan &plan)
     return trainer.run();
 }
 
+OfflinePlan
+planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
+            ThreadPool *pool)
+{
+    const auto traits = traitsFor(config.system);
+    const auto cluster_spec = sim::dgxA100Spec(config.gpuCount);
+    const auto dlrm_config = dlrm::makeDlrmConfig(
+        plan.spec.dataset, plan.schema, config.batchPerGpu);
+    const auto sharding = makeSharding(config, plan);
+
+    OfflinePlan offline;
+    OverlappingCapacityEstimator estimator(cluster_spec, dlrm_config,
+                                           sharding);
+    offline.profiles = estimator.profileAll();
+
+    FusionOptions fusion_options;
+    fusion_options.solver = config.solver;
+    fusion_options.enableFusion = traits.fusion;
+    HorizontalFusionPlanner planner(cluster_spec.gpu, config.predictor,
+                                    fusion_options);
+    GraphMapper mapper(plan, sharding, cluster_spec,
+                       config.batchPerGpu);
+
+    const MappingStrategy strategy =
+        config.forcedMapping.value_or(traits.mapping);
+    offline.mapping =
+        strategy == MappingStrategy::Rap
+            ? mapper.mapRap(offline.profiles, planner, /*max_moves=*/64,
+                            pool)
+            : mapper.map(strategy);
+
+    // Per-GPU plan + schedule: independent given the mapping and the
+    // profiles (planner, mapper, and scheduler are all const here), so
+    // each GPU runs as one pool task writing its own slot.
+    CoRunScheduler scheduler(planner);
+    const auto gpu_count = static_cast<std::size_t>(config.gpuCount);
+    offline.schedules.resize(gpu_count);
+    auto planGpu = [&](std::size_t g) {
+        auto kernels = planner.plan(
+            mapper.buildGpuGraph(offline.mapping, static_cast<int>(g)),
+            config.batchPerGpu);
+        if (traits.capacityScheduling) {
+            offline.schedules[g] = scheduler.schedule(
+                std::move(kernels), offline.profiles[g]);
+        } else {
+            // Baselines launch kernels back-to-back from iteration
+            // start without capacity awareness.
+            CoRunSchedule schedule;
+            for (auto &k : kernels) {
+                schedule.totalPreprocLatency += k.predictedLatency;
+                schedule.kernels.push_back(
+                    ScheduledKernel{std::move(k), 0, false});
+            }
+            offline.schedules[g] = std::move(schedule);
+        }
+    };
+    if (pool != nullptr)
+        pool->parallelFor(gpu_count, planGpu);
+    else
+        for (std::size_t g = 0; g < gpu_count; ++g)
+            planGpu(g);
+    return offline;
+}
+
 RunReport
 OnlineTrainer::run()
 {
@@ -193,13 +270,7 @@ OnlineTrainer::runIdeal()
     const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
-    const auto sharding =
-        config_.rowWiseThreshold > 0
-            ? dlrm::EmbeddingSharding::balancedWithRowWise(
-                  plan_.schema, config_.gpuCount,
-                  config_.rowWiseThreshold)
-            : dlrm::EmbeddingSharding::balanced(plan_.schema,
-                                                config_.gpuCount);
+    const auto sharding = makeSharding(config_, plan_);
 
     sim::Cluster cluster(cluster_spec);
     dlrm::TrainingDriver driver(cluster, config, sharding);
@@ -228,13 +299,7 @@ OnlineTrainer::runTorchArrow()
     const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
-    const auto sharding =
-        config_.rowWiseThreshold > 0
-            ? dlrm::EmbeddingSharding::balancedWithRowWise(
-                  plan_.schema, config_.gpuCount,
-                  config_.rowWiseThreshold)
-            : dlrm::EmbeddingSharding::balanced(plan_.schema,
-                                                config_.gpuCount);
+    const auto sharding = makeSharding(config_, plan_);
 
     // Host cost of preprocessing one batch (all features).
     Seconds batch_core_seconds = 0.0;
@@ -316,8 +381,6 @@ OnlineTrainer::runTorchArrow()
     report.system = systemName(config_.system);
     report.gpuCount = gpus;
     report.batchPerGpu = config_.batchPerGpu;
-    report.avgIterationLatency =
-        driver.avgIterationLatency(config_.warmup);
     // The pipeline is input-bound when CPU supply trails demand; the
     // effective iteration interval is end-to-end makespan / iterations.
     const Seconds span_start = driver.iterationSpan(0, config_.warmup)
@@ -342,18 +405,17 @@ OnlineTrainer::runGpuSystem()
     const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
-    const auto sharding =
-        config_.rowWiseThreshold > 0
-            ? dlrm::EmbeddingSharding::balancedWithRowWise(
-                  plan_.schema, config_.gpuCount,
-                  config_.rowWiseThreshold)
-            : dlrm::EmbeddingSharding::balanced(plan_.schema,
-                                                config_.gpuCount);
+    const auto sharding = makeSharding(config_, plan_);
 
-    // ---- Offline phase: capacity profiles + plan search. ----
-    OverlappingCapacityEstimator estimator(cluster_spec, config,
-                                           sharding);
-    const auto profiles = estimator.profileAll();
+    // ---- Offline phase: capacity profiles + plan search, fanned out
+    // over the planning pool (serial when planningThreads == 1). ----
+    std::unique_ptr<ThreadPool> pool;
+    if (config_.planningThreads != 1)
+        pool = std::make_unique<ThreadPool>(config_.planningThreads);
+    OfflinePlan offline = planOffline(config_, plan_, pool.get());
+    const auto &profiles = offline.profiles;
+    const auto &mapping = offline.mapping;
+    auto &schedules = offline.schedules;
 
     FusionOptions fusion_options;
     fusion_options.solver = config_.solver;
@@ -362,38 +424,6 @@ OnlineTrainer::runGpuSystem()
                                     fusion_options);
     GraphMapper mapper(plan_, sharding, cluster_spec,
                        config_.batchPerGpu);
-
-    const MappingStrategy strategy =
-        config_.forcedMapping.value_or(traits.mapping);
-    GraphMapping mapping;
-    if (strategy == MappingStrategy::Rap) {
-        mapping = mapper.mapRap(profiles, planner);
-    } else {
-        mapping = mapper.map(strategy);
-    }
-
-    CoRunScheduler scheduler(planner);
-    std::vector<CoRunSchedule> schedules;
-    schedules.reserve(static_cast<std::size_t>(config_.gpuCount));
-    for (int g = 0; g < config_.gpuCount; ++g) {
-        auto kernels = planner.plan(mapper.buildGpuGraph(mapping, g),
-                                    config_.batchPerGpu);
-        if (traits.capacityScheduling) {
-            schedules.push_back(scheduler.schedule(
-                std::move(kernels),
-                profiles[static_cast<std::size_t>(g)]));
-        } else {
-            // Baselines launch kernels back-to-back from iteration
-            // start without capacity awareness.
-            CoRunSchedule schedule;
-            for (auto &k : kernels) {
-                schedule.totalPreprocLatency += k.predictedLatency;
-                schedule.kernels.push_back(
-                    ScheduledKernel{std::move(k), 0, false});
-            }
-            schedules.push_back(std::move(schedule));
-        }
-    }
 
     // ---- Hybrid extension (§10): kernels whose latency exceeds the
     // GPUs' total overlapping capacity (the scheduler's overflow set)
@@ -440,9 +470,14 @@ OnlineTrainer::runGpuSystem()
                     }
                 }
                 const Seconds before = sk.kernel.predictedLatency;
+                const Seconds launch =
+                    planner.spec().kernelLaunchOverhead;
                 if (keep_ids.empty()) {
-                    schedule.totalPreprocLatency -= before;
-                    schedule.estimatedExposed -= before;
+                    // A fully offloaded kernel also gives back its
+                    // launch overhead (both totals charge one launch
+                    // per kernel).
+                    schedule.totalPreprocLatency -= before + launch;
+                    schedule.estimatedExposed -= before + launch;
                     continue; // whole kernel offloaded
                 }
                 if (keep_ids.size() < sk.kernel.nodeIds.size()) {

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
 #include "core/corun_scheduler.hpp"
 #include "core/latency_predictor.hpp"
@@ -88,6 +89,13 @@ struct SystemConfig
     int torchArrowWorkersPerGpu = 8;
     /** TorchArrow baseline: CPU cores per worker. */
     int coresPerWorker = 4;
+    /**
+     * Host worker threads for the offline planning phase (per-GPU
+     * fusion planning, mapping search, co-run scheduling). 1 = serial,
+     * 0 = hardware concurrency. Plans and reports are bit-identical
+     * across thread counts (the thread-pool determinism contract).
+     */
+    int planningThreads = 1;
 };
 
 /** Measured outcome of one run. */
@@ -115,6 +123,33 @@ struct RunReport
     /** Mean predicted standalone preprocessing latency per GPU. */
     Seconds preprocLatencyPerIter = 0.0;
 };
+
+/**
+ * Output of the offline planning phase for a GPU-preprocessing
+ * system: per-GPU capacity profiles, the preprocessing-graph mapping,
+ * and one co-run schedule per GPU.
+ */
+struct OfflinePlan
+{
+    std::vector<CapacityProfile> profiles;
+    GraphMapping mapping;
+    std::vector<CoRunSchedule> schedules;
+};
+
+/**
+ * Run the offline phase (paper Algorithm 1 plus the §6-§7 searches)
+ * for @p config on @p plan: profile capacities, search the mapping,
+ * and build each GPU's fused co-run schedule.
+ *
+ * Per-GPU planning and scheduling are independent given the profiles;
+ * when @p pool is non-null they run on its workers. Results are
+ * reduced in GPU order, so the returned plan is bit-identical for any
+ * thread count. Only GPU-preprocessing systems have an offline phase
+ * (not Ideal / TorchArrowCpu).
+ */
+OfflinePlan planOffline(const SystemConfig &config,
+                        const preproc::PreprocPlan &plan,
+                        ThreadPool *pool = nullptr);
 
 /**
  * Assembles and runs one configured system over one plan.

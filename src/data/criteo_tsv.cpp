@@ -41,6 +41,19 @@ parseId(std::string_view field)
     return value;
 }
 
+float
+parseDense(std::string_view field)
+{
+    float value = 0.0f;
+    const auto *begin = field.data();
+    const auto *end = field.data() + field.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{} || result.ptr != end)
+        RAP_FATAL("malformed dense value in TSV field: '",
+                  std::string(field), "'");
+    return value;
+}
+
 } // namespace
 
 void
@@ -81,6 +94,10 @@ readCriteoTsv(std::istream &in, const Schema &schema,
     std::vector<std::int64_t> ids;
     while ((max_rows == 0 || rows < max_rows) &&
            std::getline(in, line)) {
+        // CRLF input: getline keeps the '\r', which would otherwise
+        // corrupt the last field.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         const auto fields = splitFields(line);
@@ -95,8 +112,7 @@ readCriteoTsv(std::istream &in, const Schema &schema,
                 dense_values[f].push_back(0.0f);
                 dense_valid[f].push_back(0);
             } else {
-                dense_values[f].push_back(
-                    std::strtof(std::string(field).c_str(), nullptr));
+                dense_values[f].push_back(parseDense(field));
                 dense_valid[f].push_back(1);
             }
         }

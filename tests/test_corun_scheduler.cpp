@@ -129,6 +129,41 @@ TEST(CoRunScheduler, OverloadReportsExposure)
     EXPECT_TRUE(any_overflow);
 }
 
+TEST(CoRunScheduler, OverflowKernelsChargedLaunchOverhead)
+{
+    HorizontalFusionPlanner planner(sim::a100Spec());
+    CoRunScheduler scheduler(planner);
+    // Shrink the iteration so every kernel overflows: the exposed
+    // estimate must then be the overflow kernels' latencies plus one
+    // launch overhead each (they still launch on the training
+    // process's launch path).
+    CapacityProfile tiny;
+    OpCapacity op;
+    op.name = "op";
+    op.duration = 1e-9;
+    op.capacity = 0.0;
+    op.leftover = {0.5, 0.5};
+    tiny.ops.push_back(op);
+    tiny.iterationLatency = 1e-9;
+    const auto schedule =
+        scheduler.schedule(planKernels(planner), tiny);
+
+    const Seconds launch = planner.spec().kernelLaunchOverhead;
+    ASSERT_GT(launch, 0.0);
+    Seconds expected = 0.0;
+    Seconds bare = 0.0;
+    for (const auto &sk : schedule.kernels) {
+        ASSERT_TRUE(sk.overflow);
+        expected += sk.kernel.predictedLatency + launch;
+        bare += sk.kernel.predictedLatency;
+    }
+    ASSERT_FALSE(schedule.kernels.empty());
+    EXPECT_DOUBLE_EQ(schedule.estimatedExposed, expected);
+    // The launch charge is visible: exposure strictly exceeds the
+    // bare kernel latencies.
+    EXPECT_GT(schedule.estimatedExposed, bare);
+}
+
 TEST(CoRunScheduler, ShardsWideKernelsAcrossLayers)
 {
     HorizontalFusionPlanner planner(sim::a100Spec());

@@ -105,6 +105,52 @@ TEST(CriteoTsv, SkipsBlankLines)
     EXPECT_FLOAT_EQ(parsed.dense(0).value(1), 5.0f);
 }
 
+TEST(CriteoTsv, CrlfLineEndingsRoundTrip)
+{
+    const auto schema = smallSchema();
+    RecordBatch batch(schema, 3);
+    batch.dense(0).set(0, 1.5f);
+    batch.dense(0).setNull(1);
+    batch.dense(0).set(2, -2.0f);
+    batch.dense(1).set(0, 7.0f);
+    batch.dense(1).set(1, 8.0f);
+    batch.dense(1).set(2, 9.0f);
+    SparseColumn s0;
+    s0.appendRow({10, 20, 30});
+    s0.appendRow({});
+    s0.appendRow({5});
+    batch.setSparse(0, std::move(s0));
+    SparseColumn s1;
+    s1.appendRow({1});
+    s1.appendRow({2});
+    s1.appendRow({}); // trailing field empty: '\r' is all that follows
+    batch.setSparse(1, std::move(s1));
+
+    std::stringstream buffer;
+    writeCriteoTsv(buffer, batch);
+    std::string text = buffer.str();
+    // Rewrite to Windows line endings, as a file copied through a
+    // CRLF platform would arrive.
+    std::string crlf;
+    for (char c : text) {
+        if (c == '\n')
+            crlf += '\r';
+        crlf += c;
+    }
+    std::stringstream crlf_buffer(crlf);
+    const auto parsed = readCriteoTsv(crlf_buffer, schema);
+
+    ASSERT_EQ(parsed.rows(), 3u);
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(0), 1.5f);
+    EXPECT_FALSE(parsed.dense(0).isValid(1));
+    EXPECT_FLOAT_EQ(parsed.dense(0).value(2), -2.0f);
+    EXPECT_FLOAT_EQ(parsed.dense(1).value(2), 9.0f);
+    EXPECT_EQ(parsed.sparse(0).listLength(0), 3u);
+    EXPECT_EQ(parsed.sparse(0).value(0, 1), 20);
+    EXPECT_EQ(parsed.sparse(1).value(1, 0), 2);
+    EXPECT_EQ(parsed.sparse(1).listLength(2), 0u);
+}
+
 TEST(CriteoTsvDeath, WrongFieldCountIsFatal)
 {
     const auto schema = smallSchema();
@@ -119,6 +165,24 @@ TEST(CriteoTsvDeath, MalformedIdIsFatal)
     std::stringstream buffer("1.0\t2.0\tabc\t4\n");
     EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
                 ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(CriteoTsvDeath, MalformedDenseValueIsFatal)
+{
+    const auto schema = smallSchema();
+    // strtof would silently accept the "1.5" prefix; the reader must
+    // reject any trailing garbage in a dense field.
+    std::stringstream buffer("1.5abc\t2.0\t3\t4\n");
+    EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
+                ::testing::ExitedWithCode(1), "malformed dense");
+}
+
+TEST(CriteoTsvDeath, NonNumericDenseValueIsFatal)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("1.0\tx\t3\t4\n");
+    EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
+                ::testing::ExitedWithCode(1), "malformed dense");
 }
 
 TEST(CriteoTsv, FileRoundTrip)

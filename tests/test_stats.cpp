@@ -46,7 +46,7 @@ TEST(RunningStat, MatchesDirectComputation)
     double var = 0.0;
     for (double x : xs)
         var += (x - mean) * (x - mean);
-    var /= static_cast<double>(xs.size());
+    var /= static_cast<double>(xs.size() - 1); // sample variance
 
     EXPECT_EQ(s.count(), xs.size());
     EXPECT_NEAR(s.mean(), mean, 1e-12);

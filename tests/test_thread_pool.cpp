@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and stress tests for the deterministic thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace rap {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, ZeroPicksHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        const std::size_t n = 257;
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, EmptyAndSingletonLoops)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MapReturnsSubmissionOrder)
+{
+    ThreadPool serial(1);
+    ThreadPool parallel(4);
+    const std::size_t n = 101;
+    const auto square = [](std::size_t i) {
+        return static_cast<int>(i * i);
+    };
+    const auto a = serial.parallelMap<int>(n, square);
+    const auto b = parallel.parallelMap<int>(n, square);
+    ASSERT_EQ(a.size(), n);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                if (i % 7 == 3)
+                    throw std::runtime_error("task " +
+                                             std::to_string(i));
+            });
+            FAIL() << "parallelFor swallowed the exception";
+        } catch (const std::runtime_error &e) {
+            // First throwing index in submission order is 3.
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(ThreadPool, UsableAfterException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     8,
+                     [](std::size_t) {
+                         throw std::logic_error("boom");
+                     }),
+                 std::logic_error);
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedLoopsRunInline)
+{
+    ThreadPool pool(4);
+    const std::size_t outer = 8;
+    const std::size_t inner = 16;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(outer, [&](std::size_t o) {
+        // Nested call on the same pool must degrade to inline serial
+        // execution instead of deadlocking on the pool's own workers.
+        pool.parallelFor(inner, [&](std::size_t i) {
+            hits[o * inner + i]++;
+        });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ThreadPoolStress, ManyBatchesStayConsistent)
+{
+    ThreadPool pool(4);
+    for (std::size_t n : {1u, 2u, 3u, 17u, 64u, 255u, 1024u}) {
+        for (int round = 0; round < 50; ++round) {
+            const auto out = pool.parallelMap<std::size_t>(
+                n, [](std::size_t i) { return i + 1; });
+            const std::size_t sum =
+                std::accumulate(out.begin(), out.end(),
+                                std::size_t{0});
+            EXPECT_EQ(sum, n * (n + 1) / 2) << "n=" << n;
+        }
+    }
+}
+
+TEST(ThreadPoolStress, InterleavedWorkAndExceptions)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 100; ++round) {
+        if (round % 3 == 0) {
+            EXPECT_THROW(
+                pool.parallelFor(32,
+                                 [&](std::size_t i) {
+                                     if (i == 31)
+                                         throw std::runtime_error(
+                                             "tail");
+                                 }),
+                std::runtime_error);
+        } else {
+            std::atomic<int> count{0};
+            pool.parallelFor(32, [&](std::size_t) { count++; });
+            EXPECT_EQ(count.load(), 32);
+        }
+    }
+}
+
+} // namespace
+} // namespace rap
