@@ -42,6 +42,17 @@ parseJobs(int argc, char **argv)
     return jobs <= 0 ? ThreadPool::hardwareThreads() : jobs;
 }
 
+/** @return True when the boolean @p flag (e.g. "--tiny") is present. */
+inline bool
+parseFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
 } // namespace rap::bench
 
 #endif // RAP_BENCH_COMMON_HPP

@@ -28,6 +28,46 @@ CapacityProfile::byCapacityDescending() const
     return order;
 }
 
+CapacityProfile
+degradeProfile(const CapacityProfile &profile, double sm_capacity,
+               double bw_capacity)
+{
+    RAP_ASSERT(sm_capacity > 0.0 && sm_capacity <= 1.0,
+               "SM capacity must be in (0, 1]");
+    RAP_ASSERT(bw_capacity > 0.0 && bw_capacity <= 1.0,
+               "HBM capacity must be in (0, 1]");
+    constexpr double kDemandEps = 1e-9;
+    // Matches the starvation floor of the device contention model.
+    constexpr double kMinRate = 0.02;
+
+    CapacityProfile degraded = profile;
+    Seconds healthy_total = 0.0;
+    Seconds degraded_total = 0.0;
+    for (auto &op : degraded.ops) {
+        const double demand_sm =
+            std::clamp(1.0 - op.leftover.sm, 0.0, 1.0);
+        const double demand_bw =
+            std::clamp(1.0 - op.leftover.bw, 0.0, 1.0);
+        double rate = 1.0;
+        if (demand_sm > kDemandEps)
+            rate = std::min(rate, sm_capacity / demand_sm);
+        if (demand_bw > kDemandEps)
+            rate = std::min(rate, bw_capacity / demand_bw);
+        rate = std::clamp(rate, kMinRate, 1.0);
+        healthy_total += op.duration;
+        op.duration /= rate;
+        op.capacity /= rate;
+        op.leftover.sm = std::max(0.0, sm_capacity - demand_sm * rate);
+        op.leftover.bw = std::max(0.0, bw_capacity - demand_bw * rate);
+        degraded_total += op.duration;
+    }
+    if (healthy_total > 0.0) {
+        degraded.iterationLatency =
+            profile.iterationLatency * (degraded_total / healthy_total);
+    }
+    return degraded;
+}
+
 OverlappingCapacityEstimator::OverlappingCapacityEstimator(
     sim::ClusterSpec cluster_spec, dlrm::DlrmConfig config,
     dlrm::EmbeddingSharding sharding, CapacityOptions options)

@@ -55,6 +55,21 @@ struct CapacityProfile
     std::vector<std::size_t> byCapacityDescending() const;
 };
 
+/**
+ * Re-derive a capacity profile for a degraded device (the online
+ * replanning path; see sim/fault.hpp).
+ *
+ * @p sm_capacity and @p bw_capacity are the device's current resource
+ * envelopes in (0, 1] of the healthy device. Each op slows by the
+ * contention model's rate (its demand squeezed into the shrunk
+ * envelope), its overlap window grows with its duration, and its
+ * leftover becomes what the degraded device still has to give while
+ * the op is resident. iterationLatency scales with the summed op
+ * slowdown. Healthy capacities return the profile unchanged.
+ */
+CapacityProfile degradeProfile(const CapacityProfile &profile,
+                               double sm_capacity, double bw_capacity);
+
 /** Estimator tuning. */
 struct CapacityOptions
 {

@@ -151,6 +151,17 @@ fillUtilisation(RunReport &report, sim::Cluster &cluster, Seconds t0,
     report.p2pBytes = p2p;
 }
 
+/** Aggregate fault-injection statistics over the whole run. */
+void
+fillFaultStats(RunReport &report, sim::Cluster &cluster)
+{
+    for (int g = 0; g < cluster.gpuCount(); ++g) {
+        report.kernelRetries += cluster.device(g).kernelRetries();
+        report.retryBackoffSeconds +=
+            cluster.device(g).retryBackoffSeconds();
+    }
+}
+
 } // namespace
 
 std::string
@@ -273,6 +284,11 @@ OnlineTrainer::runIdeal()
     const auto sharding = makeSharding(config_, plan_);
 
     sim::Cluster cluster(cluster_spec);
+    std::optional<sim::FaultInjector> injector;
+    if (config_.faults) {
+        injector.emplace(*config_.faults);
+        injector->arm(cluster);
+    }
     dlrm::TrainingDriver driver(cluster, config, sharding);
     driver.pushIterations(config_.iterations);
     cluster.run();
@@ -290,6 +306,8 @@ OnlineTrainer::runIdeal()
     const Seconds t1 =
         driver.iterationSpan(0, config_.iterations - 1).end;
     fillUtilisation(report, cluster, t0, t1);
+    report.makespan = cluster.engine().now();
+    fillFaultStats(report, cluster);
     return report;
 }
 
@@ -319,6 +337,11 @@ OnlineTrainer::runTorchArrow()
 
     sim::Cluster cluster(cluster_spec);
     auto &engine = cluster.engine();
+    std::optional<sim::FaultInjector> injector;
+    if (config_.faults) {
+        injector.emplace(*config_.faults);
+        injector->arm(cluster);
+    }
     const int n = config_.iterations;
     const int gpus = config_.gpuCount;
     const int workers = config_.torchArrowWorkersPerGpu;
@@ -395,6 +418,8 @@ OnlineTrainer::runTorchArrow()
                         gpus / interval;
     report.preprocLatencyPerIter = batch_core_seconds;
     fillUtilisation(report, cluster, span_start, span_end);
+    report.makespan = engine.now();
+    fillFaultStats(report, cluster);
     return report;
 }
 
@@ -414,7 +439,7 @@ OnlineTrainer::runGpuSystem()
         pool = std::make_unique<ThreadPool>(config_.planningThreads);
     OfflinePlan offline = planOffline(config_, plan_, pool.get());
     const auto &profiles = offline.profiles;
-    const auto &mapping = offline.mapping;
+    auto &mapping = offline.mapping; // replaced on a mapping replan
     auto &schedules = offline.schedules;
 
     FusionOptions fusion_options;
@@ -504,6 +529,14 @@ OnlineTrainer::runGpuSystem()
     const int n = config_.iterations;
     const int gpus = config_.gpuCount;
 
+    // Optional seeded fault scenario: degraded SM/HBM envelopes, slow
+    // links, transient kernel-launch failures (sim/fault.hpp).
+    std::optional<sim::FaultInjector> injector;
+    if (config_.faults) {
+        injector.emplace(*config_.faults);
+        injector->arm(cluster);
+    }
+
     std::vector<std::vector<sim::SimEventPtr>> ready(
         static_cast<std::size_t>(gpus));
     std::vector<std::unique_ptr<InputBarrier>> barriers;
@@ -535,146 +568,272 @@ OnlineTrainer::runGpuSystem()
     std::vector<std::vector<std::unique_ptr<InputBarrier>>> joins(
         static_cast<std::size_t>(gpus));
 
+    // Per-GPU streams persist across batches: batch work is pushed
+    // incrementally (kPushAhead batches deep) so an online replan can
+    // splice a new schedule in at the next batch boundary.
+    struct GpuLane
+    {
+        sim::Stream *prep = nullptr;
+        sim::Stream *copy = nullptr;
+        sim::Stream *pre = nullptr;
+    };
+    std::vector<GpuLane> lanes(static_cast<std::size_t>(gpus));
     for (int g = 0; g < gpus; ++g) {
-        const auto &schedule =
-            schedules[static_cast<std::size_t>(g)];
         auto &device = cluster.device(g);
-        auto &prep_stream = cluster.host().newStream(
-            "prep.g" + std::to_string(g));
-        auto &copy_stream = device.newStream(
-            "gpu" + std::to_string(g) + ".copy");
-        auto &pre_stream = device.newStream(
+        auto &lane = lanes[static_cast<std::size_t>(g)];
+        lane.prep =
+            &cluster.host().newStream("prep.g" + std::to_string(g));
+        lane.copy =
+            &device.newStream("gpu" + std::to_string(g) + ".copy");
+        lane.pre = &device.newStream(
             "gpu" + std::to_string(g) + ".preproc",
             traits.preprocLaunchGroup, traits.preprocPriority);
-
-        // Host preparation: per-kernel argument assembly plus one raw
-        // column staged over PCIe per mapped work item.
-        Seconds prep_cpu = 0.0;
-        Bytes prep_bytes = 0.0;
-        for (const auto &sk : schedule.kernels)
-            prep_cpu += sk.kernel.prepCpuSeconds;
-        for (const auto &item :
-             mapping.itemsPerGpu[static_cast<std::size_t>(g)]) {
-            // Column slicing + pinned-buffer staging is a memcpy-rate
-            // pass over the raw column (the Fig. 8 preparation cost).
-            const Bytes raw = mapper.featureRawBytes(item.featureId);
-            prep_cpu += 4e-6 + raw / 5e9;
-            prep_bytes += raw;
-        }
-        // Input communication: one message per remote-consumer item
-        // (per-feature tensors are shipped individually).
-        const std::vector<Bytes> comm_messages =
-            mapper.remoteMessageSizes(mapping, g);
-
-        for (int j = 0; j < n; ++j) {
-            // --- Host data preparation + H2D staging for batch j. ---
-            auto prep_done = sim::makeEvent(
-                "prep.g" + std::to_string(g) + "." +
-                std::to_string(j));
-            // Interleaving starts the next batch's preparation one
-            // iteration early (§6.3); without it, preparation waits
-            // for the iteration the kernels will co-run with.
-            const int prep_gate_iter =
-                config_.interleave && traits.capacityScheduling
-                    ? j - 2
-                    : j - 1;
-            if (prep_gate_iter >= 0 && !traits.sequential)
-                prep_stream.pushWait(
-                    driver.opStart(g, prep_gate_iter, 0));
-            if (traits.sequential && j >= 1)
-                prep_stream.pushWait(driver.iterEnd(g, j - 1));
-            auto cpu_done = sim::makeEvent(
-                "prepcpu.g" + std::to_string(g) + "." +
-                std::to_string(j));
-            prep_stream.pushCpuTask(prep_cpu, 1);
-            prep_stream.pushRecord(cpu_done);
-            copy_stream.pushWait(cpu_done);
-            copy_stream.pushCopy(sim::CopyKind::HostToDevice,
-                                 prep_bytes);
-            copy_stream.pushRecord(prep_done);
-
-            // --- Preprocessing kernels for batch j. ---
-            pre_stream.pushWait(prep_done);
-            const int corun_iter = j - 1;
-            if (traits.sequential && j >= 1) {
-                pre_stream.pushWait(driver.iterEnd(g, j - 1));
-            } else if (!traits.capacityScheduling && corun_iter >= 0) {
-                pre_stream.pushWait(
-                    driver.opStart(g, corun_iter, 0));
-            }
-            for (const auto &sk : schedule.kernels) {
-                if (traits.capacityScheduling && corun_iter >= 0) {
-                    pre_stream.pushWait(
-                        driver.opStart(g, corun_iter, sk.opIndex));
-                }
-                if (traits.hostDispatch > 0.0)
-                    pre_stream.pushDelay(traits.hostDispatch);
-                pre_stream.pushKernel(sk.kernel.kernel);
-            }
-
-            // --- Input communication + readiness barrier. ---
-            auto batch_done = sim::makeEvent(
-                "batch.g" + std::to_string(g) + "." +
-                std::to_string(j));
-            if (!comm_messages.empty()) {
-                auto kernels_done = sim::makeEvent(
-                    "kdone.g" + std::to_string(g) + "." +
-                    std::to_string(j));
-                pre_stream.pushRecord(kernels_done);
-                copy_stream.pushWait(kernels_done);
-                for (Bytes message : comm_messages) {
-                    copy_stream.pushCopy(sim::CopyKind::PeerToPeer,
-                                         message);
-                }
-                copy_stream.pushRecord(batch_done);
-            } else {
-                pre_stream.pushRecord(batch_done);
-            }
-            auto *barrier = barriers[static_cast<std::size_t>(j)].get();
-            const Seconds cpu_part =
-                cpu_part_core_seconds[static_cast<std::size_t>(g)];
-            if (cpu_part > 0.0) {
-                // Hybrid: the CPU segment runs on a dedicated worker
-                // pipeline; batch readiness joins both halves.
-                if (hybrid_streams[static_cast<std::size_t>(g)] ==
-                    nullptr) {
-                    hybrid_streams[static_cast<std::size_t>(g)] =
-                        &cluster.host().newStream(
-                            "hybrid.g" + std::to_string(g));
-                }
-                auto &worker =
-                    *hybrid_streams[static_cast<std::size_t>(g)];
-                auto cpu_done = sim::makeEvent(
-                    "hybridcpu.g" + std::to_string(g) + "." +
-                    std::to_string(j));
-                const int gate_iter = j - 2;
-                if (gate_iter >= 0)
-                    worker.pushWait(driver.opStart(g, gate_iter, 0));
-                worker.pushCpuTask(cpu_part / hybrid_cores,
-                                   hybrid_cores);
-                worker.pushRecord(cpu_done);
-                auto *join = joins[static_cast<std::size_t>(g)]
-                                 .emplace_back(
-                                     std::make_unique<InputBarrier>(
-                                         engine, 2))
-                                 .get();
-                // The joint completion reports to the global barrier.
-                auto joined = sim::makeEvent(
-                    "hybridjoin.g" + std::to_string(g) + "." +
-                    std::to_string(j));
-                join->addTarget(joined);
-                batch_done->addWaiter(engine,
-                                      [join] { join->arrive(); });
-                cpu_done->addWaiter(engine,
-                                    [join] { join->arrive(); });
-                joined->addWaiter(engine,
-                                  [barrier] { barrier->arrive(); });
-            } else {
-                batch_done->addWaiter(engine,
-                                      [barrier] { barrier->arrive(); });
-            }
-        }
     }
+
+    // Host preparation cost and input-communication messages follow
+    // the current mapping and schedules; recomputed after a replan.
+    std::vector<Seconds> prep_cpu(static_cast<std::size_t>(gpus), 0.0);
+    std::vector<Bytes> prep_bytes(static_cast<std::size_t>(gpus), 0.0);
+    std::vector<std::vector<Bytes>> comm_messages(
+        static_cast<std::size_t>(gpus));
+    auto refreshMappingCosts = [&] {
+        for (int g = 0; g < gpus; ++g) {
+            const auto gi = static_cast<std::size_t>(g);
+            // Host preparation: per-kernel argument assembly plus one
+            // raw column staged over PCIe per mapped work item.
+            Seconds cpu = 0.0;
+            Bytes bytes = 0.0;
+            for (const auto &sk : schedules[gi].kernels)
+                cpu += sk.kernel.prepCpuSeconds;
+            for (const auto &item : mapping.itemsPerGpu[gi]) {
+                // Column slicing + pinned-buffer staging is a
+                // memcpy-rate pass over the raw column (the Fig. 8
+                // preparation cost).
+                const Bytes raw =
+                    mapper.featureRawBytes(item.featureId);
+                cpu += 4e-6 + raw / 5e9;
+                bytes += raw;
+            }
+            prep_cpu[gi] = cpu;
+            prep_bytes[gi] = bytes;
+            // Input communication: one message per remote-consumer
+            // item (per-feature tensors are shipped individually).
+            comm_messages[gi] = mapper.remoteMessageSizes(mapping, g);
+        }
+    };
+    refreshMappingCosts();
+
+    auto pushBatch = [&](int g, int j) {
+        const auto gi = static_cast<std::size_t>(g);
+        const auto &schedule = schedules[gi];
+        auto &prep_stream = *lanes[gi].prep;
+        auto &copy_stream = *lanes[gi].copy;
+        auto &pre_stream = *lanes[gi].pre;
+
+        // --- Host data preparation + H2D staging for batch j. ---
+        auto prep_done = sim::makeEvent(
+            "prep.g" + std::to_string(g) + "." + std::to_string(j));
+        // Interleaving starts the next batch's preparation one
+        // iteration early (§6.3); without it, preparation waits
+        // for the iteration the kernels will co-run with.
+        const int prep_gate_iter =
+            config_.interleave && traits.capacityScheduling ? j - 2
+                                                            : j - 1;
+        if (prep_gate_iter >= 0 && !traits.sequential)
+            prep_stream.pushWait(driver.opStart(g, prep_gate_iter, 0));
+        if (traits.sequential && j >= 1)
+            prep_stream.pushWait(driver.iterEnd(g, j - 1));
+        auto cpu_done = sim::makeEvent(
+            "prepcpu.g" + std::to_string(g) + "." + std::to_string(j));
+        prep_stream.pushCpuTask(prep_cpu[gi], 1);
+        prep_stream.pushRecord(cpu_done);
+        copy_stream.pushWait(cpu_done);
+        copy_stream.pushCopy(sim::CopyKind::HostToDevice,
+                             prep_bytes[gi]);
+        copy_stream.pushRecord(prep_done);
+
+        // --- Preprocessing kernels for batch j. ---
+        pre_stream.pushWait(prep_done);
+        const int corun_iter = j - 1;
+        if (traits.sequential && j >= 1) {
+            pre_stream.pushWait(driver.iterEnd(g, j - 1));
+        } else if (!traits.capacityScheduling && corun_iter >= 0) {
+            pre_stream.pushWait(driver.opStart(g, corun_iter, 0));
+        }
+        for (const auto &sk : schedule.kernels) {
+            if (traits.capacityScheduling && corun_iter >= 0) {
+                pre_stream.pushWait(
+                    driver.opStart(g, corun_iter, sk.opIndex));
+            }
+            if (traits.hostDispatch > 0.0)
+                pre_stream.pushDelay(traits.hostDispatch);
+            pre_stream.pushKernel(sk.kernel.kernel);
+        }
+
+        // --- Input communication + readiness barrier. ---
+        auto batch_done = sim::makeEvent(
+            "batch.g" + std::to_string(g) + "." + std::to_string(j));
+        if (!comm_messages[gi].empty()) {
+            auto kernels_done = sim::makeEvent(
+                "kdone.g" + std::to_string(g) + "." +
+                std::to_string(j));
+            pre_stream.pushRecord(kernels_done);
+            copy_stream.pushWait(kernels_done);
+            for (Bytes message : comm_messages[gi]) {
+                copy_stream.pushCopy(sim::CopyKind::PeerToPeer,
+                                     message);
+            }
+            copy_stream.pushRecord(batch_done);
+        } else {
+            pre_stream.pushRecord(batch_done);
+        }
+        auto *barrier = barriers[static_cast<std::size_t>(j)].get();
+        const Seconds cpu_part = cpu_part_core_seconds[gi];
+        if (cpu_part > 0.0) {
+            // Hybrid: the CPU segment runs on a dedicated worker
+            // pipeline; batch readiness joins both halves.
+            if (hybrid_streams[gi] == nullptr) {
+                hybrid_streams[gi] = &cluster.host().newStream(
+                    "hybrid.g" + std::to_string(g));
+            }
+            auto &worker = *hybrid_streams[gi];
+            auto hybrid_cpu_done = sim::makeEvent(
+                "hybridcpu.g" + std::to_string(g) + "." +
+                std::to_string(j));
+            const int gate_iter = j - 2;
+            if (gate_iter >= 0)
+                worker.pushWait(driver.opStart(g, gate_iter, 0));
+            worker.pushCpuTask(cpu_part / hybrid_cores, hybrid_cores);
+            worker.pushRecord(hybrid_cpu_done);
+            auto *join =
+                joins[gi]
+                    .emplace_back(
+                        std::make_unique<InputBarrier>(engine, 2))
+                    .get();
+            // The joint completion reports to the global barrier.
+            auto joined = sim::makeEvent(
+                "hybridjoin.g" + std::to_string(g) + "." +
+                std::to_string(j));
+            join->addTarget(joined);
+            batch_done->addWaiter(engine, [join] { join->arrive(); });
+            hybrid_cpu_done->addWaiter(engine,
+                                       [join] { join->arrive(); });
+            joined->addWaiter(engine,
+                              [barrier] { barrier->arrive(); });
+        } else {
+            batch_done->addWaiter(engine,
+                                  [barrier] { barrier->arrive(); });
+        }
+    };
+
+    // ---- Online monitor: drift detection + incremental replanning
+    // (fault-tolerance extension; see DESIGN.md). ----
+    const bool replan_enabled = config_.replanOnDrift &&
+                                traits.capacityScheduling &&
+                                config_.system != System::HybridRap;
+    std::vector<Seconds> predicted(static_cast<std::size_t>(gpus), 0.0);
+    for (int g = 0; g < gpus; ++g)
+        predicted[static_cast<std::size_t>(g)] =
+            profiles[static_cast<std::size_t>(g)].iterationLatency;
+    int replans = 0;
+    int last_replan_iter = -1;
+    constexpr int kPushAhead = 3;
+    constexpr int kReplanCooldown = 3;
+
+    auto replan = [&](const std::vector<Seconds> &observed) {
+        // Re-derive every GPU's capacity profile from its current
+        // (possibly degraded) resource envelopes and reschedule the
+        // co-run; with replanMapping the joint mapping search reruns
+        // too. The offline phase's planning pool is reused.
+        std::vector<CapacityProfile> degraded(profiles.size());
+        for (int g = 0; g < gpus; ++g) {
+            const auto gi = static_cast<std::size_t>(g);
+            const auto &device = cluster.device(g);
+            degraded[gi] = degradeProfile(
+                profiles[gi], device.smCapacity(), device.bwCapacity());
+        }
+        if (config_.replanMapping) {
+            mapping = mapper.mapRap(degraded, planner, /*max_moves=*/64,
+                                    pool.get());
+        }
+        CoRunScheduler scheduler(planner);
+        const auto gpu_count = static_cast<std::size_t>(gpus);
+        auto rescheduleGpu = [&](std::size_t g) {
+            auto kernels = planner.plan(
+                mapper.buildGpuGraph(mapping, static_cast<int>(g)),
+                config_.batchPerGpu);
+            schedules[g] =
+                scheduler.schedule(std::move(kernels), degraded[g]);
+        };
+        if (pool != nullptr)
+            pool->parallelFor(gpu_count, rescheduleGpu);
+        else
+            for (std::size_t g = 0; g < gpu_count; ++g)
+                rescheduleGpu(g);
+        refreshMappingCosts();
+        // Calibrate the monitor to the new plan so drift re-arms
+        // relative to the degraded prediction (or the observation,
+        // when the fault is invisible to the capacity envelopes).
+        for (std::size_t g = 0; g < gpu_count; ++g)
+            predicted[g] =
+                std::max(degraded[g].iterationLatency, observed[g]);
+        ++replans;
+    };
+
+    // One monitor tick per iteration: once every GPU has finished
+    // iteration j, check observed-vs-predicted drift, then extend the
+    // batch pipeline by one (batch j + kPushAhead uses whatever
+    // schedule is current — the splice point).
+    const int tick_count = std::max(0, n - kPushAhead);
+    std::vector<std::unique_ptr<InputBarrier>> ticks;
+    ticks.reserve(static_cast<std::size_t>(tick_count));
+    for (int j = 0; j < tick_count; ++j) {
+        auto tick = std::make_unique<InputBarrier>(engine, gpus);
+        auto fired = sim::makeEvent("monitor." + std::to_string(j));
+        tick->addTarget(fired);
+        fired->addWaiter(engine, [&, j] {
+            if (replan_enabled && j >= config_.warmup &&
+                j >= last_replan_iter + kReplanCooldown) {
+                std::vector<Seconds> observed(
+                    static_cast<std::size_t>(gpus), 0.0);
+                double drift = 0.0;
+                for (int g = 0; g < gpus; ++g) {
+                    const auto gi = static_cast<std::size_t>(g);
+                    // Iteration interval, not span: it includes the
+                    // input-gate wait, so the monitor also sees
+                    // faults that only starve the input pipeline.
+                    const auto &span = driver.iterationSpan(g, j);
+                    observed[gi] =
+                        j >= 1 ? span.end -
+                                     driver.iterationSpan(g, j - 1).end
+                               : span.end - span.start;
+                    if (predicted[gi] > 0.0) {
+                        drift = std::max(
+                            drift,
+                            observed[gi] / predicted[gi] - 1.0);
+                    }
+                }
+                if (drift > config_.replanDriftThreshold) {
+                    replan(observed);
+                    last_replan_iter = j;
+                }
+            }
+            for (int g = 0; g < gpus; ++g)
+                pushBatch(g, j + kPushAhead);
+        });
+        for (int g = 0; g < gpus; ++g) {
+            auto *bar = tick.get();
+            driver.iterEnd(g, j)->addWaiter(engine,
+                                            [bar] { bar->arrive(); });
+        }
+        ticks.push_back(std::move(tick));
+    }
+
+    // Prime the pipeline with the first kPushAhead batches; the
+    // monitor ticks keep it topped up from there.
+    for (int j = 0; j < std::min(kPushAhead, n); ++j)
+        for (int g = 0; g < gpus; ++g)
+            pushBatch(g, j);
 
     cluster.run();
 
@@ -701,6 +860,9 @@ OnlineTrainer::runGpuSystem()
     report.preprocKernelsPerIter = launches.mean();
     report.predictedExposed = exposed.mean();
     report.preprocLatencyPerIter = pre_lat.mean();
+    report.makespan = engine.now();
+    report.replans = replans;
+    fillFaultStats(report, cluster);
     return report;
 }
 

@@ -32,6 +32,7 @@
 #include "core/latency_predictor.hpp"
 #include "core/mapping.hpp"
 #include "preproc/plan.hpp"
+#include "sim/fault.hpp"
 
 namespace rap::core {
 
@@ -96,6 +97,26 @@ struct SystemConfig
      * across thread counts (the thread-pool determinism contract).
      */
     int planningThreads = 1;
+    /**
+     * Optional seeded fault scenario injected into the simulated
+     * cluster: degraded SM/HBM capacity, slow interconnect links,
+     * transient kernel failures (sim/fault.hpp).
+     */
+    std::optional<sim::FaultSpec> faults;
+    /**
+     * Online replanning: after warmup, compare each iteration's
+     * observed latency against the cost model's prediction; past
+     * replanDriftThreshold, re-run the co-run scheduler (and, with
+     * replanMapping, the joint mapping search) on the degraded
+     * resource envelopes using the planning pool, splicing the new
+     * schedule in at the next batch boundary. Applies to RAP variants
+     * with capacity scheduling.
+     */
+    bool replanOnDrift = false;
+    /** Relative iteration-latency drift that triggers a replan. */
+    double replanDriftThreshold = 0.15;
+    /** Also re-run GraphMapper::mapRap on each replan. */
+    bool replanMapping = false;
 };
 
 /** Measured outcome of one run. */
@@ -122,6 +143,14 @@ struct RunReport
     Seconds predictedExposed = 0.0;
     /** Mean predicted standalone preprocessing latency per GPU. */
     Seconds preprocLatencyPerIter = 0.0;
+    /** End-to-end makespan of the whole simulated run. */
+    Seconds makespan = 0.0;
+    /** Online replans triggered by the drift monitor. */
+    int replans = 0;
+    /** Transient kernel-launch failures retried (fault injection). */
+    std::uint64_t kernelRetries = 0;
+    /** Total retry backoff charged to the timeline. */
+    Seconds retryBackoffSeconds = 0.0;
 };
 
 /**

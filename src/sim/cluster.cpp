@@ -31,12 +31,21 @@ Cluster::device(int id) const
     return *devices_[static_cast<std::size_t>(id)];
 }
 
+void
+Cluster::setCollectiveBandwidthScale(double scale)
+{
+    RAP_ASSERT(scale > 0.0 && scale <= 1.0,
+               "fabric bandwidth scale must be in (0, 1]");
+    collectiveBandwidthScale_ = scale;
+}
+
 CollectivePtr
 Cluster::makeCollective(CollectiveKind kind, Bytes bytes_per_gpu,
                         std::string name)
 {
     return std::make_shared<Collective>(
-        engine_, kind, bytes_per_gpu, gpuCount(), spec_.nvlinkBandwidth,
+        engine_, kind, bytes_per_gpu, gpuCount(),
+        spec_.nvlinkBandwidth * collectiveBandwidthScale_,
         spec_.nvlinkLatency, std::move(name));
 }
 

@@ -53,6 +53,18 @@ class Cluster
     CollectivePtr makeCollective(CollectiveKind kind, Bytes bytes_per_gpu,
                                  std::string name);
 
+    /**
+     * Scale the NVSwitch fabric bandwidth used by collectives created
+     * after the call (fault injection; see sim/fault.hpp).
+     */
+    void setCollectiveBandwidthScale(double scale);
+
+    /** @return Current fabric bandwidth scale (1.0 = healthy). */
+    double collectiveBandwidthScale() const
+    {
+        return collectiveBandwidthScale_;
+    }
+
     /** Run the simulation until all queued work drains. */
     void run() { engine_.run(); }
 
@@ -61,6 +73,7 @@ class Cluster
     Engine engine_;
     std::vector<std::unique_ptr<Device>> devices_;
     std::unique_ptr<Host> host_;
+    double collectiveBandwidthScale_ = 1.0;
 };
 
 } // namespace rap::sim

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 
 namespace rap::sim {
 
@@ -38,18 +39,85 @@ void
 Device::launchKernel(Stream &stream, KernelDesc desc,
                      std::function<void()> done)
 {
-    const int group = stream.launchGroup();
+    queueLaunch(stream.launchGroup(), std::move(desc), stream.name(),
+                stream.priority(), std::move(done), /*attempt=*/1);
+}
+
+void
+Device::queueLaunch(int group, KernelDesc desc, std::string stream_name,
+                    int priority, std::function<void()> done,
+                    int attempt)
+{
     auto &free_at = launchFree_[group];
     const Seconds start = std::max(engine_.now(), free_at);
     const Seconds resident_at = start + spec_.kernelLaunchOverhead;
     free_at = resident_at;
     engine_.schedule(resident_at,
-                     [this, desc = std::move(desc),
-                      name = stream.name(),
-                      priority = stream.priority(),
-                      done = std::move(done)] {
-                         addResident(desc, name, priority, done);
+                     [this, group, desc = std::move(desc),
+                      stream_name = std::move(stream_name), priority,
+                      done = std::move(done), attempt]() mutable {
+                         admitKernel(group, std::move(desc),
+                                     std::move(stream_name), priority,
+                                     std::move(done), attempt);
                      });
+}
+
+void
+Device::admitKernel(int group, KernelDesc desc, std::string stream_name,
+                    int priority, std::function<void()> done,
+                    int attempt)
+{
+    if (injector_ != nullptr &&
+        injector_->shouldFailLaunch(engine_.now(), id_, attempt)) {
+        // The attempt dies after the detection fraction of its work,
+        // waits out the backoff, then relaunches through the regular
+        // launch path (charging launch overhead again). All of it is
+        // charged to the timeline, so faults are visible in makespan.
+        KernelDesc probe = desc;
+        probe.name += ".fault" + std::to_string(attempt);
+        probe.exclusiveLatency *= injector_->retry().detectFraction;
+        const Seconds backoff = injector_->backoff(attempt);
+        ++kernelRetries_;
+        retryBackoff_ += backoff;
+        auto relaunch = [this, group, desc = std::move(desc),
+                         stream_name, priority, done = std::move(done),
+                         attempt, backoff]() mutable {
+            engine_.scheduleAfter(
+                backoff, [this, group, desc = std::move(desc),
+                          stream_name = std::move(stream_name),
+                          priority, done = std::move(done),
+                          attempt]() mutable {
+                    queueLaunch(group, std::move(desc),
+                                std::move(stream_name), priority,
+                                std::move(done), attempt + 1);
+                });
+        };
+        addResident(std::move(probe), stream_name, priority,
+                    std::move(relaunch));
+        return;
+    }
+    addResident(std::move(desc), stream_name, priority,
+                std::move(done));
+}
+
+void
+Device::degradeSm(double capacity)
+{
+    RAP_ASSERT(capacity > 0.0 && capacity <= 1.0,
+               "SM capacity must be in (0, 1]");
+    advanceToNow();
+    smCapacity_ = capacity;
+    refresh();
+}
+
+void
+Device::degradeBw(double capacity)
+{
+    RAP_ASSERT(capacity > 0.0 && capacity <= 1.0,
+               "HBM capacity must be in (0, 1]");
+    advanceToNow();
+    bwCapacity_ = capacity;
+    refresh();
 }
 
 void
@@ -133,8 +201,9 @@ Device::refresh()
     }
     std::sort(classes.begin(), classes.end());
 
-    double avail_sm = 1.0;
-    double avail_bw = 1.0;
+    // A degraded device starts the priority walk with less to give.
+    double avail_sm = smCapacity_;
+    double avail_bw = bwCapacity_;
     currentSmUsage_ = 0.0;
     currentBwUsage_ = 0.0;
     for (int cls : classes) {

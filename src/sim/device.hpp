@@ -36,6 +36,8 @@
 
 namespace rap::sim {
 
+class FaultInjector;
+
 /**
  * One simulated GPU.
  */
@@ -98,6 +100,35 @@ class Device
     /** @return P2P egress link (for tests and statistics). */
     LinkServer &p2pLink() { return p2p_; }
 
+    /**
+     * Degrade the device's SM capacity to @p capacity in (0, 1] of
+     * the healthy device (thermal throttle, disabled SMs). Takes
+     * effect immediately: resident kernels re-share the reduced
+     * envelope from the current instant.
+     */
+    void degradeSm(double capacity);
+
+    /** Degrade the device's HBM bandwidth to @p capacity in (0, 1]. */
+    void degradeBw(double capacity);
+
+    /** @return Current SM capacity (1.0 = healthy). */
+    double smCapacity() const { return smCapacity_; }
+
+    /** @return Current HBM-bandwidth capacity (1.0 = healthy). */
+    double bwCapacity() const { return bwCapacity_; }
+
+    /** Install the transient-kernel-failure hook (may be nullptr). */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** @return Failed launch attempts retried on this device. */
+    std::uint64_t kernelRetries() const { return kernelRetries_; }
+
+    /** @return Total retry-backoff delay charged to the timeline. */
+    Seconds retryBackoffSeconds() const { return retryBackoff_; }
+
   private:
     struct Resident
     {
@@ -120,6 +151,16 @@ class Device
     void addResident(KernelDesc desc, const std::string &stream_name,
                      int priority, std::function<void()> done);
 
+    /** Occupy the launch path, then admit attempt @p attempt. */
+    void queueLaunch(int group, KernelDesc desc,
+                     std::string stream_name, int priority,
+                     std::function<void()> done, int attempt);
+
+    /** Make the kernel resident, or fail it and chain the retry. */
+    void admitKernel(int group, KernelDesc desc,
+                     std::string stream_name, int priority,
+                     std::function<void()> done, int attempt);
+
     Engine &engine_;
     GpuSpec spec_;
     int id_;
@@ -131,6 +172,11 @@ class Device
     std::uint64_t nextKernelId_ = 0;
     double currentSmUsage_ = 0.0;
     double currentBwUsage_ = 0.0;
+    double smCapacity_ = 1.0;
+    double bwCapacity_ = 1.0;
+    FaultInjector *injector_ = nullptr;
+    std::uint64_t kernelRetries_ = 0;
+    Seconds retryBackoff_ = 0.0;
     LinkServer h2d_;
     LinkServer p2p_;
     Trace trace_;

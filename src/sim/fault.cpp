@@ -1,0 +1,171 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "sim/cluster.hpp"
+
+namespace rap::sim {
+
+FaultEvent
+FaultEvent::smDegrade(int device, Seconds time, double factor)
+{
+    FaultEvent e;
+    e.kind = FaultKind::SmDegrade;
+    e.device = device;
+    e.time = time;
+    e.factor = factor;
+    return e;
+}
+
+FaultEvent
+FaultEvent::hbmDegrade(int device, Seconds time, double factor)
+{
+    FaultEvent e;
+    e.kind = FaultKind::HbmDegrade;
+    e.device = device;
+    e.time = time;
+    e.factor = factor;
+    return e;
+}
+
+FaultEvent
+FaultEvent::linkSlow(int device, FaultLink link, Seconds time,
+                     double factor)
+{
+    FaultEvent e;
+    e.kind = FaultKind::LinkSlow;
+    e.device = device;
+    e.link = link;
+    e.time = time;
+    e.factor = factor;
+    return e;
+}
+
+FaultEvent
+FaultEvent::transientKernel(int device, Seconds from, Seconds until,
+                            double probability)
+{
+    FaultEvent e;
+    e.kind = FaultKind::TransientKernel;
+    e.device = device;
+    e.time = from;
+    e.until = until;
+    e.probability = probability;
+    return e;
+}
+
+bool
+FaultSpec::hasTransientFaults() const
+{
+    return std::any_of(events.begin(), events.end(),
+                       [](const FaultEvent &e) {
+                           return e.kind == FaultKind::TransientKernel;
+                       });
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed)
+{
+    RAP_ASSERT(spec_.retry.maxAttempts >= 1,
+               "retry policy needs at least one attempt");
+    RAP_ASSERT(spec_.retry.detectFraction > 0.0 &&
+                   spec_.retry.detectFraction <= 1.0,
+               "detect fraction must be in (0, 1]");
+    for (const auto &e : spec_.events) {
+        switch (e.kind) {
+          case FaultKind::SmDegrade:
+          case FaultKind::HbmDegrade:
+          case FaultKind::LinkSlow:
+            RAP_ASSERT(e.factor > 0.0 && e.factor <= 1.0,
+                       "degradation factor must be in (0, 1]");
+            break;
+          case FaultKind::TransientKernel:
+            RAP_ASSERT(e.probability >= 0.0 && e.probability <= 1.0,
+                       "failure probability must be in [0, 1]");
+            RAP_ASSERT(e.until > e.time,
+                       "failure window must have positive length");
+            break;
+        }
+    }
+}
+
+void
+FaultInjector::arm(Cluster &cluster)
+{
+    RAP_ASSERT(!armed_, "fault injector armed twice");
+    armed_ = true;
+    if (spec_.hasTransientFaults()) {
+        for (int g = 0; g < cluster.gpuCount(); ++g)
+            cluster.device(g).setFaultInjector(this);
+    }
+    auto &engine = cluster.engine();
+    for (const auto &e : spec_.events) {
+        if (e.kind == FaultKind::TransientKernel)
+            continue; // consulted live at launch time
+        RAP_ASSERT(e.device < cluster.gpuCount(),
+                   "fault event targets device ", e.device,
+                   " but the cluster has ", cluster.gpuCount(), " GPUs");
+        engine.schedule(e.time, [&cluster, e] {
+            const int first = e.device < 0 ? 0 : e.device;
+            const int last =
+                e.device < 0 ? cluster.gpuCount() - 1 : e.device;
+            for (int g = first; g <= last; ++g) {
+                auto &device = cluster.device(g);
+                switch (e.kind) {
+                  case FaultKind::SmDegrade:
+                    device.degradeSm(e.factor);
+                    break;
+                  case FaultKind::HbmDegrade:
+                    device.degradeBw(e.factor);
+                    break;
+                  case FaultKind::LinkSlow:
+                    if (e.link == FaultLink::HostLink) {
+                        device.h2dLink().setRateScale(e.factor);
+                    } else {
+                        device.p2pLink().setRateScale(e.factor);
+                    }
+                    break;
+                  case FaultKind::TransientKernel:
+                    break;
+                }
+            }
+            if (e.kind == FaultKind::LinkSlow &&
+                e.link == FaultLink::Fabric) {
+                cluster.setCollectiveBandwidthScale(e.factor);
+            }
+        });
+    }
+}
+
+bool
+FaultInjector::shouldFailLaunch(Seconds now, int device, int attempt)
+{
+    if (attempt >= spec_.retry.maxAttempts)
+        return false; // the final allowed attempt always succeeds
+    for (const auto &e : spec_.events) {
+        if (e.kind != FaultKind::TransientKernel)
+            continue;
+        if (e.device >= 0 && e.device != device)
+            continue;
+        if (now < e.time || now >= e.until)
+            continue;
+        if (rng_.bernoulli(e.probability)) {
+            ++injectedFailures_;
+            return true;
+        }
+    }
+    return false;
+}
+
+Seconds
+FaultInjector::backoff(int attempt) const
+{
+    RAP_ASSERT(attempt >= 1, "backoff is defined for attempts >= 1");
+    Seconds delay = spec_.retry.backoffBase;
+    for (int i = 1; i < attempt && delay < spec_.retry.backoffCap; ++i)
+        delay *= 2.0;
+    return std::min(delay, spec_.retry.backoffCap);
+}
+
+} // namespace rap::sim

@@ -14,12 +14,20 @@ LinkServer::LinkServer(Engine &engine, BytesPerSecond bandwidth,
     RAP_ASSERT(bandwidth_ > 0, "link bandwidth must be positive");
 }
 
+void
+LinkServer::setRateScale(double scale)
+{
+    RAP_ASSERT(scale > 0.0 && scale <= 1.0,
+               "link rate scale must be in (0, 1]");
+    rateScale_ = scale;
+}
+
 Seconds
 LinkServer::submit(Bytes bytes, std::function<void()> done)
 {
     RAP_ASSERT(bytes >= 0, "cannot transfer negative bytes");
     const Seconds start = std::max(engine_.now(), nextFree_);
-    const Seconds duration = latency_ + bytes / bandwidth_;
+    const Seconds duration = latency_ + bytes / (bandwidth_ * rateScale_);
     nextFree_ = start + duration;
     totalBytes_ += bytes;
     if (done)

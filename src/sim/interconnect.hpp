@@ -47,6 +47,16 @@ class LinkServer
     /** @return Total bytes moved so far. */
     Bytes totalBytes() const { return totalBytes_; }
 
+    /**
+     * Scale the link's effective bandwidth (fault injection). Applies
+     * to transfers submitted after the call; in-flight transfers keep
+     * their already-scheduled completion.
+     */
+    void setRateScale(double scale);
+
+    /** @return Current bandwidth scale (1.0 = healthy). */
+    double rateScale() const { return rateScale_; }
+
     const std::string &name() const { return name_; }
 
   private:
@@ -56,6 +66,7 @@ class LinkServer
     std::string name_;
     Seconds nextFree_ = 0.0;
     Bytes totalBytes_ = 0.0;
+    double rateScale_ = 1.0;
 };
 
 /** Kind of multi-GPU collective operation. */
