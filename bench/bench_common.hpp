@@ -53,6 +53,28 @@ parseFlag(int argc, char **argv, const std::string &flag)
     return false;
 }
 
+/**
+ * Parse a string-valued option (`--trace path` or `--trace=path`).
+ * Returns @p fallback when the option is absent; fatal when the flag
+ * is present without a value.
+ */
+inline std::string
+parseOption(int argc, char **argv, const std::string &flag,
+            std::string fallback = "")
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                RAP_FATAL(flag, " requires a value");
+            return argv[i + 1];
+        }
+        if (arg.rfind(flag + "=", 0) == 0)
+            return arg.substr(flag.size() + 1);
+    }
+    return fallback;
+}
+
 } // namespace rap::bench
 
 #endif // RAP_BENCH_COMMON_HPP

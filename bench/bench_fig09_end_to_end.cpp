@@ -8,15 +8,19 @@
  * paper's headline numbers for this figure: RAP averages 17.8x over
  * TorchArrow, 2.01x over CUDA-stream and 1.43x over MPS.
  *
- * Pass a gpu count (2, 4 or 8) as argv[1] to restrict the run; by
- * default all three node sizes are swept.
+ * Pass a gpu count (2, 4 or 8) as a positional argument to restrict
+ * the run; by default all three node sizes are swept. `--trace
+ * <prefix>` additionally dumps each RAP run's Chrome trace to
+ * `<prefix>.g<gpus>.p<plan>.b<batch>.json` for Perfetto inspection.
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -34,7 +38,8 @@ const std::vector<core::System> kSystems = {
 };
 
 void
-runForGpuCount(int gpus, std::map<std::string, RunningStat> &speedups)
+runForGpuCount(int gpus, std::map<std::string, RunningStat> &speedups,
+               const std::string &trace_prefix)
 {
     std::cout << "=== Figure 9: end-to-end throughput on " << gpus
               << "x A100 (samples/s) ===\n";
@@ -51,6 +56,13 @@ runForGpuCount(int gpus, std::map<std::string, RunningStat> &speedups)
                 config.system = system;
                 config.gpuCount = gpus;
                 config.batchPerGpu = batch;
+                if (!trace_prefix.empty() &&
+                    system == core::System::Rap) {
+                    config.tracePath = trace_prefix + ".g" +
+                                       std::to_string(gpus) + ".p" +
+                                       std::to_string(plan_id) + ".b" +
+                                       std::to_string(batch) + ".json";
+                }
                 tput[system] = core::runSystem(config, plan).throughput;
             }
             const double rap = tput[core::System::Rap];
@@ -81,13 +93,21 @@ runForGpuCount(int gpus, std::map<std::string, RunningStat> &speedups)
 int
 main(int argc, char **argv)
 {
+    const std::string trace_prefix =
+        rap::bench::parseOption(argc, argv, "--trace");
     std::vector<int> gpu_counts = {2, 4, 8};
-    if (argc > 1)
-        gpu_counts = {std::atoi(argv[1])};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace") {
+            ++i; // skip the option value
+        } else if (arg.rfind("--", 0) != 0) {
+            gpu_counts = {std::atoi(argv[i])};
+        }
+    }
 
     std::map<std::string, RunningStat> speedups;
     for (int gpus : gpu_counts)
-        runForGpuCount(gpus, speedups);
+        runForGpuCount(gpus, speedups, trace_prefix);
 
     std::cout << "--- Average speedups (paper: RAP 17.8x over "
                  "TorchArrow, 2.01x over CUDA stream, 1.43x over MPS) "

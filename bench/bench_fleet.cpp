@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fleet study: exclusive-GPU vs envelope-shared placement for a
+ * multi-tenant stream of RAP training jobs on one 8-GPU node.
+ *
+ * One seeded arrival trace of heterogeneous jobs (mixed GPU counts,
+ * preprocessing plans, batch sizes) runs under each placement policy:
+ *
+ *  - exclusive first-fit: whole GPUs only, lowest ordinals first;
+ *  - exclusive best-fit: whole GPUs only, healthiest first;
+ *  - RAP envelope-shared: small jobs co-run on GPUs whose capacity
+ *    envelopes have headroom, each planning (core::planOffline) and
+ *    simulating against its granted slice;
+ *  - RAP shared + degrade: the shared policy with a mid-run SM
+ *    degradation on GPU 0, exercising requeue-and-replan.
+ *
+ * Pass `--jobs N` to fan the per-variant reference simulations over a
+ * thread pool (output is byte-identical for any N), `--tiny` for the
+ * CI determinism subset, and `--trace <prefix>` to dump per-segment
+ * Chrome traces for Perfetto.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace rap;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int jobs_flag = bench::parseJobs(argc, argv);
+    const bool tiny = bench::parseFlag(argc, argv, "--tiny");
+    const std::string trace_prefix =
+        bench::parseOption(argc, argv, "--trace");
+    ThreadPool pool(jobs_flag);
+
+    fleet::ArrivalTraceOptions trace_options;
+    trace_options.tiny = tiny;
+    trace_options.jobCount = tiny ? 8 : 14;
+    trace_options.meanInterarrival = tiny ? 0.004 : 0.005;
+    const auto trace = fleet::makeArrivalTrace(trace_options);
+
+    std::cout << "=== Fleet scheduling: " << trace.size()
+              << " jobs arriving on one 8x A100 node ===\n\n";
+
+    auto baseOptions = [&](fleet::PlacementPolicy policy) {
+        fleet::FleetOptions options;
+        options.placement.policy = policy;
+        if (!trace_prefix.empty() &&
+            policy == fleet::PlacementPolicy::RapShared) {
+            options.tracePrefix = trace_prefix;
+        }
+        return options;
+    };
+
+    const auto exclusive = fleet::runFleet(
+        trace, baseOptions(fleet::PlacementPolicy::ExclusiveFirstFit),
+        &pool);
+    const auto best_fit = fleet::runFleet(
+        trace, baseOptions(fleet::PlacementPolicy::ExclusiveBestFit),
+        &pool);
+    const auto shared = fleet::runFleet(
+        trace, baseOptions(fleet::PlacementPolicy::RapShared), &pool);
+
+    // Degradation arm: GPU 0 loses 30% SM capacity a third of the way
+    // through the exclusive makespan; resident jobs requeue and replan
+    // against the shrunken envelope.
+    auto degraded_options =
+        baseOptions(fleet::PlacementPolicy::RapShared);
+    degraded_options.tracePrefix.clear();
+    degraded_options.faults.events.push_back(sim::FaultEvent::smDegrade(
+        0, exclusive.makespan / 3.0, 0.7));
+    const auto degraded =
+        fleet::runFleet(trace, degraded_options, &pool);
+
+    for (const auto *report :
+         {&exclusive, &best_fit, &shared, &degraded}) {
+        std::cout << report->renderSummary() << "\n";
+    }
+
+    std::cout << "--- per-job outcomes, "
+              << fleet::policyName(shared.policy) << " ---\n"
+              << shared.renderJobs() << "\n";
+
+    AsciiTable table({"policy", "makespan", "mean JCT", "p95 JCT",
+                      "mean queueing", "SM util", "occupancy",
+                      "requeues", "sims"});
+    for (const auto *report :
+         {&exclusive, &best_fit, &shared, &degraded}) {
+        table.addRow({
+            fleet::policyName(report->policy) +
+                (report == &degraded ? " + degrade" : ""),
+            formatSeconds(report->makespan),
+            formatSeconds(report->meanJct),
+            formatSeconds(report->p95Jct),
+            formatSeconds(report->meanQueueingDelay),
+            AsciiTable::num(report->clusterSmUtil, 4),
+            AsciiTable::num(report->gpuOccupancy, 4),
+            std::to_string(report->requeues),
+            std::to_string(report->simulationsRun),
+        });
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "envelope-shared vs exclusive first-fit: mean JCT "
+              << AsciiTable::num(exclusive.meanJct / shared.meanJct, 2)
+              << "x better, cluster SM util "
+              << AsciiTable::num(
+                     shared.clusterSmUtil / exclusive.clusterSmUtil, 2)
+              << "x higher, mean queueing "
+              << AsciiTable::num(exclusive.meanQueueingDelay /
+                                     shared.meanQueueingDelay,
+                                 2)
+              << "x lower, makespan ratio "
+              << AsciiTable::num(shared.makespan / exclusive.makespan,
+                                 2)
+              << "x\n";
+    return 0;
+}

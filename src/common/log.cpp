@@ -46,8 +46,19 @@ logMessage(LogLevel level, const std::string &msg)
 {
     if (level < global_level.load(std::memory_order_relaxed))
         return;
+    // Format the whole line first, then emit it as one write under
+    // the mutex: concurrent loggers (the planning pool, fleet jobs)
+    // must never interleave fragments of two lines.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += "[rap:";
+    line += levelName(level);
+    line += "] ";
+    line += msg;
+    line += '\n';
     std::lock_guard<std::mutex> guard(log_mutex);
-    std::fprintf(stderr, "[rap:%s] %s\n", levelName(level), msg.c_str());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 void

@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "dlrm/trainer.hpp"
 #include "preproc/executor.hpp"
+#include "sim/trace_export.hpp"
 
 namespace rap::core {
 
@@ -118,6 +119,57 @@ traitsFor(System system)
     }
 }
 
+/**
+ * Resolve the hardware description for @p config: the explicit
+ * subset-cluster override when the fleet passed one, otherwise the
+ * default DGX-A100 node sized to gpuCount. Validates the subset /
+ * envelope vectors against the GPU count in either case.
+ */
+sim::ClusterSpec
+clusterSpecFor(const SystemConfig &config)
+{
+    RAP_ASSERT(config.gpuSubset.empty() ||
+                   static_cast<int>(config.gpuSubset.size()) ==
+                       config.gpuCount,
+               "gpuSubset must label every GPU");
+    RAP_ASSERT(config.envelopes.empty() ||
+                   static_cast<int>(config.envelopes.size()) ==
+                       config.gpuCount,
+               "envelopes must cover every GPU");
+    for (const auto &env : config.envelopes) {
+        RAP_ASSERT(env.sm > 0.0 && env.sm <= 1.0 && env.bw > 0.0 &&
+                       env.bw <= 1.0,
+                   "GPU envelope shares must be in (0, 1]");
+    }
+    if (config.clusterSpec) {
+        RAP_ASSERT(config.clusterSpec->gpuCount == config.gpuCount,
+                   "clusterSpec GPU count must match config.gpuCount");
+        return *config.clusterSpec;
+    }
+    return sim::dgxA100Spec(config.gpuCount);
+}
+
+/** Shrink each device to its configured envelope share (co-location). */
+void
+applyEnvelopes(sim::Cluster &cluster, const SystemConfig &config)
+{
+    for (std::size_t g = 0; g < config.envelopes.size(); ++g) {
+        const auto &env = config.envelopes[g];
+        if (env.sm < 1.0)
+            cluster.device(static_cast<int>(g)).degradeSm(env.sm);
+        if (env.bw < 1.0)
+            cluster.device(static_cast<int>(g)).degradeBw(env.bw);
+    }
+}
+
+/** Dump the run's Chrome trace when the config asked for one. */
+void
+maybeWriteTrace(const sim::Cluster &cluster, const SystemConfig &config)
+{
+    if (!config.tracePath.empty())
+        sim::writeChromeTrace(cluster, config.tracePath);
+}
+
 /** Embedding-table placement shared by every system variant. */
 dlrm::EmbeddingSharding
 makeSharding(const SystemConfig &config,
@@ -203,7 +255,7 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
             ThreadPool *pool)
 {
     const auto traits = traitsFor(config.system);
-    const auto cluster_spec = sim::dgxA100Spec(config.gpuCount);
+    const auto cluster_spec = clusterSpecFor(config);
     const auto dlrm_config = dlrm::makeDlrmConfig(
         plan.spec.dataset, plan.schema, config.batchPerGpu);
     const auto sharding = makeSharding(config, plan);
@@ -212,6 +264,16 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
     OverlappingCapacityEstimator estimator(cluster_spec, dlrm_config,
                                            sharding);
     offline.profiles = estimator.profileAll();
+    // Envelope-shared co-location: the job only owns a slice of each
+    // device, so every downstream search (mapping, fusion, co-run
+    // scheduling) must plan against the degraded capacity profile —
+    // the same transform the online replanning path applies when a
+    // device's envelope shrinks mid-run.
+    for (std::size_t g = 0; g < config.envelopes.size(); ++g) {
+        offline.profiles[g] =
+            degradeProfile(offline.profiles[g], config.envelopes[g].sm,
+                           config.envelopes[g].bw);
+    }
 
     FusionOptions fusion_options;
     fusion_options.solver = config.solver;
@@ -278,12 +340,13 @@ OnlineTrainer::run()
 RunReport
 OnlineTrainer::runIdeal()
 {
-    const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
+    const auto cluster_spec = clusterSpecFor(config_);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
     const auto sharding = makeSharding(config_, plan_);
 
-    sim::Cluster cluster(cluster_spec);
+    sim::Cluster cluster(cluster_spec, config_.gpuSubset);
+    applyEnvelopes(cluster, config_);
     std::optional<sim::FaultInjector> injector;
     if (config_.faults) {
         injector.emplace(*config_.faults);
@@ -308,13 +371,14 @@ OnlineTrainer::runIdeal()
     fillUtilisation(report, cluster, t0, t1);
     report.makespan = cluster.engine().now();
     fillFaultStats(report, cluster);
+    maybeWriteTrace(cluster, config_);
     return report;
 }
 
 RunReport
 OnlineTrainer::runTorchArrow()
 {
-    const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
+    const auto cluster_spec = clusterSpecFor(config_);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
     const auto sharding = makeSharding(config_, plan_);
@@ -335,7 +399,8 @@ OnlineTrainer::runTorchArrow()
                                           config_.batchPerGpu));
     }
 
-    sim::Cluster cluster(cluster_spec);
+    sim::Cluster cluster(cluster_spec, config_.gpuSubset);
+    applyEnvelopes(cluster, config_);
     auto &engine = cluster.engine();
     std::optional<sim::FaultInjector> injector;
     if (config_.faults) {
@@ -420,6 +485,7 @@ OnlineTrainer::runTorchArrow()
     fillUtilisation(report, cluster, span_start, span_end);
     report.makespan = engine.now();
     fillFaultStats(report, cluster);
+    maybeWriteTrace(cluster, config_);
     return report;
 }
 
@@ -427,7 +493,7 @@ RunReport
 OnlineTrainer::runGpuSystem()
 {
     const auto traits = traitsFor(config_.system);
-    const auto cluster_spec = sim::dgxA100Spec(config_.gpuCount);
+    const auto cluster_spec = clusterSpecFor(config_);
     const auto config = dlrm::makeDlrmConfig(
         plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
     const auto sharding = makeSharding(config_, plan_);
@@ -524,7 +590,8 @@ OnlineTrainer::runGpuSystem()
     }
 
     // ---- Online phase: co-running execution. ----
-    sim::Cluster cluster(cluster_spec);
+    sim::Cluster cluster(cluster_spec, config_.gpuSubset);
+    applyEnvelopes(cluster, config_);
     auto &engine = cluster.engine();
     const int n = config_.iterations;
     const int gpus = config_.gpuCount;
@@ -749,8 +816,18 @@ OnlineTrainer::runGpuSystem()
         for (int g = 0; g < gpus; ++g) {
             const auto gi = static_cast<std::size_t>(g);
             const auto &device = cluster.device(g);
+            // Profiles already fold in the configured co-location
+            // envelope, and so does the device's live capacity (it
+            // started from the envelope share); degrade only by the
+            // capacity lost since, or a faulted envelope-shared run
+            // would double-count its envelope.
+            const GpuEnvelope env = config_.envelopes.empty()
+                                        ? GpuEnvelope{}
+                                        : config_.envelopes[gi];
             degraded[gi] = degradeProfile(
-                profiles[gi], device.smCapacity(), device.bwCapacity());
+                profiles[gi],
+                std::min(1.0, device.smCapacity() / env.sm),
+                std::min(1.0, device.bwCapacity() / env.bw));
         }
         if (config_.replanMapping) {
             mapping = mapper.mapRap(degraded, planner, /*max_moves=*/64,
@@ -863,6 +940,7 @@ OnlineTrainer::runGpuSystem()
     report.makespan = engine.now();
     report.replans = replans;
     fillFaultStats(report, cluster);
+    maybeWriteTrace(cluster, config_);
     return report;
 }
 

@@ -59,6 +59,21 @@ enum class System {
 /** @return Human-readable system name ("RAP", "MPS", ...). */
 std::string systemName(System system);
 
+/**
+ * Fraction of one GPU's resources available to a job (1.0 = the whole
+ * device). The fleet scheduler's envelope-shared placement hands a job
+ * the headroom left on each of its GPUs; planning and simulation both
+ * see only that slice (planOffline degrades the capacity profiles,
+ * the online run degrades the simulated devices).
+ */
+struct GpuEnvelope
+{
+    /** SM (warp-slot) capacity share in (0, 1]. */
+    double sm = 1.0;
+    /** HBM-bandwidth share in (0, 1]. */
+    double bw = 1.0;
+};
+
 /** Full experiment configuration. */
 struct SystemConfig
 {
@@ -117,6 +132,32 @@ struct SystemConfig
     double replanDriftThreshold = 0.15;
     /** Also re-run GraphMapper::mapRap on each replan. */
     bool replanMapping = false;
+    /**
+     * Hardware description override. Unset, the run models
+     * sim::dgxA100Spec(gpuCount); the fleet scheduler passes
+     * sim::subsetSpec of its node so a job placed on k of N GPUs only
+     * gets the subset's share of the host CPUs.
+     */
+    std::optional<sim::ClusterSpec> clusterSpec;
+    /**
+     * Physical GPU ordinals behind this run's devices (GPU-subset
+     * view). Purely diagnostic labelling for traces; empty = identity.
+     * Size must equal gpuCount when set.
+     */
+    std::vector<int> gpuSubset;
+    /**
+     * Per-GPU resource share available to this run (envelope-shared
+     * co-location). planOffline plans against the degraded capacity
+     * profiles and the online phase degrades the simulated devices at
+     * t = 0, so both the plan and the measured latencies reflect the
+     * slice. Empty = whole devices; size must equal gpuCount when set.
+     */
+    std::vector<GpuEnvelope> envelopes;
+    /**
+     * When non-empty, write the run's Chrome trace (Perfetto /
+     * about://tracing JSON) to this path after the simulation drains.
+     */
+    std::string tracePath;
 };
 
 /** Measured outcome of one run. */
@@ -151,6 +192,20 @@ struct RunReport
     std::uint64_t kernelRetries = 0;
     /** Total retry backoff charged to the timeline. */
     Seconds retryBackoffSeconds = 0.0;
+    /**
+     * Fleet-clock lifecycle timestamps, filled by the fleet scheduler
+     * (zero for standalone runs): when the job entered the admission
+     * queue, when its placement started it, and when it finished.
+     */
+    Seconds submittedAt = 0.0;
+    Seconds startedAt = 0.0;
+    Seconds finishedAt = 0.0;
+
+    /** @return Time spent queued before placement started the job. */
+    Seconds queueingDelay() const { return startedAt - submittedAt; }
+
+    /** @return Job completion time (arrival to finish, fleet clock). */
+    Seconds jobCompletionTime() const { return finishedAt - submittedAt; }
 };
 
 /**

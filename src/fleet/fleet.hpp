@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header: the multi-tenant fleet scheduling layer.
+ */
+
+#ifndef RAP_FLEET_FLEET_HPP
+#define RAP_FLEET_FLEET_HPP
+
+#include "fleet/job.hpp"
+#include "fleet/placement.hpp"
+#include "fleet/queue.hpp"
+#include "fleet/report.hpp"
+#include "fleet/scheduler.hpp"
+
+#endif // RAP_FLEET_FLEET_HPP

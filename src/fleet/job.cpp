@@ -1,0 +1,101 @@
+#include "fleet/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rap::fleet {
+
+namespace {
+
+/** Pick a GPU request: skewed toward small jobs, capped at the node. */
+int
+drawGpuRequest(Rng &rng, int max_gpus)
+{
+    // Weights over {1, 2, 4, 8}: most jobs are small, which is where
+    // envelope-shared placement wins; the occasional full-node job
+    // keeps the queue honest.
+    static constexpr int kSizes[] = {1, 2, 4, 8};
+    static constexpr double kWeights[] = {0.40, 0.30, 0.20, 0.10};
+    const double u = rng.uniform();
+    double acc = 0.0;
+    int pick = 1;
+    for (std::size_t i = 0; i < 4; ++i) {
+        acc += kWeights[i];
+        if (u < acc) {
+            pick = kSizes[i];
+            break;
+        }
+    }
+    return std::min(pick, max_gpus);
+}
+
+} // namespace
+
+std::string
+JobSpec::variantKey() const
+{
+    return "sys" + std::to_string(static_cast<int>(system)) + ".p" +
+           std::to_string(planId) + ".s" + std::to_string(ngramStress) +
+           ".b" + std::to_string(batchPerGpu) + ".i" +
+           std::to_string(iterations) + ".g" +
+           std::to_string(gpusRequested);
+}
+
+std::vector<JobSpec>
+makeArrivalTrace(const ArrivalTraceOptions &options)
+{
+    RAP_ASSERT(options.jobCount >= 1, "trace needs at least one job");
+    RAP_ASSERT(options.maxGpusPerJob >= 1,
+               "jobs need at least one GPU");
+    Rng rng(options.seed);
+    std::vector<JobSpec> jobs;
+    jobs.reserve(static_cast<std::size_t>(options.jobCount));
+    Seconds clock = 0.0;
+    for (int j = 0; j < options.jobCount; ++j) {
+        JobSpec spec;
+        spec.id = j;
+        // Poisson arrivals: exponential gaps via inverse transform.
+        clock += -options.meanInterarrival *
+                 std::log(1.0 - rng.uniform());
+        spec.arrival = clock;
+        spec.gpusRequested = drawGpuRequest(rng, options.maxGpusPerJob);
+        spec.planId = static_cast<int>(
+            rng.uniformInt(0, options.tiny ? 1 : 3));
+        spec.batchPerGpu = rng.bernoulli(0.5) ? 2048 : 4096;
+        spec.iterations =
+            options.tiny ? 8 : 10 + static_cast<int>(rng.uniformInt(0, 8));
+        spec.ngramStress = 0;
+        spec.system = core::System::Rap;
+        spec.name = "job" + std::to_string(j) + ".p" +
+                    std::to_string(spec.planId) + "x" +
+                    std::to_string(spec.gpusRequested);
+        jobs.push_back(std::move(spec));
+    }
+    return jobs;
+}
+
+preproc::PreprocPlan
+buildJobPlan(const JobSpec &spec)
+{
+    auto plan = preproc::makePlan(spec.planId);
+    if (spec.ngramStress > 0)
+        preproc::addNgramStress(plan, spec.ngramStress);
+    return plan;
+}
+
+core::SystemConfig
+makeJobConfig(const JobSpec &spec)
+{
+    core::SystemConfig config;
+    config.system = spec.system;
+    config.gpuCount = spec.gpusRequested;
+    config.batchPerGpu = spec.batchPerGpu;
+    config.iterations = spec.iterations;
+    config.warmup = std::min(3, spec.iterations - 2);
+    return config;
+}
+
+} // namespace rap::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fleet job model: one RAP training job inside a multi-tenant cluster.
+ *
+ * A JobSpec is everything the fleet scheduler needs to run one
+ * training job through the existing single-job pipeline — the
+ * preprocessing-plan variant, the model/batch configuration, and the
+ * job's arrival time on the fleet clock. makeArrivalTrace synthesises
+ * a seeded stream of heterogeneous jobs (mixed GPU counts, plans,
+ * batch sizes) whose arrivals follow a Poisson process, so every fleet
+ * experiment is reproducible from (options, seed) alone.
+ */
+
+#ifndef RAP_FLEET_JOB_HPP
+#define RAP_FLEET_JOB_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::fleet {
+
+/** One training job submitted to the fleet. */
+struct JobSpec
+{
+    /** Dense ordinal within the arrival trace. */
+    int id = 0;
+    /** Diagnostic name ("job03.p1x2"). */
+    std::string name;
+    /** Submission time on the fleet clock. */
+    Seconds arrival = 0.0;
+    /** GPUs the job needs (placement grants all or none). */
+    int gpusRequested = 1;
+    /** preproc::makePlan variant (0-3). */
+    int planId = 0;
+    /** Extra n-gram stress features (0 = the plain plan). */
+    int ngramStress = 0;
+    std::int64_t batchPerGpu = 4096;
+    int iterations = 12;
+    core::System system = core::System::Rap;
+
+    /**
+     * @return Key identifying the job's workload shape (everything
+     * that affects its simulation except id/arrival). Jobs with equal
+     * keys on equal envelopes share one memoised simulation.
+     */
+    std::string variantKey() const;
+};
+
+/** Arrival-trace synthesis knobs. */
+struct ArrivalTraceOptions
+{
+    int jobCount = 14;
+    /**
+     * Mean of the exponential interarrival gap. The default arrival
+     * rate deliberately oversubscribes the node (jobs run for tens to
+     * hundreds of milliseconds), so placement policy actually matters:
+     * with no contention every policy produces the same schedule.
+     */
+    Seconds meanInterarrival = 0.005;
+    std::uint64_t seed = 0xf1ee70001ULL;
+    /** Largest GPU request a job may make (the node size). */
+    int maxGpusPerJob = 8;
+    /** Smaller jobs everywhere (CI determinism mode). */
+    bool tiny = false;
+};
+
+/**
+ * Synthesise a seeded heterogeneous arrival trace: Poisson arrivals,
+ * GPU requests skewed toward small jobs (the ParvaGPU co-location
+ * sweet spot), mixed preprocessing plans and batch sizes. Jobs are
+ * returned in arrival order with dense ids.
+ */
+std::vector<JobSpec> makeArrivalTrace(const ArrivalTraceOptions &options);
+
+/** Materialise the job's preprocessing plan variant. */
+preproc::PreprocPlan buildJobPlan(const JobSpec &spec);
+
+/**
+ * Base SystemConfig for the job — system, batch, iterations set;
+ * placement fields (clusterSpec, gpuSubset, envelopes) left for the
+ * scheduler to fill.
+ */
+core::SystemConfig makeJobConfig(const JobSpec &spec);
+
+} // namespace rap::fleet
+
+#endif // RAP_FLEET_JOB_HPP

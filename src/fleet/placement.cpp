@@ -1,0 +1,120 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rap::fleet {
+
+namespace {
+
+/** Candidate GPU with its deterministic ranking score. */
+struct Candidate
+{
+    int id = 0;
+    double score = 0.0; // smaller ranks first
+};
+
+std::optional<Placement>
+pickTop(std::vector<Candidate> candidates, int count,
+        const std::vector<GpuState> &gpus, bool shared)
+{
+    if (static_cast<int>(candidates.size()) < count)
+        return std::nullopt;
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         if (a.score != b.score)
+                             return a.score < b.score;
+                         return a.id < b.id;
+                     });
+    candidates.resize(static_cast<std::size_t>(count));
+    Placement placement;
+    for (const auto &c : candidates)
+        placement.gpuIds.push_back(c.id);
+    std::sort(placement.gpuIds.begin(), placement.gpuIds.end());
+    for (int id : placement.gpuIds) {
+        const auto &gpu = gpus[static_cast<std::size_t>(id)];
+        core::GpuEnvelope env;
+        env.sm = shared ? gpu.freeSm() : gpu.healthSm;
+        env.bw = shared ? gpu.freeBw() : gpu.healthBw;
+        placement.envelopes.push_back(env);
+    }
+    return placement;
+}
+
+} // namespace
+
+std::string
+policyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::ExclusiveFirstFit:
+        return "exclusive first-fit";
+      case PlacementPolicy::ExclusiveBestFit:
+        return "exclusive best-fit";
+      case PlacementPolicy::RapShared:
+        return "RAP envelope-shared";
+    }
+    RAP_PANIC("unknown placement policy");
+}
+
+std::optional<Placement>
+placeJob(const PlacementOptions &options,
+         const std::vector<GpuState> &gpus, int gpus_requested,
+         const DemandEstimate &demand)
+{
+    RAP_ASSERT(gpus_requested >= 1, "job needs at least one GPU");
+    if (gpus_requested > static_cast<int>(gpus.size()))
+        return std::nullopt;
+
+    std::vector<Candidate> candidates;
+    switch (options.policy) {
+      case PlacementPolicy::ExclusiveFirstFit:
+      case PlacementPolicy::ExclusiveBestFit:
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const auto &gpu = gpus[g];
+            if (gpu.residents > 0)
+                continue;
+            const bool best_fit =
+                options.policy == PlacementPolicy::ExclusiveBestFit;
+            // First-fit ranks by ordinal alone; best-fit prefers the
+            // healthiest devices so degraded GPUs are used last.
+            const double score =
+                best_fit ? -(gpu.healthSm + gpu.healthBw) : 0.0;
+            candidates.push_back({static_cast<int>(g), score});
+        }
+        return pickTop(std::move(candidates), gpus_requested, gpus,
+                       /*shared=*/false);
+
+      case PlacementPolicy::RapShared:
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const auto &gpu = gpus[g];
+            // Admission: the newcomer's discounted reservation must
+            // fit under the headroom bound, and the leftover slice it
+            // would run in must be worth having.
+            if (gpu.smUsed + options.demandScale * demand.sm >
+                    options.headroom * gpu.healthSm ||
+                gpu.bwUsed + options.demandScale * demand.bw >
+                    options.headroom * gpu.healthBw) {
+                continue;
+            }
+            if (gpu.freeSm() < options.minEnvelope ||
+                gpu.freeBw() < options.minEnvelope) {
+                continue;
+            }
+            // Prefer the largest feasible envelope: a job takes whole
+            // free GPUs when they exist (running at full speed, same
+            // as exclusive) and squeezes into the roomiest leftover
+            // slice only when the alternative is queueing. Packing
+            // tighter than that trades the newcomer's speed for
+            // nothing while free devices sit idle.
+            candidates.push_back(
+                {static_cast<int>(g), -(gpu.freeSm() + gpu.freeBw())});
+        }
+        return pickTop(std::move(candidates), gpus_requested, gpus,
+                       /*shared=*/true);
+    }
+    RAP_PANIC("unknown placement policy");
+}
+
+} // namespace rap::fleet

@@ -1,0 +1,19 @@
+#include "fleet/queue.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::fleet {
+
+QueuedJob
+AdmissionQueue::take(std::size_t index)
+{
+    RAP_ASSERT(index < jobs_.size(), "queue index out of range: ",
+               index);
+    QueuedJob job = jobs_[index];
+    jobs_.erase(jobs_.begin() +
+                static_cast<std::deque<QueuedJob>::difference_type>(
+                    index));
+    return job;
+}
+
+} // namespace rap::fleet

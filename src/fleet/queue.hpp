@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The fleet's admission queue.
+ *
+ * Jobs wait here between arrival (or preemption) and placement. The
+ * discipline is FIFO with backfill: the scheduler scans the queue in
+ * order and places every job that currently fits, so a small job may
+ * overtake a blocked head-of-line job without ever reordering the
+ * queue itself. Preempted jobs re-enter at the front (they keep their
+ * seniority and their completed fraction).
+ */
+
+#ifndef RAP_FLEET_QUEUE_HPP
+#define RAP_FLEET_QUEUE_HPP
+
+#include <cstddef>
+#include <deque>
+
+#include "common/units.hpp"
+
+namespace rap::fleet {
+
+/** One waiting (or preempted) job. */
+struct QueuedJob
+{
+    int jobId = 0;
+    /** Work left, in (0, 1]; < 1 after a preemption. */
+    double remainingFraction = 1.0;
+    /** When the job (re-)entered the queue, fleet clock. */
+    Seconds enqueuedAt = 0.0;
+    /** Times this job was preempted and requeued. */
+    int requeues = 0;
+};
+
+/** FIFO queue with front re-insertion and indexed removal. */
+class AdmissionQueue
+{
+  public:
+    /** Append a newly arrived job. */
+    void push(QueuedJob job) { jobs_.push_back(job); }
+
+    /** Re-insert a preempted job at the front (keeps seniority). */
+    void pushFront(QueuedJob job) { jobs_.push_front(job); }
+
+    bool empty() const { return jobs_.empty(); }
+    std::size_t size() const { return jobs_.size(); }
+
+    /** In-order view for the backfill scan. */
+    const std::deque<QueuedJob> &jobs() const { return jobs_; }
+
+    /** Remove and return the entry at @p index. */
+    QueuedJob take(std::size_t index);
+
+  private:
+    std::deque<QueuedJob> jobs_;
+};
+
+} // namespace rap::fleet
+
+#endif // RAP_FLEET_QUEUE_HPP

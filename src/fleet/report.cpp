@@ -1,0 +1,118 @@
+#include "fleet/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace rap::fleet {
+
+namespace {
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+Seconds
+percentile(const std::vector<Seconds> &sorted, double q)
+{
+    RAP_ASSERT(!sorted.empty(), "percentile of empty sample");
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+void
+FleetReport::finalize()
+{
+    requeues = 0;
+    std::vector<Seconds> jcts;
+    Seconds queueing_sum = 0.0;
+    double sm_gpu_seconds = 0.0;
+    double bw_gpu_seconds = 0.0;
+    for (const auto &job : jobs) {
+        RAP_ASSERT(job.finish >= 0.0, "job ", job.spec.id,
+                   " never finished");
+        jcts.push_back(job.jobCompletionTime());
+        queueing_sum += job.queueingDelay();
+        requeues += job.requeues;
+        const auto gpus = static_cast<double>(job.spec.gpusRequested);
+        sm_gpu_seconds += job.demand.sm * job.serviceTime * gpus;
+        bw_gpu_seconds += job.demand.bw * job.serviceTime * gpus;
+    }
+    if (jcts.empty() || makespan <= 0.0)
+        return;
+    std::sort(jcts.begin(), jcts.end());
+    const auto n = static_cast<double>(jcts.size());
+    Seconds jct_sum = 0.0;
+    for (Seconds jct : jcts)
+        jct_sum += jct;
+    meanJct = jct_sum / n;
+    p50Jct = percentile(jcts, 0.50);
+    p95Jct = percentile(jcts, 0.95);
+    maxJct = jcts.back();
+    meanQueueingDelay = queueing_sum / n;
+    const double gpu_seconds =
+        makespan * static_cast<double>(gpuCount);
+    clusterSmUtil = sm_gpu_seconds / gpu_seconds;
+    clusterBwUtil = bw_gpu_seconds / gpu_seconds;
+    gpuOccupancy = busyGpuSeconds / gpu_seconds;
+}
+
+std::string
+FleetReport::renderSummary() const
+{
+    std::ostringstream oss;
+    oss << "policy: " << policyName(policy) << " (" << jobs.size()
+        << " jobs on " << gpuCount << " GPUs)\n"
+        << "  makespan        " << formatSeconds(makespan) << "\n"
+        << "  mean JCT        " << formatSeconds(meanJct) << "\n"
+        << "  p50 / p95 JCT   " << formatSeconds(p50Jct) << " / "
+        << formatSeconds(p95Jct) << "\n"
+        << "  max JCT         " << formatSeconds(maxJct) << "\n"
+        << "  mean queueing   " << formatSeconds(meanQueueingDelay)
+        << "\n"
+        << "  cluster SM util " << AsciiTable::num(clusterSmUtil, 4)
+        << "\n"
+        << "  cluster BW util " << AsciiTable::num(clusterBwUtil, 4)
+        << "\n"
+        << "  GPU occupancy   " << AsciiTable::num(gpuOccupancy, 4)
+        << "\n"
+        << "  requeues        " << requeues << "\n";
+    return oss.str();
+}
+
+std::string
+FleetReport::renderJobs() const
+{
+    AsciiTable table({"job", "gpus", "demand sm/bw", "arrival",
+                      "start", "finish", "queued", "JCT", "placed on",
+                      "requeues"});
+    for (const auto &job : jobs) {
+        std::string gpu_list;
+        for (std::size_t i = 0; i < job.lastGpus.size(); ++i) {
+            if (i > 0)
+                gpu_list += ",";
+            gpu_list += std::to_string(job.lastGpus[i]);
+        }
+        table.addRow({
+            job.spec.name,
+            std::to_string(job.spec.gpusRequested),
+            AsciiTable::num(job.demand.sm, 2) + "/" +
+                AsciiTable::num(job.demand.bw, 2),
+            formatSeconds(job.spec.arrival),
+            formatSeconds(job.firstStart),
+            formatSeconds(job.finish),
+            formatSeconds(job.queueingDelay()),
+            formatSeconds(job.jobCompletionTime()),
+            gpu_list,
+            std::to_string(job.requeues),
+        });
+    }
+    return table.render();
+}
+
+} // namespace rap::fleet

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-level metrics: per-job outcomes and their aggregation.
+ *
+ * The scheduler fills one JobOutcome per job (lifecycle timestamps,
+ * placements, the last segment's RunReport) and FleetReport::finalize
+ * reduces them into the numbers a cluster operator compares policies
+ * by: the JCT distribution, queueing delay, makespan, and cluster-wide
+ * resource utilisation. Everything is computed in job-id order from
+ * exact doubles, so equal schedules render byte-identical summaries.
+ */
+
+#ifndef RAP_FLEET_REPORT_HPP
+#define RAP_FLEET_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "fleet/job.hpp"
+#include "fleet/placement.hpp"
+
+namespace rap::fleet {
+
+/** Lifecycle record of one job. */
+struct JobOutcome
+{
+    JobSpec spec;
+    /** First placement time; < 0 while never started. */
+    Seconds firstStart = -1.0;
+    /** Completion time; < 0 while unfinished. */
+    Seconds finish = -1.0;
+    /** Times the job was placed (1 + requeues). */
+    int placements = 0;
+    /** Preemptions caused by GPU degradation. */
+    int requeues = 0;
+    /** Total time spent actually running, across segments. */
+    Seconds serviceTime = 0.0;
+    /** Physical GPUs of the final placement. */
+    std::vector<int> lastGpus;
+    /** Estimated per-GPU demand used by placement. */
+    DemandEstimate demand;
+    /**
+     * The final segment's single-job report, with the fleet lifecycle
+     * timestamps (submittedAt / startedAt / finishedAt) filled in.
+     */
+    core::RunReport report;
+
+    /** @return Arrival-to-finish time on the fleet clock. */
+    Seconds jobCompletionTime() const { return finish - spec.arrival; }
+
+    /** @return Time spent waiting before the first placement. */
+    Seconds queueingDelay() const { return firstStart - spec.arrival; }
+};
+
+/** Aggregated outcome of one fleet run. */
+struct FleetReport
+{
+    PlacementPolicy policy = PlacementPolicy::RapShared;
+    /** Physical GPUs in the node. */
+    int gpuCount = 0;
+    /** Outcomes in job-id order. */
+    std::vector<JobOutcome> jobs;
+    /** Fleet clock when the last job finished. */
+    Seconds makespan = 0.0;
+    /** Total preemptions across jobs. */
+    int requeues = 0;
+    /** Distinct single-job simulations executed (memo misses). */
+    int simulationsRun = 0;
+    /**
+     * Integrated GPU-seconds with at least one resident job, filled
+     * by the scheduler's event loop (drives gpuOccupancy).
+     */
+    Seconds busyGpuSeconds = 0.0;
+
+    // Aggregates, valid after finalize().
+    Seconds meanJct = 0.0;
+    Seconds p50Jct = 0.0;
+    Seconds p95Jct = 0.0;
+    Seconds maxJct = 0.0;
+    Seconds meanQueueingDelay = 0.0;
+    /** Demand-weighted SM utilisation of the whole node over the run. */
+    double clusterSmUtil = 0.0;
+    /** Demand-weighted bandwidth utilisation of the node. */
+    double clusterBwUtil = 0.0;
+    /** Mean fraction of GPUs hosting at least one job. */
+    double gpuOccupancy = 0.0;
+
+    /** Reduce per-job outcomes into the aggregate fields. */
+    void finalize();
+
+    /** @return Deterministic multi-line summary (bench/CI diffable). */
+    std::string renderSummary() const;
+
+    /** @return Deterministic per-job table. */
+    std::string renderJobs() const;
+};
+
+} // namespace rap::fleet
+
+#endif // RAP_FLEET_REPORT_HPP

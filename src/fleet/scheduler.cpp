@@ -1,0 +1,442 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "common/log.hpp"
+#include "sim/cluster.hpp"
+
+namespace rap::fleet {
+
+namespace {
+
+/**
+ * Event kinds in processing order at equal timestamps: finishes free
+ * capacity before degradations preempt, and both precede arrivals, so
+ * a job arriving the instant another finishes sees the freed GPUs.
+ */
+enum class EventKind { Finish = 0, Degrade = 1, Arrival = 2 };
+
+struct Event
+{
+    Seconds time = 0.0;
+    EventKind kind = EventKind::Arrival;
+    /** Job id (Arrival/Finish) or fault-event index (Degrade). */
+    int id = 0;
+    /** Finish only: segment generation (stale after preemption). */
+    int generation = 0;
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        return std::tie(a.time, a.kind, a.id) >
+               std::tie(b.time, b.kind, b.id);
+    }
+};
+
+/** @return True when every granted envelope is the whole device. */
+bool
+wholeDevices(const Placement &placement)
+{
+    return std::all_of(placement.envelopes.begin(),
+                       placement.envelopes.end(),
+                       [](const core::GpuEnvelope &env) {
+                           return env.sm >= 1.0 && env.bw >= 1.0;
+                       });
+}
+
+} // namespace
+
+FleetScheduler::FleetScheduler(std::vector<JobSpec> jobs,
+                               FleetOptions options, ThreadPool *pool)
+    : jobs_(std::move(jobs)), options_(std::move(options)), pool_(pool)
+{
+    RAP_ASSERT(!jobs_.empty(), "fleet needs at least one job");
+    RAP_ASSERT(options_.envelopeQuantum > 0.0 &&
+                   options_.envelopeQuantum <= 1.0,
+               "envelope quantum must be in (0, 1]");
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        RAP_ASSERT(jobs_[j].id == static_cast<int>(j),
+                   "job ids must be dense and ordered");
+        RAP_ASSERT(jobs_[j].gpusRequested >= 1 &&
+                       jobs_[j].gpusRequested <= options_.node.gpuCount,
+                   "job ", jobs_[j].id, " requests ",
+                   jobs_[j].gpusRequested, " GPUs on a ",
+                   options_.node.gpuCount, "-GPU node");
+    }
+    for (const auto &e : options_.faults.events) {
+        RAP_ASSERT(e.kind == sim::FaultKind::SmDegrade ||
+                       e.kind == sim::FaultKind::HbmDegrade,
+                   "fleet-scope faults support SmDegrade/HbmDegrade "
+                   "only");
+        RAP_ASSERT(e.device < options_.node.gpuCount,
+                   "fleet fault targets GPU ", e.device, " on a ",
+                   options_.node.gpuCount, "-GPU node");
+    }
+    gpus_.resize(static_cast<std::size_t>(options_.node.gpuCount));
+    report_.policy = options_.placement.policy;
+    report_.gpuCount = options_.node.gpuCount;
+    report_.jobs.resize(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        report_.jobs[j].spec = jobs_[j];
+}
+
+Placement
+FleetScheduler::quantised(Placement placement) const
+{
+    const double quantum = options_.envelopeQuantum;
+    auto snap = [quantum](double share) {
+        const double floored =
+            std::floor(share / quantum + 1e-9) * quantum;
+        return std::min(1.0, std::max(quantum, floored));
+    };
+    for (auto &env : placement.envelopes) {
+        env.sm = snap(env.sm);
+        env.bw = snap(env.bw);
+    }
+    return placement;
+}
+
+core::RunReport
+FleetScheduler::simulate(const JobSpec &spec, const Placement &placement,
+                         int segment_index)
+{
+    // Memo key: workload variant x quantised envelope (as exact grid
+    // indices, never formatted floats). Physical GPU ids are excluded
+    // on purpose — the simulation is identical on any subset of equal
+    // size, only trace labels differ.
+    std::string key = spec.variantKey();
+    for (const auto &env : placement.envelopes) {
+        key += "|" +
+               std::to_string(static_cast<long long>(
+                   std::llround(env.sm / options_.envelopeQuantum))) +
+               "," +
+               std::to_string(static_cast<long long>(
+                   std::llround(env.bw / options_.envelopeQuantum)));
+    }
+    const bool tracing = !options_.tracePrefix.empty();
+    if (!tracing) {
+        const auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
+
+    auto config = makeJobConfig(spec);
+    config.clusterSpec =
+        sim::subsetSpec(options_.node, spec.gpusRequested);
+    config.gpuSubset = placement.gpuIds;
+    if (!wholeDevices(placement))
+        config.envelopes = placement.envelopes;
+    if (tracing) {
+        config.tracePath = options_.tracePrefix + ".job" +
+                           std::to_string(spec.id) + ".seg" +
+                           std::to_string(segment_index) + ".json";
+    }
+
+    const std::string plan_key = "p" + std::to_string(spec.planId) +
+                                 ".s" +
+                                 std::to_string(spec.ngramStress);
+    auto plan_it = planCache_.find(plan_key);
+    if (plan_it == planCache_.end()) {
+        plan_it =
+            planCache_.emplace(plan_key, buildJobPlan(spec)).first;
+    }
+    const auto report = core::runSystem(config, plan_it->second);
+    ++report_.simulationsRun;
+    memo_[key] = report;
+    return report;
+}
+
+void
+FleetScheduler::precomputeReferences()
+{
+    // One exclusive whole-device reference run per distinct workload
+    // variant: it yields both the demand estimate placement reserves
+    // (mean SM/BW utilisation) and the healthy-exclusive service time.
+    // The fan-out over the pool is a submission-indexed parallelMap,
+    // so results are bit-identical at any thread count.
+    std::vector<std::size_t> unique_jobs;
+    std::set<std::string> seen;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (seen.insert(jobs_[j].variantKey()).second)
+            unique_jobs.push_back(j);
+        const std::string plan_key =
+            "p" + std::to_string(jobs_[j].planId) + ".s" +
+            std::to_string(jobs_[j].ngramStress);
+        if (planCache_.find(plan_key) == planCache_.end())
+            planCache_.emplace(plan_key, buildJobPlan(jobs_[j]));
+    }
+
+    auto referenceRun = [&](std::size_t u) {
+        const auto &spec = jobs_[unique_jobs[u]];
+        auto config = makeJobConfig(spec);
+        config.clusterSpec =
+            sim::subsetSpec(options_.node, spec.gpusRequested);
+        const std::string plan_key =
+            "p" + std::to_string(spec.planId) + ".s" +
+            std::to_string(spec.ngramStress);
+        return core::runSystem(config, planCache_.at(plan_key));
+    };
+    std::vector<core::RunReport> references;
+    if (pool_ != nullptr && pool_->threadCount() > 1) {
+        references = pool_->parallelMap<core::RunReport>(
+            unique_jobs.size(), referenceRun);
+    } else {
+        for (std::size_t u = 0; u < unique_jobs.size(); ++u)
+            references.push_back(referenceRun(u));
+    }
+
+    std::map<std::string, DemandEstimate> demand_by_key;
+    for (std::size_t u = 0; u < unique_jobs.size(); ++u) {
+        const auto &spec = jobs_[unique_jobs[u]];
+        const auto &report = references[u];
+        ++report_.simulationsRun;
+        // Seed the memo with the whole-device entry so an exclusive
+        // healthy placement reuses the reference run.
+        std::string key = spec.variantKey();
+        const auto whole = static_cast<long long>(
+            std::llround(1.0 / options_.envelopeQuantum));
+        for (int g = 0; g < spec.gpusRequested; ++g) {
+            key += "|" + std::to_string(whole) + "," +
+                   std::to_string(whole);
+        }
+        memo_[key] = report;
+        DemandEstimate demand;
+        demand.sm = std::clamp(report.avgSmUtil, 0.05, 1.0);
+        demand.bw = std::clamp(report.avgBwUtil, 0.05, 1.0);
+        demand_by_key[spec.variantKey()] = demand;
+    }
+    demand_.resize(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        demand_[j] = demand_by_key.at(jobs_[j].variantKey());
+}
+
+void
+FleetScheduler::applyReservation(const JobSpec &spec,
+                                 const Placement &placement,
+                                 int direction)
+{
+    // Reservations use the same discounted demand the admission check
+    // compares against, so bookkeeping and placement stay consistent.
+    const auto &demand = demand_[static_cast<std::size_t>(spec.id)];
+    const double scale = options_.placement.demandScale;
+    for (int id : placement.gpuIds) {
+        auto &gpu = gpus_[static_cast<std::size_t>(id)];
+        gpu.smUsed += direction * scale * demand.sm;
+        gpu.bwUsed += direction * scale * demand.bw;
+        gpu.residents += direction;
+        RAP_ASSERT(gpu.residents >= 0, "negative residency on GPU ",
+                   id);
+        if (gpu.residents == 0) {
+            // Clear reservation dust so exact emptiness is restored.
+            gpu.smUsed = 0.0;
+            gpu.bwUsed = 0.0;
+        }
+    }
+}
+
+void
+FleetScheduler::accumulateBusy(Seconds until)
+{
+    int occupied = 0;
+    for (const auto &gpu : gpus_) {
+        if (gpu.residents > 0)
+            ++occupied;
+    }
+    report_.busyGpuSeconds +=
+        static_cast<double>(occupied) * (until - lastBusyUpdate_);
+    lastBusyUpdate_ = until;
+}
+
+FleetReport
+FleetScheduler::run()
+{
+    precomputeReferences();
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    for (const auto &spec : jobs_)
+        events.push({spec.arrival, EventKind::Arrival, spec.id, 0});
+    for (std::size_t e = 0; e < options_.faults.events.size(); ++e) {
+        events.push({options_.faults.events[e].time, EventKind::Degrade,
+                     static_cast<int>(e), 0});
+    }
+
+    auto startSegment = [&](QueuedJob queued, Placement placement,
+                            Seconds now) {
+        const auto ji = static_cast<std::size_t>(queued.jobId);
+        const auto &spec = jobs_[ji];
+        auto &outcome = report_.jobs[ji];
+        placement = quantised(std::move(placement));
+        const auto report =
+            simulate(spec, placement, outcome.placements);
+        const Seconds duration =
+            queued.remainingFraction * report.makespan;
+        applyReservation(spec, placement, +1);
+        RunningJob running;
+        running.placement = placement;
+        running.segmentStart = now;
+        running.segmentDuration = duration;
+        running.remainingAtStart = queued.remainingFraction;
+        running.generation = outcome.placements;
+        running_[queued.jobId] = running;
+        ++outcome.placements;
+        if (outcome.firstStart < 0.0)
+            outcome.firstStart = now;
+        outcome.requeues = queued.requeues;
+        outcome.lastGpus = placement.gpuIds;
+        outcome.demand = demand_[ji];
+        outcome.report = report;
+        events.push({now + duration, EventKind::Finish, queued.jobId,
+                     running.generation});
+    };
+
+    auto placeScan = [&](Seconds now, const PlacementOptions &opts) {
+        std::size_t i = 0;
+        while (i < queue_.size()) {
+            const auto &queued = queue_.jobs()[i];
+            const auto ji = static_cast<std::size_t>(queued.jobId);
+            const auto placement =
+                placeJob(opts, gpus_, jobs_[ji].gpusRequested,
+                         demand_[ji]);
+            if (!placement) {
+                ++i; // backfill: later jobs may still fit
+                continue;
+            }
+            startSegment(queue_.take(i), *placement, now);
+        }
+    };
+
+    while (!events.empty()) {
+        const Event event = events.top();
+        events.pop();
+        accumulateBusy(event.time);
+        switch (event.kind) {
+          case EventKind::Arrival: {
+            queue_.push({event.id, 1.0, event.time, 0});
+            break;
+          }
+          case EventKind::Finish: {
+            const auto it = running_.find(event.id);
+            if (it == running_.end() ||
+                it->second.generation != event.generation) {
+                break; // stale: the segment was preempted
+            }
+            const auto ji = static_cast<std::size_t>(event.id);
+            auto &outcome = report_.jobs[ji];
+            outcome.serviceTime += it->second.segmentDuration;
+            outcome.finish = event.time;
+            outcome.report.submittedAt = jobs_[ji].arrival;
+            outcome.report.startedAt = outcome.firstStart;
+            outcome.report.finishedAt = event.time;
+            applyReservation(jobs_[ji], it->second.placement, -1);
+            running_.erase(it);
+            break;
+          }
+          case EventKind::Degrade: {
+            const auto &fault =
+                options_.faults
+                    .events[static_cast<std::size_t>(event.id)];
+            const int first = fault.device < 0 ? 0 : fault.device;
+            const int last = fault.device < 0
+                                 ? options_.node.gpuCount - 1
+                                 : fault.device;
+            for (int g = first; g <= last; ++g) {
+                auto &gpu = gpus_[static_cast<std::size_t>(g)];
+                if (fault.kind == sim::FaultKind::SmDegrade)
+                    gpu.healthSm = fault.factor;
+                else
+                    gpu.healthBw = fault.factor;
+            }
+            if (!options_.requeueOnDegrade)
+                break;
+            // Preempt every job resident on a degraded GPU: credit
+            // the completed fraction, requeue at the front (highest
+            // id first, so the lowest id ends up frontmost), and let
+            // the placement scan re-place — and thereby replan — it
+            // against the shrunken envelopes.
+            std::vector<int> affected;
+            for (const auto &[job_id, running] : running_) {
+                for (int id : running.placement.gpuIds) {
+                    if (id >= first && id <= last) {
+                        affected.push_back(job_id);
+                        break;
+                    }
+                }
+            }
+            for (auto it = affected.rbegin(); it != affected.rend();
+                 ++it) {
+                const int job_id = *it;
+                const auto ji = static_cast<std::size_t>(job_id);
+                auto &running = running_.at(job_id);
+                auto &outcome = report_.jobs[ji];
+                const Seconds elapsed =
+                    event.time - running.segmentStart;
+                const double frac =
+                    running.segmentDuration > 0.0
+                        ? elapsed / running.segmentDuration
+                        : 1.0;
+                QueuedJob queued;
+                queued.jobId = job_id;
+                queued.remainingFraction =
+                    running.remainingAtStart *
+                    std::max(0.0, 1.0 - frac);
+                queued.enqueuedAt = event.time;
+                queued.requeues = outcome.requeues + 1;
+                outcome.serviceTime += elapsed;
+                applyReservation(jobs_[ji], running.placement, -1);
+                running_.erase(job_id);
+                if (queued.remainingFraction <= 0.0) {
+                    // Degraded at the exact finish instant: done.
+                    outcome.finish = event.time;
+                    outcome.report.submittedAt = jobs_[ji].arrival;
+                    outcome.report.startedAt = outcome.firstStart;
+                    outcome.report.finishedAt = event.time;
+                    continue;
+                }
+                queue_.pushFront(queued);
+            }
+            break;
+          }
+        }
+        placeScan(event.time, options_.placement);
+        if (events.empty() && running_.empty() && !queue_.empty()) {
+            // Every remaining event has drained but jobs are still
+            // queued: the cluster is idle yet no GPU passes the
+            // admission bar (e.g. degraded below minEnvelope). Relax
+            // the co-location guards so the fleet always drains.
+            auto relaxed = options_.placement;
+            relaxed.minEnvelope = 0.0;
+            relaxed.headroom = 1.0;
+            placeScan(event.time, relaxed);
+            RAP_ASSERT(queue_.empty() || !running_.empty(),
+                       "fleet deadlock: ", queue_.size(),
+                       " jobs unplaceable on an idle cluster");
+        }
+    }
+
+    RAP_ASSERT(queue_.empty() && running_.empty(),
+               "fleet drained with work outstanding");
+    Seconds makespan = 0.0;
+    for (const auto &outcome : report_.jobs)
+        makespan = std::max(makespan, outcome.finish);
+    report_.makespan = makespan;
+    return report_;
+}
+
+FleetReport
+runFleet(std::vector<JobSpec> jobs, FleetOptions options,
+         ThreadPool *pool)
+{
+    FleetScheduler scheduler(std::move(jobs), std::move(options), pool);
+    auto report = scheduler.run();
+    report.finalize();
+    return report;
+}
+
+} // namespace rap::fleet

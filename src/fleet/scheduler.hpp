@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The multi-tenant fleet scheduler: a discrete-event loop over job
+ * arrivals, finishes, and GPU degradations on one simulated node.
+ *
+ * Each placed job runs through the existing single-job path —
+ * core::planOffline plus the cluster simulator — on the GPU subset
+ * its placement granted, with the subset's share of the host CPUs
+ * (sim::subsetSpec) and the envelope slice its co-location left it
+ * (SystemConfig::envelopes). The job's simulated makespan becomes its
+ * fleet-clock service time. Simulations are memoised by (workload
+ * variant, quantised envelope), so identical jobs on identical slices
+ * cost one simulation.
+ *
+ * Fleet-scope faults reuse the PR 2 sim::FaultSpec vocabulary:
+ * SmDegrade / HbmDegrade events, interpreted on the fleet clock
+ * against physical GPU ordinals. When a GPU degrades, every resident
+ * job is preempted, credited with its completed fraction, requeued at
+ * the front, and re-placed — replanning against the shrunken envelope
+ * (planOffline re-derives its capacity profiles via degradeProfile).
+ *
+ * Determinism: the event loop is sequential with total (time, kind,
+ * id) event ordering; the parallel phase — reference simulations of
+ * each workload variant, fanned out over an optional ThreadPool — is
+ * a submission-indexed parallelMap, so fleet reports are bit-identical
+ * at any thread count.
+ */
+
+#ifndef RAP_FLEET_SCHEDULER_HPP
+#define RAP_FLEET_SCHEDULER_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fleet/job.hpp"
+#include "fleet/placement.hpp"
+#include "fleet/queue.hpp"
+#include "fleet/report.hpp"
+#include "sim/fault.hpp"
+
+namespace rap::fleet {
+
+/** Fleet-run configuration. */
+struct FleetOptions
+{
+    PlacementOptions placement;
+    /** The physical node jobs share. */
+    sim::ClusterSpec node = sim::dgxA100Spec(8);
+    /**
+     * Fleet-scope fault schedule (SmDegrade / HbmDegrade only):
+     * event.time is fleet clock, event.device a physical ordinal.
+     */
+    sim::FaultSpec faults;
+    /** Preempt-and-requeue jobs whose GPUs degrade. */
+    bool requeueOnDegrade = true;
+    /**
+     * Envelope shares are floored to this quantum before simulation,
+     * bounding the memo key space (and keeping keys exact).
+     */
+    double envelopeQuantum = 0.05;
+    /**
+     * When non-empty, every placed segment dumps its Chrome trace to
+     * `<prefix>.job<id>.seg<n>.json` (disables memoisation so each
+     * job gets its own trace).
+     */
+    std::string tracePrefix;
+};
+
+/** Runs one arrival trace to completion under one placement policy. */
+class FleetScheduler
+{
+  public:
+    /**
+     * @param jobs Arrival trace (ids dense, arrival-ordered).
+     * @param options Fleet configuration.
+     * @param pool Optional pool for the reference-simulation fan-out;
+     *        results are identical for any thread count.
+     */
+    FleetScheduler(std::vector<JobSpec> jobs, FleetOptions options,
+                   ThreadPool *pool = nullptr);
+
+    /** Run the discrete-event loop until every job finishes. */
+    FleetReport run();
+
+  private:
+    struct RunningJob
+    {
+        Placement placement;
+        Seconds segmentStart = 0.0;
+        Seconds segmentDuration = 0.0;
+        /** Remaining work when this segment started, in (0, 1]. */
+        double remainingAtStart = 1.0;
+        /** Invalidates stale finish events after a preemption. */
+        int generation = 0;
+    };
+
+    core::RunReport simulate(const JobSpec &spec,
+                             const Placement &placement,
+                             int segment_index);
+    Placement quantised(Placement placement) const;
+    void precomputeReferences();
+    void applyReservation(const JobSpec &spec,
+                          const Placement &placement, int direction);
+    void tryPlaceQueued(Seconds now);
+    void accumulateBusy(Seconds until);
+
+    std::vector<JobSpec> jobs_;
+    FleetOptions options_;
+    ThreadPool *pool_;
+    std::vector<GpuState> gpus_;
+    std::vector<DemandEstimate> demand_;
+    AdmissionQueue queue_;
+    std::map<int, RunningJob> running_;
+    std::map<std::string, core::RunReport> memo_;
+    std::map<std::string, preproc::PreprocPlan> planCache_;
+    FleetReport report_;
+    Seconds lastBusyUpdate_ = 0.0;
+};
+
+/** Convenience: build, run, finalize. */
+FleetReport runFleet(std::vector<JobSpec> jobs, FleetOptions options,
+                     ThreadPool *pool = nullptr);
+
+} // namespace rap::fleet
+
+#endif // RAP_FLEET_SCHEDULER_HPP

@@ -1,13 +1,41 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace rap::sim {
 
+ClusterSpec
+subsetSpec(const ClusterSpec &full, int gpu_count)
+{
+    RAP_ASSERT(gpu_count >= 1 && gpu_count <= full.gpuCount,
+               "subset must take between 1 and ", full.gpuCount,
+               " GPUs, got ", gpu_count);
+    ClusterSpec subset = full;
+    subset.gpuCount = gpu_count;
+    subset.cpuCores = std::max(
+        1, full.cpuCores * gpu_count / full.gpuCount);
+    return subset;
+}
+
 Cluster::Cluster(ClusterSpec spec)
-    : spec_(std::move(spec))
+    : Cluster(std::move(spec), {})
+{
+}
+
+Cluster::Cluster(ClusterSpec spec, std::vector<int> global_gpu_ids)
+    : spec_(std::move(spec)), globalIds_(std::move(global_gpu_ids))
 {
     RAP_ASSERT(spec_.gpuCount >= 1, "cluster needs at least one GPU");
+    if (globalIds_.empty()) {
+        for (int g = 0; g < spec_.gpuCount; ++g)
+            globalIds_.push_back(g);
+    }
+    RAP_ASSERT(static_cast<int>(globalIds_.size()) == spec_.gpuCount,
+               "subset labels must name every GPU: got ",
+               globalIds_.size(), " labels for ", spec_.gpuCount,
+               " GPUs");
     devices_.reserve(static_cast<std::size_t>(spec_.gpuCount));
     for (int g = 0; g < spec_.gpuCount; ++g) {
         devices_.push_back(std::make_unique<Device>(
@@ -15,6 +43,13 @@ Cluster::Cluster(ClusterSpec spec)
             spec_.nvlinkBandwidth, spec_.nvlinkLatency));
     }
     host_ = std::make_unique<Host>(engine_, spec_.cpuCores);
+}
+
+int
+Cluster::globalGpuId(int id) const
+{
+    RAP_ASSERT(id >= 0 && id < gpuCount(), "device id out of range: ", id);
+    return globalIds_[static_cast<std::size_t>(id)];
 }
 
 Device &

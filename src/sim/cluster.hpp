@@ -19,6 +19,15 @@
 namespace rap::sim {
 
 /**
+ * Carve a @p gpu_count-GPU subset view out of @p full: per-GPU
+ * resources are unchanged, while shared host resources (CPU cores)
+ * scale with the subset's share of the node. The fleet scheduler uses
+ * this to run one job's simulation on the slice of the cluster its
+ * placement assigned (fleet/scheduler.hpp).
+ */
+ClusterSpec subsetSpec(const ClusterSpec &full, int gpu_count);
+
+/**
  * A complete simulated multi-GPU training node (e.g. a DGX-A100).
  *
  * Owns the discrete-event engine, one Device per GPU, the Host CPU
@@ -30,6 +39,15 @@ class Cluster
     /** Build a node from @p spec. */
     explicit Cluster(ClusterSpec spec);
 
+    /**
+     * Build a subset view: the node's GPUs are a slice of a larger
+     * physical cluster, with @p global_gpu_ids naming the physical
+     * ordinal behind each local device. Only labelling (trace export,
+     * diagnostics) changes; simulation behaviour is identical to the
+     * plain constructor.
+     */
+    Cluster(ClusterSpec spec, std::vector<int> global_gpu_ids);
+
     Cluster(const Cluster &) = delete;
     Cluster &operator=(const Cluster &) = delete;
 
@@ -40,6 +58,12 @@ class Cluster
 
     Device &device(int id);
     const Device &device(int id) const;
+
+    /** @return Physical GPU ordinal behind local device @p id. */
+    int globalGpuId(int id) const;
+
+    /** @return Physical ordinals of every local device, in order. */
+    const std::vector<int> &globalGpuIds() const { return globalIds_; }
 
     Host &host() { return *host_; }
 
@@ -71,6 +95,7 @@ class Cluster
   private:
     ClusterSpec spec_;
     Engine engine_;
+    std::vector<int> globalIds_;
     std::vector<std::unique_ptr<Device>> devices_;
     std::unique_ptr<Host> host_;
     double collectiveBandwidthScale_ = 1.0;

@@ -56,11 +56,14 @@ toChromeTraceJson(const Cluster &cluster, TraceExportOptions options)
         const auto &trace = cluster.device(g).trace();
         const int pid = g;
 
-        // Process metadata: one "process" per GPU.
+        // Process metadata: one "process" per GPU, named after the
+        // physical ordinal so subset-cluster traces (fleet jobs) show
+        // which GPUs of the node the job co-ran on.
         {
             std::ostringstream e;
             e << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
-              << pid << ",\"args\":{\"name\":\"GPU " << g << "\"}}";
+              << pid << ",\"args\":{\"name\":\"GPU "
+              << cluster.globalGpuId(g) << "\"}}";
             emit(e.str());
         }
 

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Fleet scheduler tests: arrival-trace synthesis, placement policies,
+ * the admission queue, end-to-end fleet runs, requeue-and-replan on
+ * degraded GPUs, and report determinism across thread counts (the
+ * fleet mirror of test_offline_parallel — all comparisons EXPECT_EQ,
+ * bit-identical, not merely close).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hpp"
+
+namespace rap::fleet {
+namespace {
+
+ArrivalTraceOptions
+tinyTraceOptions(int jobs = 5)
+{
+    ArrivalTraceOptions options;
+    options.tiny = true;
+    options.jobCount = jobs;
+    options.meanInterarrival = 0.01;
+    options.seed = 0x7e577e5701ULL;
+    return options;
+}
+
+void
+expectSameFleetReport(const FleetReport &a, const FleetReport &b)
+{
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.meanJct, b.meanJct);
+    EXPECT_EQ(a.p50Jct, b.p50Jct);
+    EXPECT_EQ(a.p95Jct, b.p95Jct);
+    EXPECT_EQ(a.maxJct, b.maxJct);
+    EXPECT_EQ(a.meanQueueingDelay, b.meanQueueingDelay);
+    EXPECT_EQ(a.clusterSmUtil, b.clusterSmUtil);
+    EXPECT_EQ(a.clusterBwUtil, b.clusterBwUtil);
+    EXPECT_EQ(a.gpuOccupancy, b.gpuOccupancy);
+    EXPECT_EQ(a.requeues, b.requeues);
+    EXPECT_EQ(a.simulationsRun, b.simulationsRun);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+        SCOPED_TRACE("job " + std::to_string(j));
+        EXPECT_EQ(a.jobs[j].firstStart, b.jobs[j].firstStart);
+        EXPECT_EQ(a.jobs[j].finish, b.jobs[j].finish);
+        EXPECT_EQ(a.jobs[j].placements, b.jobs[j].placements);
+        EXPECT_EQ(a.jobs[j].requeues, b.jobs[j].requeues);
+        EXPECT_EQ(a.jobs[j].serviceTime, b.jobs[j].serviceTime);
+        EXPECT_EQ(a.jobs[j].lastGpus, b.jobs[j].lastGpus);
+        EXPECT_EQ(a.jobs[j].report.makespan, b.jobs[j].report.makespan);
+        EXPECT_EQ(a.jobs[j].report.submittedAt,
+                  b.jobs[j].report.submittedAt);
+        EXPECT_EQ(a.jobs[j].report.startedAt,
+                  b.jobs[j].report.startedAt);
+        EXPECT_EQ(a.jobs[j].report.finishedAt,
+                  b.jobs[j].report.finishedAt);
+    }
+    // Rendered artefacts must match byte for byte (the CI diff runs
+    // on bench_fleet output built from exactly these renderers).
+    EXPECT_EQ(a.renderSummary(), b.renderSummary());
+    EXPECT_EQ(a.renderJobs(), b.renderJobs());
+}
+
+TEST(FleetJob, ArrivalTraceIsSeededAndOrdered)
+{
+    const auto a = makeArrivalTrace(tinyTraceOptions(12));
+    const auto b = makeArrivalTrace(tinyTraceOptions(12));
+    ASSERT_EQ(a.size(), 12u);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].id, static_cast<int>(j));
+        EXPECT_EQ(a[j].arrival, b[j].arrival);
+        EXPECT_EQ(a[j].gpusRequested, b[j].gpusRequested);
+        EXPECT_EQ(a[j].planId, b[j].planId);
+        EXPECT_EQ(a[j].batchPerGpu, b[j].batchPerGpu);
+        EXPECT_GE(a[j].gpusRequested, 1);
+        EXPECT_LE(a[j].gpusRequested, 8);
+        if (j > 0)
+            EXPECT_GE(a[j].arrival, a[j - 1].arrival);
+    }
+
+    auto other_options = tinyTraceOptions(12);
+    other_options.seed ^= 0xabcdefULL;
+    const auto c = makeArrivalTrace(other_options);
+    bool any_diff = false;
+    for (std::size_t j = 0; j < a.size(); ++j)
+        any_diff = any_diff || c[j].arrival != a[j].arrival;
+    EXPECT_TRUE(any_diff) << "different seeds gave identical traces";
+}
+
+TEST(FleetPlacement, ExclusiveRefusesOccupiedGpus)
+{
+    std::vector<GpuState> gpus(4);
+    gpus[0].residents = 1;
+    gpus[0].smUsed = 0.4;
+    PlacementOptions options;
+    options.policy = PlacementPolicy::ExclusiveFirstFit;
+
+    const auto two = placeJob(options, gpus, 2, {0.3, 0.3});
+    ASSERT_TRUE(two.has_value());
+    EXPECT_EQ(two->gpuIds, (std::vector<int>{1, 2}));
+    EXPECT_EQ(two->envelopes[0].sm, 1.0);
+
+    const auto four = placeJob(options, gpus, 4, {0.3, 0.3});
+    EXPECT_FALSE(four.has_value()) << "only three GPUs are free";
+}
+
+TEST(FleetPlacement, BestFitPrefersHealthyGpus)
+{
+    std::vector<GpuState> gpus(3);
+    gpus[0].healthSm = 0.6; // degraded
+    PlacementOptions options;
+    options.policy = PlacementPolicy::ExclusiveBestFit;
+    const auto placement = placeJob(options, gpus, 2, {0.3, 0.3});
+    ASSERT_TRUE(placement.has_value());
+    EXPECT_EQ(placement->gpuIds, (std::vector<int>{1, 2}))
+        << "the degraded GPU should be picked last";
+}
+
+TEST(FleetPlacement, SharedCoLocatesUnderHeadroom)
+{
+    std::vector<GpuState> gpus(2);
+    gpus[0].residents = 1;
+    gpus[0].smUsed = 0.5;
+    gpus[0].bwUsed = 0.3;
+    PlacementOptions options;
+    options.policy = PlacementPolicy::RapShared;
+    options.headroom = 0.95;
+    options.minEnvelope = 0.3;
+    options.demandScale = 1.0; // strict reservation for exact sums
+
+    // A whole free GPU beats any leftover slice: same speed as an
+    // exclusive grant.
+    const auto whole = placeJob(options, gpus, 1, {0.3, 0.3});
+    ASSERT_TRUE(whole.has_value());
+    EXPECT_EQ(whole->gpuIds, (std::vector<int>{1}));
+    EXPECT_DOUBLE_EQ(whole->envelopes[0].sm, 1.0);
+
+    // With no free GPU left, the job squeezes in beside the lighter
+    // incumbent and receives the leftover slice as its envelope.
+    gpus[1].residents = 1;
+    gpus[1].smUsed = 0.6;
+    gpus[1].bwUsed = 0.6;
+    const auto slice = placeJob(options, gpus, 1, {0.3, 0.3});
+    ASSERT_TRUE(slice.has_value());
+    EXPECT_EQ(slice->gpuIds, (std::vector<int>{0}));
+    EXPECT_DOUBLE_EQ(slice->envelopes[0].sm, 0.5);
+    EXPECT_DOUBLE_EQ(slice->envelopes[0].bw, 0.7);
+
+    // Nothing fits when every GPU is saturated.
+    gpus[0].smUsed = 0.8;
+    gpus[1].smUsed = 0.8;
+    gpus[1].bwUsed = 0.8;
+    const auto none = placeJob(options, gpus, 1, {0.4, 0.4});
+    EXPECT_FALSE(none.has_value());
+}
+
+TEST(FleetPlacement, SharedRespectsMinEnvelope)
+{
+    std::vector<GpuState> gpus(1);
+    gpus[0].residents = 1;
+    gpus[0].smUsed = 0.8;
+    PlacementOptions options;
+    options.policy = PlacementPolicy::RapShared;
+    options.headroom = 1.0;
+    options.minEnvelope = 0.3;
+    // The 0.1 demand fits under headroom, but the leftover slice
+    // (0.2) is below the minimum worth granting.
+    EXPECT_FALSE(placeJob(options, gpus, 1, {0.1, 0.1}).has_value());
+}
+
+TEST(FleetPlacement, DemandScaleAdmitsInterleavingJobs)
+{
+    // Two training jobs averaging 0.75 SM can share one GPU: their
+    // bursts interleave, so reservations use discounted demand. With
+    // strict reservation (scale 1.0) the same pair is refused.
+    std::vector<GpuState> gpus(1);
+    gpus[0].residents = 1;
+    gpus[0].smUsed = 0.6 * 0.75; // incumbent's discounted share
+    gpus[0].bwUsed = 0.6 * 0.20;
+    PlacementOptions options;
+    options.policy = PlacementPolicy::RapShared;
+
+    const auto shared = placeJob(options, gpus, 1, {0.75, 0.20});
+    ASSERT_TRUE(shared.has_value());
+    EXPECT_DOUBLE_EQ(shared->envelopes[0].sm, 1.0 - 0.6 * 0.75);
+
+    auto strict = options;
+    strict.demandScale = 1.0;
+    EXPECT_FALSE(placeJob(strict, gpus, 1, {0.75, 0.20}).has_value());
+}
+
+TEST(FleetQueue, FifoWithFrontReinsertion)
+{
+    AdmissionQueue queue;
+    queue.push({0, 1.0, 0.0, 0});
+    queue.push({1, 1.0, 0.1, 0});
+    queue.pushFront({2, 0.5, 0.2, 1});
+    ASSERT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.jobs()[0].jobId, 2);
+    EXPECT_EQ(queue.jobs()[1].jobId, 0);
+
+    const auto middle = queue.take(1);
+    EXPECT_EQ(middle.jobId, 0);
+    ASSERT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.jobs()[0].jobId, 2);
+    EXPECT_EQ(queue.jobs()[1].jobId, 1);
+}
+
+TEST(FleetScheduler, AllJobsFinishWithSaneLifecycles)
+{
+    const auto trace = makeArrivalTrace(tinyTraceOptions(5));
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto report = runFleet(trace, options);
+
+    ASSERT_EQ(report.jobs.size(), trace.size());
+    for (const auto &job : report.jobs) {
+        SCOPED_TRACE(job.spec.name);
+        EXPECT_GE(job.firstStart, job.spec.arrival);
+        EXPECT_GT(job.finish, job.firstStart);
+        EXPECT_GT(job.serviceTime, 0.0);
+        EXPECT_EQ(job.placements, 1);
+        EXPECT_EQ(static_cast<int>(job.lastGpus.size()),
+                  job.spec.gpusRequested);
+        // The lifecycle timestamps flow into the job's RunReport.
+        EXPECT_EQ(job.report.submittedAt, job.spec.arrival);
+        EXPECT_EQ(job.report.startedAt, job.firstStart);
+        EXPECT_EQ(job.report.finishedAt, job.finish);
+        EXPECT_EQ(job.report.queueingDelay(), job.queueingDelay());
+        EXPECT_EQ(job.report.jobCompletionTime(),
+                  job.jobCompletionTime());
+    }
+    EXPECT_GT(report.makespan, 0.0);
+    EXPECT_GT(report.meanJct, 0.0);
+    EXPECT_GT(report.clusterSmUtil, 0.0);
+    EXPECT_GT(report.gpuOccupancy, 0.0);
+    EXPECT_LE(report.gpuOccupancy, 1.0 + 1e-12);
+    EXPECT_EQ(report.requeues, 0);
+}
+
+TEST(FleetScheduler, SharedPlacementCoLocatesJobs)
+{
+    const auto trace = makeArrivalTrace(tinyTraceOptions(5));
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::RapShared;
+    const auto report = runFleet(trace, options);
+    for (const auto &job : report.jobs) {
+        EXPECT_GT(job.finish, 0.0) << job.spec.name;
+        EXPECT_GE(job.queueingDelay(), 0.0) << job.spec.name;
+    }
+    EXPECT_GT(report.makespan, 0.0);
+}
+
+TEST(FleetScheduler, DegradeRequeuesAndReplansResidentJobs)
+{
+    // One long job starts immediately on an idle node; a mid-run SM
+    // degradation on its GPU must preempt it, requeue it with its
+    // completed fraction, and re-place it against the shrunken
+    // envelope — finishing later than the healthy run.
+    auto trace = makeArrivalTrace(tinyTraceOptions(2));
+    for (auto &spec : trace) {
+        spec.gpusRequested = 1;
+        spec.planId = 0;
+        spec.iterations = 8;
+    }
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    ASSERT_GT(healthy.makespan, 0.0);
+
+    auto faulted = options;
+    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
+        0, healthy.jobs[0].firstStart +
+               0.5 * healthy.jobs[0].serviceTime,
+        0.5));
+    const auto degraded = runFleet(trace, faulted);
+
+    EXPECT_GE(degraded.requeues, 1);
+    const auto &job0 = degraded.jobs[0];
+    EXPECT_GE(job0.requeues, 1);
+    EXPECT_GE(job0.placements, 2);
+    EXPECT_GT(job0.finish, healthy.jobs[0].finish)
+        << "losing half the SMs mid-run cannot speed the job up";
+    for (const auto &job : degraded.jobs)
+        EXPECT_GT(job.finish, 0.0) << job.spec.name;
+}
+
+TEST(FleetScheduler, ReportBitIdenticalAcrossThreadCounts)
+{
+    const auto trace = makeArrivalTrace(tinyTraceOptions(6));
+    for (const auto policy : {PlacementPolicy::ExclusiveFirstFit,
+                              PlacementPolicy::RapShared}) {
+        SCOPED_TRACE(policyName(policy));
+        FleetOptions options;
+        options.placement.policy = policy;
+        const auto serial = runFleet(trace, options, nullptr);
+        ThreadPool pool(4);
+        const auto threaded = runFleet(trace, options, &pool);
+        expectSameFleetReport(serial, threaded);
+    }
+}
+
+} // namespace
+} // namespace rap::fleet

@@ -3,6 +3,11 @@
  * Unit tests for logging and assertion macros.
  */
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/log.hpp"
@@ -24,6 +29,51 @@ TEST(Log, ConcatStreamsArguments)
 {
     EXPECT_EQ(detail::concat("a", 1, "-", 2.5), "a1-2.5");
     EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Log, ConcurrentLoggersNeverInterleaveLines)
+{
+    // Each line is emitted as a single write under the log mutex, so
+    // pool-parallel planning and concurrent fleet jobs can log freely:
+    // every captured line must be exactly one well-formed message from
+    // one thread, never a torn splice of two.
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    const auto old_level = logLevel();
+    setLogLevel(LogLevel::Info);
+    ::testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; ++i)
+                    logInfo("thread=", t, " line=", i, " payload=",
+                            std::string(32, 'a' + (t % 26)));
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const std::string captured =
+        ::testing::internal::GetCapturedStderr();
+    setLogLevel(old_level);
+
+    std::istringstream stream(captured);
+    std::string line;
+    int count = 0;
+    while (std::getline(stream, line)) {
+        ASSERT_EQ(line.rfind("[rap:INFO] thread=", 0), 0u)
+            << "torn or interleaved line: " << line;
+        const auto payload = line.find(" payload=");
+        ASSERT_NE(payload, std::string::npos) << line;
+        // The payload character identifies the writing thread; a torn
+        // line would mix characters or truncate the run of 32.
+        const std::string tail = line.substr(payload + 9);
+        ASSERT_EQ(tail.size(), 32u) << line;
+        EXPECT_EQ(tail, std::string(32, tail[0])) << line;
+        ++count;
+    }
+    EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST(LogDeath, AssertPanicsWithMessage)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "sim/cluster.hpp"
 
 namespace rap::core {
 namespace {
@@ -167,6 +168,52 @@ TEST(Pipeline, InterleavingFlagSupported)
     // Interleaving may only help (or tie) the iteration interval.
     EXPECT_LE(with.avgIterationLatency,
               without.avgIterationLatency * 1.01);
+}
+
+TEST(Pipeline, RunReportLifecycleTimestamps)
+{
+    // Fresh reports carry zeroed fleet-lifecycle timestamps…
+    RunReport fresh;
+    EXPECT_EQ(fresh.submittedAt, 0.0);
+    EXPECT_EQ(fresh.startedAt, 0.0);
+    EXPECT_EQ(fresh.finishedAt, 0.0);
+    EXPECT_EQ(fresh.queueingDelay(), 0.0);
+    EXPECT_EQ(fresh.jobCompletionTime(), 0.0);
+
+    // …and the helpers are exact deltas once a scheduler fills them.
+    RunReport report = runOn(System::Rap, preproc::makePlan(0));
+    report.submittedAt = 1.25;
+    report.startedAt = 1.75;
+    report.finishedAt = 4.0;
+    EXPECT_DOUBLE_EQ(report.queueingDelay(), 0.5);
+    EXPECT_DOUBLE_EQ(report.jobCompletionTime(), 2.75);
+    EXPECT_GT(report.jobCompletionTime(), report.queueingDelay());
+}
+
+TEST(Pipeline, GpuSubsetAndEnvelopeConfigSupported)
+{
+    // A job confined to GPUs {3, 5} of an 8-GPU node, on the subset's
+    // share of the host, completes like any 2-GPU run.
+    const auto plan = preproc::makePlan(0);
+    SystemConfig config;
+    config.system = System::Rap;
+    config.gpuCount = 2;
+    config.batchPerGpu = 4096;
+    config.iterations = 10;
+    config.warmup = 2;
+    config.clusterSpec = sim::subsetSpec(sim::dgxA100Spec(8), 2);
+    config.gpuSubset = {3, 5};
+    const auto whole = runSystem(config, plan);
+    EXPECT_GT(whole.throughput, 0.0);
+    EXPECT_EQ(whole.gpuCount, 2);
+
+    // Halving the capacity envelope on both GPUs can only slow the
+    // same job down.
+    config.envelopes = {{0.5, 0.5}, {0.5, 0.5}};
+    const auto sliced = runSystem(config, plan);
+    EXPECT_GT(sliced.throughput, 0.0);
+    EXPECT_GT(sliced.makespan, whole.makespan);
+    EXPECT_LT(sliced.throughput, whole.throughput);
 }
 
 TEST(PipelineDeath, BadIterationConfigPanics)
