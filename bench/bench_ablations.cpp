@@ -30,7 +30,8 @@ using namespace rap;
 using Row = std::vector<std::string>;
 
 void
-ablationInterleaving(ThreadPool &pool, bool tiny)
+ablationInterleaving(ThreadPool &pool, bool tiny,
+                     obs::MetricRegistry *metrics)
 {
     std::cout << "--- A1: inter-batch workload interleaving (8x A100) "
                  "---\n";
@@ -48,9 +49,14 @@ ablationInterleaving(ThreadPool &pool, bool tiny)
             core::SystemConfig config;
             config.system = core::System::Rap;
             config.gpuCount = 8;
+            config.metrics = metrics;
             config.interleave = false;
+            config.metricsScope =
+                "a1.s" + std::to_string(stress) + ".off";
             const auto off = core::runSystem(config, plan);
             config.interleave = true;
+            config.metricsScope =
+                "a1.s" + std::to_string(stress) + ".on";
             const auto on = core::runSystem(config, plan);
             return Row{"Plan 1 + " + std::to_string(stress) + " NGram",
                        formatSeconds(off.avgIterationLatency),
@@ -65,7 +71,7 @@ ablationInterleaving(ThreadPool &pool, bool tiny)
 }
 
 void
-ablationPredictor(ThreadPool &pool)
+ablationPredictor(ThreadPool &pool, obs::MetricRegistry *metrics)
 {
     std::cout << "--- A2: trained latency predictor vs oracle cost "
                  "model ---\n";
@@ -84,8 +90,13 @@ ablationPredictor(ThreadPool &pool)
             core::SystemConfig config;
             config.system = core::System::Rap;
             config.gpuCount = 8;
+            config.metrics = metrics;
+            config.metricsScope =
+                "a2.p" + std::to_string(plan_id) + ".oracle";
             const auto oracle = core::runSystem(config, plan);
             config.predictor = &predictor;
+            config.metricsScope =
+                "a2.p" + std::to_string(plan_id) + ".ml";
             const auto predicted = core::runSystem(config, plan);
             return Row{"Plan " + std::to_string(plan_id),
                        formatRate(oracle.throughput),
@@ -102,7 +113,8 @@ ablationPredictor(ThreadPool &pool)
 }
 
 void
-ablationHybrid(ThreadPool &pool, bool tiny)
+ablationHybrid(ThreadPool &pool, bool tiny,
+               obs::MetricRegistry *metrics)
 {
     std::cout << "--- A3: hybrid GPU+CPU preprocessing on an "
                  "overloaded workload ---\n";
@@ -120,8 +132,13 @@ ablationHybrid(ThreadPool &pool, bool tiny)
             core::SystemConfig config;
             config.system = core::System::Rap;
             config.gpuCount = 8;
+            config.metrics = metrics;
+            config.metricsScope =
+                "a3.s" + std::to_string(stress) + ".rap";
             const auto rap = core::runSystem(config, plan);
             config.system = core::System::HybridRap;
+            config.metricsScope =
+                "a3.s" + std::to_string(stress) + ".hybrid";
             const auto hybrid = core::runSystem(config, plan);
             return Row{std::to_string(stress),
                        formatSeconds(rap.predictedExposed),
@@ -221,19 +238,25 @@ ablationRegenerationCost()
 int
 main(int argc, char **argv)
 {
-    ThreadPool pool(bench::parseJobs(argc, argv));
+    bench::ArgParser args("bench_ablations",
+                          "RAP design-choice ablations A1-A5");
+    args.parse(argc, argv);
+    ThreadPool pool(args.jobThreads());
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
     // --tiny: the CI determinism smoke mode. Few sweep points, and the
     // stages whose output is inherently non-reproducible (A2 trains on
     // sampled co-runs, A5 prints wall-clock times) are skipped so the
     // tables diff byte-identically across --jobs counts.
-    const bool tiny = bench::parseFlag(argc, argv, "--tiny");
+    const bool tiny = args.tiny();
     std::cout << "=== RAP design-choice ablations ===\n\n";
-    ablationInterleaving(pool, tiny);
+    ablationInterleaving(pool, tiny, metrics);
     if (tiny)
         std::cout << "--- A2: skipped in --tiny mode ---\n\n";
     else
-        ablationPredictor(pool);
-    ablationHybrid(pool, tiny);
+        ablationPredictor(pool, metrics);
+    ablationHybrid(pool, tiny, metrics);
     ablationSolver(pool, tiny);
     std::cout << "\n";
     if (tiny)
@@ -241,5 +264,6 @@ main(int argc, char **argv)
                      "timings are not deterministic) ---\n";
     else
         ablationRegenerationCost();
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

@@ -2,77 +2,292 @@
  * @file
  * Shared helpers for the figure/table bench harnesses.
  *
- * Every sweep-style bench accepts `--jobs N` (or `-j N`, or
- * `--jobs=N`) and runs its independent sweep points on a ThreadPool.
- * Output stays deterministic: points are computed into
+ * Every bench parses its command line through bench::ArgParser, which
+ * pre-registers the four flags common to the whole suite:
+ *
+ *   --jobs N / -j N   worker threads for independent sweep points
+ *                     (0 = all hardware threads; default 1)
+ *   --tiny            smaller sweep for CI determinism jobs
+ *   --trace PATH      Chrome-trace JSON output path (or prefix)
+ *   --metrics PATH    deterministic metrics-snapshot JSON output
+ *
+ * plus --help. Unknown flags are an error (exit 1) unless the bench
+ * opts into allowUnknown() — the google-benchmark mains do, and hand
+ * the unconsumed arguments on via remainingArgv().
+ *
+ * Output stays deterministic: sweep points are computed into
  * submission-indexed slots and rendered in point order, so `--jobs 8`
- * prints byte-identical tables to a serial run.
+ * prints byte-identical tables — and writes byte-identical metrics
+ * snapshots — to a serial run.
  */
 
 #ifndef RAP_BENCH_COMMON_HPP
 #define RAP_BENCH_COMMON_HPP
 
 #include <cstdlib>
+#include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 
 namespace rap::bench {
 
 /**
- * Parse the shared `--jobs` flag. Defaults to 1 (serial); `--jobs 0`
- * selects the hardware concurrency. Unrelated arguments are ignored
- * so benches can grow their own flags.
+ * Typed command-line parser for the bench suite. Flags accept both
+ * `--flag value` and `--flag=value`; booleans take no value. Values
+ * registered with addInt/addString/addFlag live as long as the parser,
+ * so call sites keep plain references.
  */
-inline int
-parseJobs(int argc, char **argv)
+class ArgParser
 {
-    int jobs = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--jobs" || arg == "-j") {
-            if (i + 1 >= argc)
-                RAP_FATAL(arg, " requires a value");
-            jobs = std::atoi(argv[++i]);
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            jobs = std::atoi(arg.c_str() + 7);
+  public:
+    /**
+     * @param program Bench name for the usage line ("bench_fig09...").
+     * @param summary One-line description printed by --help.
+     */
+    ArgParser(std::string program, std::string summary)
+        : program_(std::move(program)), summary_(std::move(summary))
+    {
+        jobs_ = &addInt("--jobs", 1,
+                        "worker threads for sweep points "
+                        "(0 = all hardware threads; alias -j)");
+        tiny_ = &addFlag("--tiny", "smaller sweep (CI mode)");
+        trace_ = &addString("--trace", "",
+                            "Chrome-trace JSON output path/prefix");
+        metrics_ = &addString("--metrics", "",
+                              "metrics snapshot JSON output path");
+    }
+
+    /** Register a boolean flag; @return its (false-initial) storage. */
+    bool &
+    addFlag(const std::string &name, std::string help)
+    {
+        auto &opt = emplace(name, Kind::Flag, std::move(help));
+        return opt.flagValue;
+    }
+
+    /** Register an integer option; @return its storage. */
+    int &
+    addInt(const std::string &name, int fallback, std::string help)
+    {
+        auto &opt = emplace(name, Kind::Int, std::move(help));
+        opt.intValue = fallback;
+        return opt.intValue;
+    }
+
+    /** Register a string option; @return its storage. */
+    std::string &
+    addString(const std::string &name, std::string fallback,
+              std::string help)
+    {
+        auto &opt = emplace(name, Kind::String, std::move(help));
+        opt.stringValue = std::move(fallback);
+        return opt.stringValue;
+    }
+
+    /**
+     * Register an optional positional argument (consumed in
+     * registration order); @return its (empty-initial) storage.
+     */
+    std::string &
+    addPositional(std::string name, std::string help)
+    {
+        positionals_.push_back(std::make_unique<Positional>());
+        positionals_.back()->name = std::move(name);
+        positionals_.back()->help = std::move(help);
+        return positionals_.back()->value;
+    }
+
+    /**
+     * Collect unrecognised arguments into remainingArgv() instead of
+     * erroring — for mains that forward to another argument consumer
+     * (google-benchmark).
+     */
+    void allowUnknown() { allowUnknown_ = true; }
+
+    /** Parse @p argv; exits on --help (0) or an unknown flag (1). */
+    void
+    parse(int argc, char **argv)
+    {
+        if (argc > 0)
+            remaining_.push_back(argv[0]);
+        std::size_t next_positional = 0;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::cout << usage();
+                std::exit(0);
+            }
+            Option *opt = match(arg);
+            if (opt != nullptr) {
+                if (opt->kind == Kind::Flag) {
+                    opt->flagValue = true;
+                    continue;
+                }
+                std::string value;
+                const auto eq = arg.find('=');
+                if (eq != std::string::npos) {
+                    value = arg.substr(eq + 1);
+                } else {
+                    if (i + 1 >= argc)
+                        RAP_FATAL(arg, " requires a value");
+                    value = argv[++i];
+                }
+                if (opt->kind == Kind::Int)
+                    opt->intValue = std::atoi(value.c_str());
+                else
+                    opt->stringValue = value;
+                continue;
+            }
+            if (arg.rfind("-", 0) == 0) {
+                if (allowUnknown_) {
+                    remaining_.push_back(arg);
+                    continue;
+                }
+                RAP_FATAL(program_, ": unknown flag '", arg,
+                          "' (try --help)");
+            }
+            if (next_positional < positionals_.size()) {
+                positionals_[next_positional++]->value = arg;
+                continue;
+            }
+            if (allowUnknown_) {
+                remaining_.push_back(arg);
+                continue;
+            }
+            RAP_FATAL(program_, ": unexpected argument '", arg,
+                      "' (try --help)");
         }
     }
-    return jobs <= 0 ? ThreadPool::hardwareThreads() : jobs;
-}
 
-/** @return True when the boolean @p flag (e.g. "--tiny") is present. */
-inline bool
-parseFlag(int argc, char **argv, const std::string &flag)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (flag == argv[i])
-            return true;
+    /** @return Thread count for the sweep pool (0 ⇒ hardware). */
+    int
+    jobThreads() const
+    {
+        return *jobs_ <= 0 ? ThreadPool::hardwareThreads() : *jobs_;
     }
-    return false;
-}
+
+    bool tiny() const { return *tiny_; }
+    const std::string &tracePath() const { return *trace_; }
+    const std::string &metricsPath() const { return *metrics_; }
+
+    /**
+     * @return argv (program name + unconsumed arguments) for handing
+     * to a downstream consumer; valid while the parser lives.
+     */
+    std::vector<char *>
+    remainingArgv()
+    {
+        std::vector<char *> argv;
+        for (auto &arg : remaining_)
+            argv.push_back(arg.data());
+        return argv;
+    }
+
+    /** @return The --help text (usage line plus one row per flag). */
+    std::string
+    usage() const
+    {
+        std::string text = "usage: " + program_ + " [flags]";
+        for (const auto &pos : positionals_)
+            text += " [" + pos->name + "]";
+        text += "\n  " + summary_ + "\n\nflags:\n";
+        for (const auto &opt : options_) {
+            std::string line = "  " + opt->name;
+            if (opt->name == "--jobs")
+                line += " (-j)";
+            if (opt->kind != Kind::Flag)
+                line += " <value>";
+            line += "\n      " + opt->help + "\n";
+            text += line;
+        }
+        text += "  --help\n      print this message\n";
+        for (const auto &pos : positionals_) {
+            text += "\npositional " + pos->name + ": " + pos->help +
+                    "\n";
+        }
+        return text;
+    }
+
+  private:
+    enum class Kind { Flag, Int, String };
+
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        Kind kind = Kind::Flag;
+        bool flagValue = false;
+        int intValue = 0;
+        std::string stringValue;
+    };
+
+    struct Positional
+    {
+        std::string name;
+        std::string help;
+        std::string value;
+    };
+
+    Option &
+    emplace(const std::string &name, Kind kind, std::string help)
+    {
+        RAP_ASSERT(name.rfind("--", 0) == 0,
+                   "bench flags must start with --, got '", name, "'");
+        RAP_ASSERT(match(name) == nullptr, "duplicate bench flag '",
+                   name, "'");
+        options_.push_back(std::make_unique<Option>());
+        auto &opt = *options_.back();
+        opt.name = name;
+        opt.kind = kind;
+        opt.help = std::move(help);
+        return opt;
+    }
+
+    Option *
+    match(const std::string &arg)
+    {
+        for (auto &opt : options_) {
+            if (arg == opt->name ||
+                arg.rfind(opt->name + "=", 0) == 0)
+                return opt.get();
+        }
+        if (arg == "-j" || arg.rfind("-j=", 0) == 0) {
+            for (auto &opt : options_) {
+                if (opt->name == "--jobs")
+                    return opt.get();
+            }
+        }
+        return nullptr;
+    }
+
+    std::string program_;
+    std::string summary_;
+    std::vector<std::unique_ptr<Option>> options_;
+    std::vector<std::unique_ptr<Positional>> positionals_;
+    std::vector<std::string> remaining_;
+    bool allowUnknown_ = false;
+    int *jobs_ = nullptr;
+    bool *tiny_ = nullptr;
+    std::string *trace_ = nullptr;
+    std::string *metrics_ = nullptr;
+};
 
 /**
- * Parse a string-valued option (`--trace path` or `--trace=path`).
- * Returns @p fallback when the option is absent; fatal when the flag
- * is present without a value.
+ * Emit the deterministic metrics snapshot when the user passed
+ * `--metrics <path>`; no-op otherwise. Call once, after the sweep.
  */
-inline std::string
-parseOption(int argc, char **argv, const std::string &flag,
-            std::string fallback = "")
+inline void
+maybeWriteMetrics(const ArgParser &args,
+                  const obs::MetricRegistry &registry)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == flag) {
-            if (i + 1 >= argc)
-                RAP_FATAL(flag, " requires a value");
-            return argv[i + 1];
-        }
-        if (arg.rfind(flag + "=", 0) == 0)
-            return arg.substr(flag.size() + 1);
-    }
-    return fallback;
+    if (!args.metricsPath().empty())
+        obs::writeSnapshot(registry, args.metricsPath());
 }
 
 } // namespace rap::bench

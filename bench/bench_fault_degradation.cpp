@@ -56,7 +56,13 @@ struct Scenario
 int
 main(int argc, char **argv)
 {
-    ThreadPool pool(bench::parseJobs(argc, argv));
+    bench::ArgParser args("bench_fault_degradation",
+                          "fault injection + online replanning study");
+    args.parse(argc, argv);
+    ThreadPool pool(args.jobThreads());
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
     std::cout << "=== Fault injection + online replanning (8x A100) "
                  "===\n\n";
 
@@ -64,7 +70,10 @@ main(int argc, char **argv)
     preproc::addNgramStress(plan, 13312);
 
     // Healthy reference run; its timeline calibrates the fault clock.
-    const auto healthy = core::runSystem(baseConfig(), plan);
+    auto healthy_config = baseConfig();
+    healthy_config.metrics = metrics;
+    healthy_config.metricsScope = "healthy";
+    const auto healthy = core::runSystem(healthy_config, plan);
     const Seconds iter_latency = healthy.avgIterationLatency;
     const Seconds fault_at = healthy.makespan / 3.0;
     std::cout << "healthy makespan " << formatSeconds(healthy.makespan)
@@ -106,10 +115,15 @@ main(int argc, char **argv)
             const auto &scenario = scenarios[i];
             auto config = baseConfig();
             config.faults = scenario.faults;
+            config.metrics = metrics;
             config.replanOnDrift = false;
+            config.metricsScope =
+                "f" + std::to_string(i) + ".stale";
             const auto stale = core::runSystem(config, plan);
             config.replanOnDrift = true;
             config.replanMapping = true;
+            config.metricsScope =
+                "f" + std::to_string(i) + ".replanned";
             const auto replanned = core::runSystem(config, plan);
 
             const Seconds lost = stale.makespan - healthy.makespan;
@@ -130,5 +144,6 @@ main(int argc, char **argv)
               << "replanning re-shards preprocessing into the degraded "
                  "GPU's shrunken overlap windows, so inputs stop "
                  "gating the healthy GPUs\n";
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
@@ -22,7 +23,7 @@ namespace {
 using namespace rap;
 
 void
-figure1a()
+figure1a(obs::MetricRegistry *metrics)
 {
     std::cout << "--- Fig 1(a): utilisation during two training "
                  "iterations (Terabyte model, batch 4096, 8 GPUs) "
@@ -38,6 +39,8 @@ figure1a()
     dlrm::TrainingDriver driver(cluster, config, sharding);
     driver.pushIterations(4);
     cluster.run();
+    if (metrics != nullptr)
+        cluster.exportMetrics(*metrics, {{"run", "fig1a"}});
 
     // Sample utilisation over iterations 2 and 3 (steady state).
     const Seconds t0 = driver.iterationSpan(0, 2).start;
@@ -90,7 +93,7 @@ figure1b()
 }
 
 void
-figure1c()
+figure1c(obs::MetricRegistry *metrics)
 {
     std::cout << "--- Fig 1(c): MLP forward latency when overlapped "
                  "with NGram kernels of growing size ---\n";
@@ -129,6 +132,11 @@ figure1c()
             pre.pushKernel(preproc::makeOpKernel(
                 preproc::OpType::Ngram, shape, spec));
             cluster.run();
+            if (metrics != nullptr) {
+                cluster.exportMetrics(
+                    *metrics,
+                    {{"run", "fig1c.w" + std::to_string(width)}});
+            }
             corun = train_end;
         }
         table.addRow({std::to_string(width),
@@ -146,11 +154,18 @@ figure1c()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ArgParser args("bench_fig01_motivation",
+                          "Figure 1: motivation probes");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
     std::cout << "=== Figure 1: motivation ===\n\n";
-    figure1a();
+    figure1a(metrics);
     figure1b();
-    figure1c();
+    figure1c(metrics);
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

@@ -14,14 +14,21 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rap;
+    bench::ArgParser args("bench_fig05_costmodel",
+                          "Figure 5: overhead-abstraction validation");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
     const auto spec = sim::a100Spec();
     const auto schema =
         data::makePresetSchema(data::DatasetPreset::CriteoTerabyte);
@@ -71,6 +78,12 @@ main()
             const Seconds overlap =
                 core::OverlappingCapacityEstimator::
                     probeOverlapLatency(spec, lookup, kernel, copies);
+            if (metrics != nullptr) {
+                metrics
+                    ->series("bench.fig05.overlap_latency",
+                             {{"op", preproc::opTypeName(op.type)}})
+                    .append(static_cast<double>(width), overlap);
+            }
             fig5b.addRow({preproc::opTypeName(op.type),
                           AsciiTable::num(kernel.profile.warps, 0),
                           formatSeconds(standalone),
@@ -89,5 +102,6 @@ main()
            "rows keyed by #warps misalign across operators (5c), so "
            "standalone latency — not warp count — is the uniform "
            "metric.\n";
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

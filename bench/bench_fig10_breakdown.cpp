@@ -13,15 +13,23 @@
 #include <map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rap;
+
+    bench::ArgParser args("bench_fig10_breakdown",
+                          "Figure 10: speedup breakdown");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
 
     const std::vector<core::System> systems = {
         core::System::SequentialGpu, core::System::Mps,
@@ -45,6 +53,9 @@ main()
             config.system = system;
             config.gpuCount = 8;
             config.batchPerGpu = 4096;
+            config.metrics = metrics;
+            config.metricsScope = "p" + std::to_string(plan_id) + "." +
+                                  core::systemId(system);
             tput[system] = core::runSystem(config, plan).throughput;
         }
         const double seq = tput[core::System::SequentialGpu];
@@ -78,5 +89,6 @@ main()
               << "RAP vs Ideal: "
               << AsciiTable::num((1.0 - rap_vs_ideal.mean()) * 100.0, 2)
               << "% below ideal (paper 3.24%)\n";
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

@@ -19,17 +19,27 @@
 #include <map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/rap.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rap;
 
-    const std::vector<int> ngram_counts = {
-        0, 104, 208, 416, 832, 1664, 2496, 3328, 4992, 6656};
+    bench::ArgParser args("bench_fig11_fusion_scheduling",
+                          "Figure 11 + Table 4: fusion/scheduling");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
+
+    const std::vector<int> ngram_counts =
+        args.tiny() ? std::vector<int>{0, 832, 6656}
+                    : std::vector<int>{0,    104,  208,  416,  832,
+                                       1664, 2496, 3328, 4992, 6656};
     const std::vector<core::System> systems = {
         core::System::CudaStream,          // Baseline
         core::System::HorizontalFusionOnly,
@@ -51,6 +61,9 @@ main()
             config.system = system;
             config.gpuCount = 8;
             config.batchPerGpu = 4096;
+            config.metrics = metrics;
+            config.metricsScope = "n" + std::to_string(count) + "." +
+                                  core::systemId(system);
             const auto report = core::runSystem(config, plan);
             latency_ms[system].push_back(report.avgIterationLatency *
                                          1e3);
@@ -109,5 +122,6 @@ main()
     std::cout << util.render()
               << "(paper: Baseline 77.6/59.0, Horizontal Fusion "
                  "79.3/66.7, RAP 92.8/80.3)\n";
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

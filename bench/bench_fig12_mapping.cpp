@@ -32,7 +32,13 @@ main(int argc, char **argv)
 {
     using namespace rap;
 
-    ThreadPool pool(bench::parseJobs(argc, argv));
+    bench::ArgParser args("bench_fig12_mapping",
+                          "Figure 12: graph-mapping adaptability");
+    args.parse(argc, argv);
+    ThreadPool pool(args.jobThreads());
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
 
     // Skewed graph: the four largest tables (owned by distinct GPUs,
     // the largest on GPU 0's shard) get heavy extra feature
@@ -55,6 +61,8 @@ main(int argc, char **argv)
     core::SystemConfig ideal_config;
     ideal_config.system = core::System::Ideal;
     ideal_config.gpuCount = gpus;
+    ideal_config.metrics = metrics;
+    ideal_config.metricsScope = "ideal";
     const auto ideal = core::runSystem(ideal_config, plan);
 
     std::cout << "=== Figure 12: exposed latency under different "
@@ -105,6 +113,9 @@ main(int argc, char **argv)
             run_config.system = core::System::Rap;
             run_config.gpuCount = gpus;
             run_config.forcedMapping = strategy;
+            run_config.metrics = metrics;
+            run_config.metricsScope =
+                core::mappingStrategyName(strategy);
             const auto report = core::runSystem(run_config, plan);
             const Seconds overhead =
                 report.avgIterationLatency - ideal.avgIterationLatency;
@@ -139,5 +150,6 @@ main(int argc, char **argv)
                                          rap_exposed, 1)
                   << "x (paper 4.0x)\n";
     }
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

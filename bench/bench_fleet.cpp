@@ -17,7 +17,11 @@
  * Pass `--jobs N` to fan the per-variant reference simulations over a
  * thread pool (output is byte-identical for any N), `--tiny` for the
  * CI determinism subset, and `--trace <prefix>` to dump per-segment
- * Chrome traces for Perfetto.
+ * Chrome traces for Perfetto. `--metrics <path>` writes the
+ * scheduler-level metrics snapshot (admission-queue depth, placement
+ * outcomes, memo hit rates; one `run=<policy arm>` scope per arm) and
+ * `--report <path>` the full FleetReport JSON artifact the CI
+ * determinism job diffs across thread counts.
  */
 
 #include <iostream>
@@ -38,11 +42,17 @@ using namespace rap;
 int
 main(int argc, char **argv)
 {
-    const int jobs_flag = bench::parseJobs(argc, argv);
-    const bool tiny = bench::parseFlag(argc, argv, "--tiny");
-    const std::string trace_prefix =
-        bench::parseOption(argc, argv, "--trace");
-    ThreadPool pool(jobs_flag);
+    bench::ArgParser args("bench_fleet",
+                          "multi-tenant placement-policy study");
+    const std::string &report_path = args.addString(
+        "--report", "", "FleetReport JSON output path (all arms)");
+    args.parse(argc, argv);
+    const bool tiny = args.tiny();
+    const std::string &trace_prefix = args.tracePath();
+    ThreadPool pool(args.jobThreads());
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
 
     fleet::ArrivalTraceOptions trace_options;
     trace_options.tiny = tiny;
@@ -53,9 +63,12 @@ main(int argc, char **argv)
     std::cout << "=== Fleet scheduling: " << trace.size()
               << " jobs arriving on one 8x A100 node ===\n\n";
 
-    auto baseOptions = [&](fleet::PlacementPolicy policy) {
+    auto baseOptions = [&](fleet::PlacementPolicy policy,
+                           const std::string &scope) {
         fleet::FleetOptions options;
         options.placement.policy = policy;
+        options.metrics = metrics;
+        options.metricsScope = scope;
         if (!trace_prefix.empty() &&
             policy == fleet::PlacementPolicy::RapShared) {
             options.tracePrefix = trace_prefix;
@@ -64,19 +77,25 @@ main(int argc, char **argv)
     };
 
     const auto exclusive = fleet::runFleet(
-        trace, baseOptions(fleet::PlacementPolicy::ExclusiveFirstFit),
+        trace,
+        baseOptions(fleet::PlacementPolicy::ExclusiveFirstFit,
+                    "first_fit"),
         &pool);
     const auto best_fit = fleet::runFleet(
-        trace, baseOptions(fleet::PlacementPolicy::ExclusiveBestFit),
+        trace,
+        baseOptions(fleet::PlacementPolicy::ExclusiveBestFit,
+                    "best_fit"),
         &pool);
     const auto shared = fleet::runFleet(
-        trace, baseOptions(fleet::PlacementPolicy::RapShared), &pool);
+        trace,
+        baseOptions(fleet::PlacementPolicy::RapShared, "shared"),
+        &pool);
 
     // Degradation arm: GPU 0 loses 30% SM capacity a third of the way
     // through the exclusive makespan; resident jobs requeue and replan
     // against the shrunken envelope.
-    auto degraded_options =
-        baseOptions(fleet::PlacementPolicy::RapShared);
+    auto degraded_options = baseOptions(
+        fleet::PlacementPolicy::RapShared, "shared_degrade");
     degraded_options.tracePrefix.clear();
     degraded_options.faults.events.push_back(sim::FaultEvent::smDegrade(
         0, exclusive.makespan / 3.0, 0.7));
@@ -125,5 +144,18 @@ main(int argc, char **argv)
               << AsciiTable::num(shared.makespan / exclusive.makespan,
                                  2)
               << "x\n";
+
+    if (!report_path.empty()) {
+        Json artifact = Json::object();
+        artifact.set("schema", Json("rap.fleet.v1"));
+        Json arms = Json::object();
+        arms.set("first_fit", exclusive.toJson());
+        arms.set("best_fit", best_fit.toJson());
+        arms.set("shared", shared.toJson());
+        arms.set("shared_degrade", degraded.toJson());
+        artifact.set("arms", std::move(arms));
+        writeJsonFile(artifact, report_path);
+    }
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "data/criteo.hpp"
 #include "preproc/executor.hpp"
 #include "preproc/ops.hpp"
@@ -103,4 +105,25 @@ BENCHMARK_CAPTURE(BM_SparseOp, Ngram, rap::preproc::OpType::Ngram)
     ->Arg(4096);
 BENCHMARK(BM_FullPlanGraph)->Arg(0)->Arg(2);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    rap::bench::ArgParser args(
+        "bench_micro_ops",
+        "preprocessing-operator microbenchmarks (unrecognised flags pass through to google-benchmark)");
+    args.allowUnknown();
+    args.parse(argc, argv);
+    auto gbench_argv = args.remainingArgv();
+    int gbench_argc = static_cast<int>(gbench_argv.size());
+    benchmark::Initialize(&gbench_argc, gbench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                               gbench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    // google-benchmark owns the timing output; the snapshot carries
+    // only the suite inventory so --metrics still emits valid JSON.
+    rap::obs::MetricRegistry registry;
+    rap::bench::maybeWriteMetrics(args, registry);
+    return 0;
+}

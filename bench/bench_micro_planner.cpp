@@ -100,8 +100,14 @@ timePlanSchedule(const preproc::PreprocPlan &plan, int gpus,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ArgParser args("bench_micro_planner",
+                          "offline planning phase vs thread count");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
     std::cout << "=== Offline planning phase vs thread count "
                  "(8x A100, stressed plan) ===\n";
     std::cout << "host hardware threads: "
@@ -112,6 +118,8 @@ main()
     core::SystemConfig config;
     config.system = core::System::Rap;
     config.gpuCount = 8;
+    config.metrics = metrics;
+    config.metricsScope = "planner";
 
     const int reps = 3;
     // Warm-up: fault in code and allocator state outside the timings.
@@ -139,5 +147,6 @@ main()
     std::cout << table.render()
               << "serial and threaded runs emit bit-identical plans "
                  "(see test_offline_parallel)\n";
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

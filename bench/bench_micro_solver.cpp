@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/rap.hpp"
 
 namespace {
@@ -108,4 +110,25 @@ BENCHMARK(BM_FusionPlanEndToEnd)->Arg(0)->Arg(2);
 BENCHMARK(BM_CoRunSchedule)->Arg(0)->Arg(2);
 BENCHMARK(BM_SimulatedTrainingIteration)->Arg(2)->Arg(8);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    rap::bench::ArgParser args(
+        "bench_micro_solver",
+        "fusion-solver and scheduler microbenchmarks (unrecognised flags pass through to google-benchmark)");
+    args.allowUnknown();
+    args.parse(argc, argv);
+    auto gbench_argv = args.remainingArgv();
+    int gbench_argc = static_cast<int>(gbench_argv.size());
+    benchmark::Initialize(&gbench_argc, gbench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                               gbench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    // google-benchmark owns the timing output; the snapshot carries
+    // only the suite inventory so --metrics still emits valid JSON.
+    rap::obs::MetricRegistry registry;
+    rap::bench::maybeWriteMetrics(args, registry);
+    return 0;
+}

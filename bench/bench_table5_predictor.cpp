@@ -9,13 +9,20 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "core/latency_predictor.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rap;
+    bench::ArgParser args("bench_table5_predictor",
+                          "Table 5: latency-predictor accuracy");
+    args.parse(argc, argv);
+    obs::MetricRegistry registry;
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
 
     core::PredictorTrainOptions options;
     options.totalSamples = 11'000;
@@ -36,7 +43,14 @@ main()
                       std::to_string(cat.evalSamples),
                       AsciiTable::num(cat.within10 * 100.0, 1),
                       AsciiTable::num(paper[c], 1)});
+        if (metrics != nullptr) {
+            metrics
+                ->gauge("bench.table5.within10",
+                        {{"category", cat.name}})
+                .set(cat.within10);
+        }
     }
     std::cout << table.render();
+    bench::maybeWriteMetrics(args, registry);
     return 0;
 }

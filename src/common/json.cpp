@@ -1,0 +1,485 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace rap {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Shortest round-trip rendering of a double. Integral values inside
+ * the exactly-representable range print without an exponent or
+ * fractional part so snapshots stay human-readable.
+ */
+std::string
+formatNumber(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null"; // JSON has no non-finite numbers
+    if (v == 0.0)
+        return "0"; // covers -0.0: a sign bit is not worth a diff
+    constexpr double kExactInt = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExactInt) {
+        char buf[32];
+        const auto res = std::to_chars(
+            buf, buf + sizeof(buf), static_cast<long long>(v));
+        return std::string(buf, res.ptr);
+    }
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    RAP_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    RAP_ASSERT(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+Json::asString() const
+{
+    RAP_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+void
+Json::push(Json value)
+{
+    RAP_ASSERT(type_ == Type::Array, "push on a non-array JSON value");
+    array_.push_back(std::move(value));
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    RAP_ASSERT(type_ == Type::Object, "set on a non-object JSON value");
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    RAP_ASSERT(type_ == Type::Array, "index into a non-array");
+    RAP_ASSERT(i < array_.size(), "JSON array index out of range");
+    return array_[i];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *value = find(key);
+    RAP_ASSERT(value != nullptr, "missing JSON object key: ", key);
+    return *value;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    RAP_ASSERT(type_ == Type::Object, "members of a non-object");
+    return object_;
+}
+
+const std::vector<Json> &
+Json::elements() const
+{
+    RAP_ASSERT(type_ == Type::Array, "elements of a non-array");
+    return array_;
+}
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+      case Type::Null: out += "null"; return;
+      case Type::Bool: out += bool_ ? "true" : "false"; return;
+      case Type::Number: out += formatNumber(number_); return;
+      case Type::String:
+        out += '"';
+        out += jsonEscape(string_);
+        out += '"';
+        return;
+      case Type::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            array_[i].write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        return;
+      }
+      case Type::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(object_[i].first);
+            out += pretty ? "\": " : "\":";
+            object_[i].second.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    if (indent >= 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parse(std::string *error)
+    {
+        Json value;
+        if (!parseValue(value) ||
+            (skipSpace(), pos_ != text_.size())) {
+            if (error != nullptr) {
+                *error = error_.empty()
+                             ? "trailing characters at offset " +
+                                   std::to_string(pos_)
+                             : error_;
+            }
+            return Json();
+        }
+        return value;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error_.empty()) {
+            error_ = message + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseLiteral(const char *word, Json value, Json &out)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The repo's artifacts are ASCII; encode BMP points
+                // as UTF-8 without surrogate handling.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == 'n')
+            return parseLiteral("null", Json(), out);
+        if (c == 't')
+            return parseLiteral("true", Json(true), out);
+        if (c == 'f')
+            return parseLiteral("false", Json(false), out);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos_;
+            out = Json::array();
+            skipSpace();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Json element;
+                if (!parseValue(element))
+                    return false;
+                out.push(std::move(element));
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            out = Json::object();
+            skipSpace();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out.set(key, std::move(value));
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or '}'");
+            }
+        }
+        // Number.
+        double value = 0.0;
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        const auto res = std::from_chars(begin, end, value);
+        if (res.ec != std::errc())
+            return fail("invalid number");
+        pos_ += static_cast<std::size_t>(res.ptr - begin);
+        out = Json(value);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+Json
+readJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        RAP_FATAL("cannot open JSON file: ", path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    std::string error;
+    Json value = Json::parse(oss.str(), &error);
+    if (!error.empty())
+        RAP_FATAL("invalid JSON in ", path, ": ", error);
+    return value;
+}
+
+void
+writeJsonFile(const Json &value, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        RAP_FATAL("cannot open JSON output file: ", path);
+    out << value.dump(2);
+    if (!out)
+        RAP_FATAL("failed writing JSON output file: ", path);
+}
+
+} // namespace rap

@@ -96,6 +96,8 @@ HorizontalFusionPlanner::plan(const preproc::PreprocGraph &graph,
     auto problem = toProblem(graph);
     milp::FusionSolver solver(options_.solver);
     const auto solution = solver.solve(problem);
+    nodesExplored_.fetch_add(solution.nodesExplored,
+                             std::memory_order_relaxed);
 
     auto groups = solution.groups(problem);
     // Launch order: ascending time step (groups() already sorts by

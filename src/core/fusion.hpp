@@ -11,6 +11,8 @@
 #ifndef RAP_CORE_FUSION_HPP
 #define RAP_CORE_FUSION_HPP
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "core/latency_predictor.hpp"
@@ -101,10 +103,23 @@ class HorizontalFusionPlanner
     const sim::GpuSpec &spec() const { return spec_; }
     const LatencyPredictor *predictor() const { return predictor_; }
 
+    /**
+     * @return Branch-and-bound nodes explored by every MILP solve this
+     *         planner ran (observability). plan() is const and runs on
+     *         pool workers, so the tally is a relaxed atomic —
+     *         additions commute, keeping the total deterministic.
+     */
+    std::uint64_t
+    milpNodesExplored() const
+    {
+        return nodesExplored_.load(std::memory_order_relaxed);
+    }
+
   private:
     sim::GpuSpec spec_;
     const LatencyPredictor *predictor_;
     FusionOptions options_;
+    mutable std::atomic<std::uint64_t> nodesExplored_{0};
 };
 
 } // namespace rap::core

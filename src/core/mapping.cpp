@@ -221,7 +221,8 @@ GraphMapper::buildGpuGraph(const GraphMapping &mapping, int gpu) const
 GraphMapping
 GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
                     const HorizontalFusionPlanner &planner,
-                    int max_moves, ThreadPool *pool) const
+                    int max_moves, ThreadPool *pool,
+                    MappingSearchStats *stats) const
 {
     const int gpus = clusterSpec_.gpuCount;
     RAP_ASSERT(static_cast<int>(profiles.size()) == gpus,
@@ -254,6 +255,8 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
     std::vector<Seconds> delta(static_cast<std::size_t>(gpus));
     auto priceInto = [&](const GraphMapping &m,
                          std::vector<int> targets) {
+        if (stats != nullptr)
+            stats->pricings += targets.size();
         auto evaluate = [&](std::size_t i) {
             delta[static_cast<std::size_t>(targets[i])] =
                 price(m, targets[i]);
@@ -320,6 +323,10 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
         Seconds src_new = 0.0;
         Seconds dst_new = 0.0;
         {
+            if (stats != nullptr) {
+                ++stats->movesEvaluated;
+                stats->pricings += 2;
+            }
             auto evaluate = [&](std::size_t i) {
                 (i == 0 ? src_new : dst_new) =
                     price(candidate, i == 0 ? src : dst);
@@ -334,6 +341,8 @@ GraphMapper::mapRap(const std::vector<CapacityProfile> &profiles,
             std::max(delta[static_cast<std::size_t>(src)],
                      delta[static_cast<std::size_t>(dst)]);
         if (std::max(src_new, dst_new) + 1e-9 < old_worst) {
+            if (stats != nullptr)
+                ++stats->movesAccepted;
             mapping = std::move(candidate);
             delta[static_cast<std::size_t>(src)] = src_new;
             delta[static_cast<std::size_t>(dst)] = dst_new;

@@ -20,6 +20,7 @@
 #ifndef RAP_CORE_MAPPING_HPP
 #define RAP_CORE_MAPPING_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -48,6 +49,21 @@ struct WorkItem
     int featureId = -1;
     /** Batch ordinal == ordinal of the GPU training that batch. */
     int batch = 0;
+};
+
+/**
+ * Diagnostics of one mapRap search. Counted on the calling thread only
+ * (pricings are tallied before fan-out), so the numbers are identical
+ * for any pool size.
+ */
+struct MappingSearchStats
+{
+    /** Item moves applied to the final mapping. */
+    int movesAccepted = 0;
+    /** Candidate moves priced (accepted or rejected). */
+    int movesEvaluated = 0;
+    /** Cost-model pricings performed (including the initial sweep). */
+    std::uint64_t pricings = 0;
 };
 
 /** A complete assignment of work items to GPUs. */
@@ -96,11 +112,12 @@ class GraphMapper
      * @param pool Optional pool for the candidate-evaluation loops;
      *        per-GPU pricings are independent and reduced in GPU
      *        order, so the search is deterministic in thread count.
+     * @param stats Optional search diagnostics (observability).
      */
     GraphMapping mapRap(const std::vector<CapacityProfile> &profiles,
                         const HorizontalFusionPlanner &planner,
-                        int max_moves = 64,
-                        ThreadPool *pool = nullptr) const;
+                        int max_moves = 64, ThreadPool *pool = nullptr,
+                        MappingSearchStats *stats = nullptr) const;
 
     /**
      * Materialise the preprocessing graph a GPU executes under a

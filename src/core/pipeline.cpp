@@ -6,12 +6,39 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "dlrm/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "preproc/executor.hpp"
 #include "sim/trace_export.hpp"
 
 namespace rap::core {
 
 namespace {
+
+/**
+ * Labels for this run's instruments: the configured `run=` scope (when
+ * set) plus any extra pairs. Sweep benches sharing one registry across
+ * pool workers rely on the scope to keep instruments single-strand.
+ */
+obs::Labels
+runLabels(const SystemConfig &config,
+          std::initializer_list<std::pair<std::string, std::string>>
+              extra = {})
+{
+    obs::Labels labels(extra);
+    if (!config.metricsScope.empty())
+        labels.set("run", config.metricsScope);
+    return labels;
+}
+
+/** Fatal (user error) when @p config fails structured validation. */
+void
+requireValid(const SystemConfig &config)
+{
+    const auto result = config.validate();
+    if (!result.ok())
+        RAP_FATAL("invalid run configuration:\n", result.render());
+}
 
 /** Fires a set of events once all expected parties have arrived. */
 class InputBarrier
@@ -166,8 +193,13 @@ applyEnvelopes(sim::Cluster &cluster, const SystemConfig &config)
 void
 maybeWriteTrace(const sim::Cluster &cluster, const SystemConfig &config)
 {
-    if (!config.tracePath.empty())
-        sim::writeChromeTrace(cluster, config.tracePath);
+    if (config.tracePath.empty())
+        return;
+    sim::TraceExportOptions options;
+    // Recorded spans (planner phases, per-iteration sim spans) render
+    // into the trace alongside the kernel tracks.
+    options.spans = config.metrics;
+    sim::writeChromeTrace(cluster, config.tracePath, options);
 }
 
 /** Embedding-table placement shared by every system variant. */
@@ -214,6 +246,55 @@ fillFaultStats(RunReport &report, sim::Cluster &cluster)
     }
 }
 
+/**
+ * Record the run's per-iteration observability after the simulation
+ * drained: iteration-interval series + fixed-bucket histogram, exposed
+ * latency against @p predicted (when the system has a prediction), and
+ * one sim-time span per iteration (rendered into the Chrome trace).
+ * Runs on the single calling strand, so double accumulation is
+ * deterministic.
+ */
+void
+recordIterationMetrics(const SystemConfig &config,
+                       sim::Cluster &cluster,
+                       dlrm::TrainingDriver &driver,
+                       const std::vector<Seconds> *predicted = nullptr)
+{
+    obs::MetricRegistry *metrics = config.metrics;
+    if (metrics == nullptr)
+        return;
+    // Edges are fixed so snapshots from different runs line up
+    // bucket-for-bucket (1 ms .. 1 s, the simulated iteration range).
+    static const std::vector<double> kIterationEdges{
+        0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+    auto &histogram =
+        metrics->histogram("train.iteration_interval_seconds",
+                           kIterationEdges, runLabels(config));
+    for (int g = 0; g < config.gpuCount; ++g) {
+        obs::Labels labels = runLabels(config);
+        labels.set("gpu", std::to_string(cluster.globalGpuId(g)));
+        auto &intervals =
+            metrics->series("train.iteration_interval", labels);
+        for (int j = 0; j < config.iterations; ++j) {
+            const auto span = driver.iterationSpan(g, j);
+            const Seconds interval =
+                j >= 1 ? span.end - driver.iterationSpan(g, j - 1).end
+                       : span.end - span.start;
+            intervals.append(j, interval);
+            histogram.observe(interval);
+            metrics->recordSimSpan("train.iteration", labels,
+                                   span.start, span.end);
+            if (predicted != nullptr) {
+                const Seconds expected =
+                    (*predicted)[static_cast<std::size_t>(g)];
+                metrics->series("train.exposed_latency", labels)
+                    .append(j, std::max(0.0, interval - expected));
+            }
+        }
+    }
+    cluster.exportMetrics(*metrics, runLabels(config));
+}
+
 } // namespace
 
 std::string
@@ -238,9 +319,7 @@ OnlineTrainer::OnlineTrainer(SystemConfig config,
                              const preproc::PreprocPlan &plan)
     : config_(std::move(config)), plan_(plan)
 {
-    RAP_ASSERT(config_.gpuCount >= 1, "need at least one GPU");
-    RAP_ASSERT(config_.iterations > config_.warmup + 1,
-               "need more iterations than warmup");
+    requireValid(config_);
 }
 
 RunReport
@@ -254,6 +333,10 @@ OfflinePlan
 planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
             ThreadPool *pool)
 {
+    requireValid(config);
+    obs::MetricRegistry *metrics = config.metrics;
+    obs::Span plan_span(metrics, "plan.offline", runLabels(config));
+
     const auto traits = traitsFor(config.system);
     const auto cluster_spec = clusterSpecFor(config);
     const auto dlrm_config = dlrm::makeDlrmConfig(
@@ -261,9 +344,12 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
     const auto sharding = makeSharding(config, plan);
 
     OfflinePlan offline;
-    OverlappingCapacityEstimator estimator(cluster_spec, dlrm_config,
-                                           sharding);
-    offline.profiles = estimator.profileAll();
+    {
+        obs::Span span(metrics, "plan.profile", runLabels(config));
+        OverlappingCapacityEstimator estimator(cluster_spec,
+                                               dlrm_config, sharding);
+        offline.profiles = estimator.profileAll();
+    }
     // Envelope-shared co-location: the job only owns a slice of each
     // device, so every downstream search (mapping, fusion, co-run
     // scheduling) must plan against the degraded capacity profile —
@@ -285,11 +371,15 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
 
     const MappingStrategy strategy =
         config.forcedMapping.value_or(traits.mapping);
-    offline.mapping =
-        strategy == MappingStrategy::Rap
-            ? mapper.mapRap(offline.profiles, planner, /*max_moves=*/64,
-                            pool)
-            : mapper.map(strategy);
+    MappingSearchStats mapping_stats;
+    {
+        obs::Span span(metrics, "plan.mapping", runLabels(config));
+        offline.mapping =
+            strategy == MappingStrategy::Rap
+                ? mapper.mapRap(offline.profiles, planner,
+                                /*max_moves=*/64, pool, &mapping_stats)
+                : mapper.map(strategy);
+    }
 
     // Per-GPU plan + schedule: independent given the mapping and the
     // profiles (planner, mapper, and scheduler are all const here), so
@@ -316,11 +406,30 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
             offline.schedules[g] = std::move(schedule);
         }
     };
-    if (pool != nullptr)
-        pool->parallelFor(gpu_count, planGpu);
-    else
-        for (std::size_t g = 0; g < gpu_count; ++g)
-            planGpu(g);
+    {
+        obs::Span span(metrics, "plan.schedule", runLabels(config));
+        if (pool != nullptr)
+            pool->parallelFor(gpu_count, planGpu);
+        else
+            for (std::size_t g = 0; g < gpu_count; ++g)
+                planGpu(g);
+    }
+
+    if (metrics != nullptr) {
+        metrics->counter("plan.milp.nodes_explored", runLabels(config))
+            .inc(planner.milpNodesExplored());
+        metrics
+            ->counter("plan.mapping.moves_accepted", runLabels(config))
+            .inc(static_cast<std::uint64_t>(
+                mapping_stats.movesAccepted));
+        metrics
+            ->counter("plan.mapping.moves_evaluated",
+                      runLabels(config))
+            .inc(static_cast<std::uint64_t>(
+                mapping_stats.movesEvaluated));
+        metrics->counter("plan.mapping.pricings", runLabels(config))
+            .inc(mapping_stats.pricings);
+    }
     return offline;
 }
 
@@ -371,6 +480,7 @@ OnlineTrainer::runIdeal()
     fillUtilisation(report, cluster, t0, t1);
     report.makespan = cluster.engine().now();
     fillFaultStats(report, cluster);
+    recordIterationMetrics(config_, cluster, driver);
     maybeWriteTrace(cluster, config_);
     return report;
 }
@@ -485,6 +595,7 @@ OnlineTrainer::runTorchArrow()
     fillUtilisation(report, cluster, span_start, span_end);
     report.makespan = engine.now();
     fillFaultStats(report, cluster);
+    recordIterationMetrics(config_, cluster, driver);
     maybeWriteTrace(cluster, config_);
     return report;
 }
@@ -808,6 +919,9 @@ OnlineTrainer::runGpuSystem()
     constexpr int kReplanCooldown = 3;
 
     auto replan = [&](const std::vector<Seconds> &observed) {
+        obs::Span replan_span(config_.metrics, "train.replan",
+                              runLabels(config_));
+        replan_span.annotateSim(engine.now(), engine.now());
         // Re-derive every GPU's capacity profile from its current
         // (possibly degraded) resource envelopes and reschedule the
         // co-run; with replanMapping the joint mapping search reruns
@@ -869,6 +983,12 @@ OnlineTrainer::runGpuSystem()
         auto fired = sim::makeEvent("monitor." + std::to_string(j));
         tick->addTarget(fired);
         fired->addWaiter(engine, [&, j] {
+            if (config_.metrics != nullptr) {
+                config_.metrics
+                    ->counter("train.monitor.ticks",
+                              runLabels(config_))
+                    .inc();
+            }
             if (replan_enabled && j >= config_.warmup &&
                 j >= last_replan_iter + kReplanCooldown) {
                 std::vector<Seconds> observed(
@@ -889,6 +1009,11 @@ OnlineTrainer::runGpuSystem()
                             drift,
                             observed[gi] / predicted[gi] - 1.0);
                     }
+                }
+                if (config_.metrics != nullptr) {
+                    config_.metrics
+                        ->series("train.drift", runLabels(config_))
+                        .append(j, drift);
                 }
                 if (drift > config_.replanDriftThreshold) {
                     replan(observed);
@@ -940,6 +1065,16 @@ OnlineTrainer::runGpuSystem()
     report.makespan = engine.now();
     report.replans = replans;
     fillFaultStats(report, cluster);
+    if (config_.metrics != nullptr) {
+        config_.metrics
+            ->counter("train.replans", runLabels(config_))
+            .inc(static_cast<std::uint64_t>(replans));
+        config_.metrics
+            ->counter("replan.milp.nodes_explored",
+                      runLabels(config_))
+            .inc(planner.milpNodesExplored());
+    }
+    recordIterationMetrics(config_, cluster, driver, &predicted);
     maybeWriteTrace(cluster, config_);
     return report;
 }

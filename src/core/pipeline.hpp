@@ -26,13 +26,19 @@
 #include <optional>
 #include <string>
 
+#include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
 #include "core/corun_scheduler.hpp"
 #include "core/latency_predictor.hpp"
 #include "core/mapping.hpp"
+#include "core/validation.hpp"
 #include "preproc/plan.hpp"
 #include "sim/fault.hpp"
+
+namespace rap::obs {
+class MetricRegistry;
+}
 
 namespace rap::core {
 
@@ -58,6 +64,12 @@ enum class System {
 
 /** @return Human-readable system name ("RAP", "MPS", ...). */
 std::string systemName(System system);
+
+/** @return Stable machine token ("rap", "mps", ...) for serialization. */
+std::string systemId(System system);
+
+/** @return The system for a systemId() token; nullopt when unknown. */
+std::optional<System> systemFromId(const std::string &id);
 
 /**
  * Fraction of one GPU's resources available to a job (1.0 = the whole
@@ -158,6 +170,29 @@ struct SystemConfig
      * about://tracing JSON) to this path after the simulation drains.
      */
     std::string tracePath;
+    /**
+     * Observability sink (non-owning; obs/metrics.hpp). When set, the
+     * offline planner and the online run record counters, histograms,
+     * per-iteration series, and phase spans into it; recorded spans
+     * also render into the Chrome trace. Null = no instrumentation.
+     */
+    obs::MetricRegistry *metrics = nullptr;
+    /**
+     * Label value stamped as `run=<scope>` on every instrument this
+     * run records. Sweep benches that share one registry across
+     * thread-pool workers MUST give each sweep point a unique scope:
+     * it keeps double-accumulating instruments (histograms, series)
+     * single-strand, which the snapshot determinism contract requires.
+     */
+    std::string metricsScope;
+
+    /**
+     * Check the configuration shape: GPU/iteration counts, subset and
+     * envelope sizes, envelope shares, thresholds, worker counts.
+     * Returns every problem found; runSystem / planOffline refuse
+     * (RAP_FATAL) configurations with a non-ok() result.
+     */
+    ValidationResult validate() const;
 };
 
 /** Measured outcome of one run. */
@@ -193,19 +228,49 @@ struct RunReport
     /** Total retry backoff charged to the timeline. */
     Seconds retryBackoffSeconds = 0.0;
     /**
-     * Fleet-clock lifecycle timestamps, filled by the fleet scheduler
-     * (zero for standalone runs): when the job entered the admission
-     * queue, when its placement started it, and when it finished.
+     * Fleet-clock lifecycle timestamps, filled by the fleet scheduler:
+     * when the job entered the admission queue, when its placement
+     * started it, and when it finished. Standalone runs (no fleet)
+     * leave them unset — the derived delays below are then nullopt
+     * instead of the negative garbage a 0-minus-0 default would give.
      */
-    Seconds submittedAt = 0.0;
-    Seconds startedAt = 0.0;
-    Seconds finishedAt = 0.0;
+    std::optional<Seconds> submittedAt;
+    std::optional<Seconds> startedAt;
+    std::optional<Seconds> finishedAt;
 
-    /** @return Time spent queued before placement started the job. */
-    Seconds queueingDelay() const { return startedAt - submittedAt; }
+    /**
+     * @return Time spent queued before placement started the job;
+     *         nullopt for standalone runs (no fleet lifecycle).
+     */
+    std::optional<Seconds>
+    queueingDelay() const
+    {
+        if (!submittedAt || !startedAt)
+            return std::nullopt;
+        return *startedAt - *submittedAt;
+    }
 
-    /** @return Job completion time (arrival to finish, fleet clock). */
-    Seconds jobCompletionTime() const { return finishedAt - submittedAt; }
+    /**
+     * @return Job completion time (arrival to finish, fleet clock);
+     *         nullopt for standalone runs.
+     */
+    std::optional<Seconds>
+    jobCompletionTime() const
+    {
+        if (!submittedAt || !finishedAt)
+            return std::nullopt;
+        return *finishedAt - *submittedAt;
+    }
+
+    /**
+     * Serialize to JSON — the single source of truth for every
+     * machine-read report artifact (bench output, CI determinism
+     * diffs). toJson/fromJson round-trip exactly.
+     */
+    Json toJson() const;
+
+    /** Rebuild a report from toJson() output; fatal on bad shape. */
+    static RunReport fromJson(const Json &json);
 };
 
 /**

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * RunReport serialization: toJson()/fromJson() round-trip exactly and
+ * are the single source of truth for report artifacts (bench output,
+ * CI determinism diffs read these, never scraped stdout).
+ */
+
+#include "core/pipeline.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::core {
+
+namespace {
+
+constexpr std::pair<System, const char *> kSystemIds[] = {
+    {System::Ideal, "ideal"},
+    {System::Rap, "rap"},
+    {System::RapNoMapping, "rap_no_mapping"},
+    {System::RapNoFusion, "rap_no_fusion"},
+    {System::HorizontalFusionOnly, "horizontal_fusion"},
+    {System::HybridRap, "hybrid_rap"},
+    {System::CudaStream, "cuda_stream"},
+    {System::Mps, "mps"},
+    {System::SequentialGpu, "sequential_gpu"},
+    {System::TorchArrowCpu, "torcharrow_cpu"},
+};
+
+void
+setOptionalSeconds(Json &json, const std::string &key,
+                   const std::optional<Seconds> &value)
+{
+    json.set(key, value ? Json(*value) : Json());
+}
+
+std::optional<Seconds>
+getOptionalSeconds(const Json &json, const std::string &key)
+{
+    const Json *value = json.find(key);
+    if (value == nullptr || value->isNull())
+        return std::nullopt;
+    return value->asDouble();
+}
+
+} // namespace
+
+std::string
+systemId(System system)
+{
+    for (const auto &[sys, id] : kSystemIds) {
+        if (sys == system)
+            return id;
+    }
+    RAP_PANIC("unknown system");
+}
+
+std::optional<System>
+systemFromId(const std::string &id)
+{
+    for (const auto &[sys, token] : kSystemIds) {
+        if (id == token)
+            return sys;
+    }
+    return std::nullopt;
+}
+
+Json
+RunReport::toJson() const
+{
+    Json json = Json::object();
+    json.set("system", Json(system));
+    json.set("gpuCount", Json(gpuCount));
+    json.set("batchPerGpu", Json(batchPerGpu));
+    json.set("avgIterationLatency", Json(avgIterationLatency));
+    json.set("throughput", Json(throughput));
+    json.set("avgSmUtil", Json(avgSmUtil));
+    json.set("avgBwUtil", Json(avgBwUtil));
+    json.set("avgGpuBusy", Json(avgGpuBusy));
+    json.set("p2pBytes", Json(p2pBytes));
+    json.set("preprocKernelsPerIter", Json(preprocKernelsPerIter));
+    json.set("predictedExposed", Json(predictedExposed));
+    json.set("preprocLatencyPerIter", Json(preprocLatencyPerIter));
+    json.set("makespan", Json(makespan));
+    json.set("replans", Json(replans));
+    json.set("kernelRetries", Json(kernelRetries));
+    json.set("retryBackoffSeconds", Json(retryBackoffSeconds));
+    setOptionalSeconds(json, "submittedAt", submittedAt);
+    setOptionalSeconds(json, "startedAt", startedAt);
+    setOptionalSeconds(json, "finishedAt", finishedAt);
+    return json;
+}
+
+RunReport
+RunReport::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("RunReport JSON must be an object");
+    RunReport report;
+    report.system = json.at("system").asString();
+    report.gpuCount = static_cast<int>(json.at("gpuCount").asDouble());
+    report.batchPerGpu =
+        static_cast<std::int64_t>(json.at("batchPerGpu").asDouble());
+    report.avgIterationLatency =
+        json.at("avgIterationLatency").asDouble();
+    report.throughput = json.at("throughput").asDouble();
+    report.avgSmUtil = json.at("avgSmUtil").asDouble();
+    report.avgBwUtil = json.at("avgBwUtil").asDouble();
+    report.avgGpuBusy = json.at("avgGpuBusy").asDouble();
+    report.p2pBytes = json.at("p2pBytes").asDouble();
+    report.preprocKernelsPerIter =
+        json.at("preprocKernelsPerIter").asDouble();
+    report.predictedExposed = json.at("predictedExposed").asDouble();
+    report.preprocLatencyPerIter =
+        json.at("preprocLatencyPerIter").asDouble();
+    report.makespan = json.at("makespan").asDouble();
+    report.replans = static_cast<int>(json.at("replans").asDouble());
+    report.kernelRetries = static_cast<std::uint64_t>(
+        json.at("kernelRetries").asDouble());
+    report.retryBackoffSeconds =
+        json.at("retryBackoffSeconds").asDouble();
+    report.submittedAt = getOptionalSeconds(json, "submittedAt");
+    report.startedAt = getOptionalSeconds(json, "startedAt");
+    report.finishedAt = getOptionalSeconds(json, "finishedAt");
+    return report;
+}
+
+} // namespace rap::core

@@ -1,0 +1,122 @@
+#include "core/run_request.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::core {
+
+ValidationResult
+SystemConfig::validate() const
+{
+    ValidationResult result;
+
+    if (gpuCount < 1)
+        result.addError("gpuCount", "need at least one GPU, got " +
+                                        std::to_string(gpuCount));
+    if (batchPerGpu < 1) {
+        result.addError("batchPerGpu",
+                        "batch size must be positive, got " +
+                            std::to_string(batchPerGpu));
+    }
+    if (iterations < 1) {
+        result.addError("iterations",
+                        "need at least one iteration, got " +
+                            std::to_string(iterations));
+    }
+    if (warmup < 0) {
+        result.addError("warmup", "warmup cannot be negative, got " +
+                                      std::to_string(warmup));
+    } else if (iterations >= 1 && iterations <= warmup + 1) {
+        result.addError(
+            "warmup", "need iterations > warmup + 1 for a steady-state "
+                      "window, got iterations=" +
+                          std::to_string(iterations) +
+                          " warmup=" + std::to_string(warmup));
+    }
+
+    if (!gpuSubset.empty() &&
+        static_cast<int>(gpuSubset.size()) != gpuCount) {
+        result.addError("gpuSubset",
+                        "must label every GPU: got " +
+                            std::to_string(gpuSubset.size()) +
+                            " labels for " + std::to_string(gpuCount) +
+                            " GPUs");
+    }
+    for (std::size_t g = 0; g < gpuSubset.size(); ++g) {
+        if (gpuSubset[g] < 0) {
+            result.addError("gpuSubset[" + std::to_string(g) + "]",
+                            "physical GPU ordinal cannot be negative");
+        }
+    }
+
+    if (!envelopes.empty() &&
+        static_cast<int>(envelopes.size()) != gpuCount) {
+        result.addError("envelopes",
+                        "must cover every GPU: got " +
+                            std::to_string(envelopes.size()) +
+                            " envelopes for " +
+                            std::to_string(gpuCount) + " GPUs");
+    }
+    for (std::size_t g = 0; g < envelopes.size(); ++g) {
+        const auto &env = envelopes[g];
+        if (!(env.sm > 0.0 && env.sm <= 1.0)) {
+            result.addError("envelopes[" + std::to_string(g) + "].sm",
+                            "share must be in (0, 1]");
+        }
+        if (!(env.bw > 0.0 && env.bw <= 1.0)) {
+            result.addError("envelopes[" + std::to_string(g) + "].bw",
+                            "share must be in (0, 1]");
+        }
+    }
+
+    if (clusterSpec && clusterSpec->gpuCount != gpuCount) {
+        result.addError("clusterSpec",
+                        "spec describes " +
+                            std::to_string(clusterSpec->gpuCount) +
+                            " GPUs but gpuCount is " +
+                            std::to_string(gpuCount));
+    }
+
+    if (replanOnDrift && replanDriftThreshold <= 0.0) {
+        result.addError("replanDriftThreshold",
+                        "drift threshold must be positive");
+    }
+    if (rowWiseThreshold < 0) {
+        result.addError("rowWiseThreshold",
+                        "row-wise threshold cannot be negative");
+    }
+    if (planningThreads < 0) {
+        result.addError("planningThreads",
+                        "0 = hardware concurrency, otherwise must be "
+                        "positive");
+    }
+    if (system == System::TorchArrowCpu ||
+        system == System::HybridRap) {
+        if (torchArrowWorkersPerGpu < 1) {
+            result.addError("torchArrowWorkersPerGpu",
+                            "need at least one worker per GPU");
+        }
+        if (coresPerWorker < 1) {
+            result.addError("coresPerWorker",
+                            "need at least one core per worker");
+        }
+    }
+
+    return result;
+}
+
+SystemConfig
+RunRequest::build() const
+{
+    const auto result = config_.validate();
+    if (!result.ok())
+        RAP_FATAL("invalid run configuration:\n", result.render());
+    return config_;
+}
+
+RunReport
+RunRequest::run(const preproc::PreprocPlan &plan) const
+{
+    return runSystem(build(), plan);
+}
+
+} // namespace rap::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The validated run API: RunRequest is a fluent builder over
+ * SystemConfig that validates at build() time and returns structured
+ * errors (core/validation.hpp) instead of asserting mid-run.
+ *
+ *   auto request = RunRequest(System::Rap)
+ *                      .gpus(4)
+ *                      .batchPerGpu(2048)
+ *                      .iterations(10, 2)   // 10 total, 2 warmup
+ *                      .metrics(&registry, "fig09.b2048");
+ *   RunReport report = request.run(plan);   // fatal on invalid config
+ *
+ * The legacy entry points (runSystem(config, plan), planOffline)
+ * remain and now route through the same validation, so existing call
+ * sites keep compiling and misconfigurations fail with the full error
+ * list either way.
+ */
+
+#ifndef RAP_CORE_RUN_REQUEST_HPP
+#define RAP_CORE_RUN_REQUEST_HPP
+
+#include "core/pipeline.hpp"
+
+namespace rap::core {
+
+/** Fluent, validated builder for one system run. */
+class RunRequest
+{
+  public:
+    explicit RunRequest(System system) { config_.system = system; }
+
+    /** Start from an existing configuration. */
+    explicit RunRequest(SystemConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    RunRequest &
+    gpus(int count)
+    {
+        config_.gpuCount = count;
+        return *this;
+    }
+
+    RunRequest &
+    batchPerGpu(std::int64_t rows)
+    {
+        config_.batchPerGpu = rows;
+        return *this;
+    }
+
+    /** Total iterations and the warmup excluded from statistics. */
+    RunRequest &
+    iterations(int total, int warmup)
+    {
+        config_.iterations = total;
+        config_.warmup = warmup;
+        return *this;
+    }
+
+    RunRequest &
+    planningThreads(int threads)
+    {
+        config_.planningThreads = threads;
+        return *this;
+    }
+
+    RunRequest &
+    envelopes(std::vector<GpuEnvelope> shares)
+    {
+        config_.envelopes = std::move(shares);
+        return *this;
+    }
+
+    RunRequest &
+    gpuSubset(std::vector<int> physical_ids)
+    {
+        config_.gpuSubset = std::move(physical_ids);
+        return *this;
+    }
+
+    RunRequest &
+    faults(sim::FaultSpec spec)
+    {
+        config_.faults = std::move(spec);
+        return *this;
+    }
+
+    RunRequest &
+    replanOnDrift(bool on, double threshold = 0.15)
+    {
+        config_.replanOnDrift = on;
+        config_.replanDriftThreshold = threshold;
+        return *this;
+    }
+
+    RunRequest &
+    tracePath(std::string path)
+    {
+        config_.tracePath = std::move(path);
+        return *this;
+    }
+
+    /** Attach an observability registry and this run's scope label. */
+    RunRequest &
+    metrics(obs::MetricRegistry *registry, std::string scope = "")
+    {
+        config_.metrics = registry;
+        config_.metricsScope = std::move(scope);
+        return *this;
+    }
+
+    /** Direct access for knobs without a dedicated setter. */
+    SystemConfig &config() { return config_; }
+    const SystemConfig &config() const { return config_; }
+
+    /** @return The validation outcome for the current configuration. */
+    ValidationResult validate() const { return config_.validate(); }
+
+    /**
+     * Validate and return the finished configuration; fatal (with the
+     * full rendered error list) when invalid.
+     */
+    SystemConfig build() const;
+
+    /** build() and execute the run over @p plan. */
+    RunReport run(const preproc::PreprocPlan &plan) const;
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace rap::core
+
+#endif // RAP_CORE_RUN_REQUEST_HPP

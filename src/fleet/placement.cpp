@@ -58,6 +58,32 @@ policyName(PlacementPolicy policy)
     RAP_PANIC("unknown placement policy");
 }
 
+std::string
+policyId(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::ExclusiveFirstFit:
+        return "exclusive_first_fit";
+      case PlacementPolicy::ExclusiveBestFit:
+        return "exclusive_best_fit";
+      case PlacementPolicy::RapShared:
+        return "rap_shared";
+    }
+    RAP_PANIC("unknown placement policy");
+}
+
+PlacementPolicy
+policyFromId(const std::string &id)
+{
+    if (id == "exclusive_first_fit")
+        return PlacementPolicy::ExclusiveFirstFit;
+    if (id == "exclusive_best_fit")
+        return PlacementPolicy::ExclusiveBestFit;
+    if (id == "rap_shared")
+        return PlacementPolicy::RapShared;
+    RAP_FATAL("unknown placement-policy id '", id, "'");
+}
+
 std::optional<Placement>
 placeJob(const PlacementOptions &options,
          const std::vector<GpuState> &gpus, int gpus_requested,

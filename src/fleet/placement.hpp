@@ -40,6 +40,12 @@ enum class PlacementPolicy {
 /** @return Human-readable policy name. */
 std::string policyName(PlacementPolicy policy);
 
+/** @return Stable machine token ("rap_shared") for JSON / labels. */
+std::string policyId(PlacementPolicy policy);
+
+/** Inverse of policyId; RAP_FATALs on unknown tokens. */
+PlacementPolicy policyFromId(const std::string &id);
+
 /** Fleet-side view of one physical GPU's occupancy. */
 struct GpuState
 {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "fleet/job.hpp"
 #include "fleet/placement.hpp"
 
@@ -93,6 +94,16 @@ struct FleetReport
 
     /** @return Deterministic per-job table. */
     std::string renderJobs() const;
+
+    /**
+     * Serialize the whole report (specs, outcomes, aggregates) — the
+     * single source of truth for fleet artifacts; CI determinism diffs
+     * read this, never scraped stdout. Round-trips with fromJson.
+     */
+    Json toJson() const;
+
+    /** Rebuild a report from toJson() output; fatal on bad shape. */
+    static FleetReport fromJson(const Json &json);
 };
 
 } // namespace rap::fleet

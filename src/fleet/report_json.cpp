@@ -1,0 +1,162 @@
+/**
+ * @file
+ * FleetReport serialization: toJson()/fromJson() round-trip exactly.
+ * The CI determinism job diffs these artifacts across thread counts,
+ * so every field — per-job specs, outcomes, and the aggregates — is
+ * serialized from the exact doubles the scheduler computed.
+ */
+
+#include "fleet/report.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::fleet {
+
+namespace {
+
+Json
+specJson(const JobSpec &spec)
+{
+    Json json = Json::object();
+    json.set("id", Json(spec.id));
+    json.set("name", Json(spec.name));
+    json.set("arrival", Json(spec.arrival));
+    json.set("gpusRequested", Json(spec.gpusRequested));
+    json.set("planId", Json(spec.planId));
+    json.set("ngramStress", Json(spec.ngramStress));
+    json.set("batchPerGpu", Json(spec.batchPerGpu));
+    json.set("iterations", Json(spec.iterations));
+    json.set("system", Json(core::systemId(spec.system)));
+    return json;
+}
+
+JobSpec
+specFromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("JobSpec JSON must be an object");
+    JobSpec spec;
+    spec.id = static_cast<int>(json.at("id").asDouble());
+    spec.name = json.at("name").asString();
+    spec.arrival = json.at("arrival").asDouble();
+    spec.gpusRequested =
+        static_cast<int>(json.at("gpusRequested").asDouble());
+    spec.planId = static_cast<int>(json.at("planId").asDouble());
+    spec.ngramStress =
+        static_cast<int>(json.at("ngramStress").asDouble());
+    spec.batchPerGpu =
+        static_cast<std::int64_t>(json.at("batchPerGpu").asDouble());
+    spec.iterations =
+        static_cast<int>(json.at("iterations").asDouble());
+    const auto system =
+        core::systemFromId(json.at("system").asString());
+    if (!system) {
+        RAP_FATAL("unknown system id '", json.at("system").asString(),
+                  "' in JobSpec JSON");
+    }
+    spec.system = *system;
+    return spec;
+}
+
+Json
+outcomeJson(const JobOutcome &outcome)
+{
+    Json json = Json::object();
+    json.set("spec", specJson(outcome.spec));
+    json.set("firstStart", Json(outcome.firstStart));
+    json.set("finish", Json(outcome.finish));
+    json.set("placements", Json(outcome.placements));
+    json.set("requeues", Json(outcome.requeues));
+    json.set("serviceTime", Json(outcome.serviceTime));
+    Json gpus = Json::array();
+    for (int id : outcome.lastGpus)
+        gpus.push(Json(id));
+    json.set("lastGpus", std::move(gpus));
+    Json demand = Json::object();
+    demand.set("sm", Json(outcome.demand.sm));
+    demand.set("bw", Json(outcome.demand.bw));
+    json.set("demand", std::move(demand));
+    json.set("report", outcome.report.toJson());
+    return json;
+}
+
+JobOutcome
+outcomeFromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("JobOutcome JSON must be an object");
+    JobOutcome outcome;
+    outcome.spec = specFromJson(json.at("spec"));
+    outcome.firstStart = json.at("firstStart").asDouble();
+    outcome.finish = json.at("finish").asDouble();
+    outcome.placements =
+        static_cast<int>(json.at("placements").asDouble());
+    outcome.requeues =
+        static_cast<int>(json.at("requeues").asDouble());
+    outcome.serviceTime = json.at("serviceTime").asDouble();
+    for (const Json &id : json.at("lastGpus").elements())
+        outcome.lastGpus.push_back(static_cast<int>(id.asDouble()));
+    const Json &demand = json.at("demand");
+    outcome.demand.sm = demand.at("sm").asDouble();
+    outcome.demand.bw = demand.at("bw").asDouble();
+    outcome.report = core::RunReport::fromJson(json.at("report"));
+    return outcome;
+}
+
+} // namespace
+
+Json
+FleetReport::toJson() const
+{
+    Json json = Json::object();
+    json.set("policy", Json(policyId(policy)));
+    json.set("gpuCount", Json(gpuCount));
+    Json job_array = Json::array();
+    for (const auto &job : jobs)
+        job_array.push(outcomeJson(job));
+    json.set("jobs", std::move(job_array));
+    json.set("makespan", Json(makespan));
+    json.set("requeues", Json(requeues));
+    json.set("simulationsRun", Json(simulationsRun));
+    json.set("busyGpuSeconds", Json(busyGpuSeconds));
+    json.set("meanJct", Json(meanJct));
+    json.set("p50Jct", Json(p50Jct));
+    json.set("p95Jct", Json(p95Jct));
+    json.set("maxJct", Json(maxJct));
+    json.set("meanQueueingDelay", Json(meanQueueingDelay));
+    json.set("clusterSmUtil", Json(clusterSmUtil));
+    json.set("clusterBwUtil", Json(clusterBwUtil));
+    json.set("gpuOccupancy", Json(gpuOccupancy));
+    return json;
+}
+
+FleetReport
+FleetReport::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("FleetReport JSON must be an object");
+    FleetReport report;
+    report.policy = policyFromId(json.at("policy").asString());
+    report.gpuCount =
+        static_cast<int>(json.at("gpuCount").asDouble());
+    for (const Json &job : json.at("jobs").elements())
+        report.jobs.push_back(outcomeFromJson(job));
+    report.makespan = json.at("makespan").asDouble();
+    report.requeues =
+        static_cast<int>(json.at("requeues").asDouble());
+    report.simulationsRun =
+        static_cast<int>(json.at("simulationsRun").asDouble());
+    report.busyGpuSeconds = json.at("busyGpuSeconds").asDouble();
+    report.meanJct = json.at("meanJct").asDouble();
+    report.p50Jct = json.at("p50Jct").asDouble();
+    report.p95Jct = json.at("p95Jct").asDouble();
+    report.maxJct = json.at("maxJct").asDouble();
+    report.meanQueueingDelay =
+        json.at("meanQueueingDelay").asDouble();
+    report.clusterSmUtil = json.at("clusterSmUtil").asDouble();
+    report.clusterBwUtil = json.at("clusterBwUtil").asDouble();
+    report.gpuOccupancy = json.at("gpuOccupancy").asDouble();
+    return report;
+}
+
+} // namespace rap::fleet

@@ -7,11 +7,24 @@
 #include <tuple>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/cluster.hpp"
 
 namespace rap::fleet {
 
 namespace {
+
+/** Scheduler-level instrument labels: policy plus the run scope. */
+obs::Labels
+fleetLabels(const FleetOptions &options)
+{
+    obs::Labels labels;
+    labels.set("policy", policyId(options.placement.policy));
+    if (!options.metricsScope.empty())
+        labels.set("run", options.metricsScope);
+    return labels;
+}
 
 /**
  * Event kinds in processing order at equal timestamps: finishes free
@@ -123,11 +136,21 @@ FleetScheduler::simulate(const JobSpec &spec, const Placement &placement,
     const bool tracing = !options_.tracePrefix.empty();
     if (!tracing) {
         const auto it = memo_.find(key);
-        if (it != memo_.end())
+        if (it != memo_.end()) {
+            if (options_.metrics != nullptr) {
+                options_.metrics
+                    ->counter("fleet.memo.hit", fleetLabels(options_))
+                    .inc();
+            }
             return it->second;
+        }
     }
 
     auto config = makeJobConfig(spec);
+    // Inner simulations are memoised and must stay byte-identical
+    // whether or not the fleet run is instrumented: never hand them
+    // the scheduler's registry.
+    config.metrics = nullptr;
     config.clusterSpec =
         sim::subsetSpec(options_.node, spec.gpusRequested);
     config.gpuSubset = placement.gpuIds;
@@ -150,12 +173,19 @@ FleetScheduler::simulate(const JobSpec &spec, const Placement &placement,
     const auto report = core::runSystem(config, plan_it->second);
     ++report_.simulationsRun;
     memo_[key] = report;
+    if (options_.metrics != nullptr) {
+        options_.metrics
+            ->counter("fleet.memo.miss", fleetLabels(options_))
+            .inc();
+    }
     return report;
 }
 
 void
 FleetScheduler::precomputeReferences()
 {
+    obs::Span span(options_.metrics, "fleet.precompute",
+                   fleetLabels(options_));
     // One exclusive whole-device reference run per distinct workload
     // variant: it yields both the demand estimate placement reserves
     // (mean SM/BW utilisation) and the healthy-exclusive service time.
@@ -183,6 +213,11 @@ FleetScheduler::precomputeReferences()
             std::to_string(spec.ngramStress);
         return core::runSystem(config, planCache_.at(plan_key));
     };
+    if (options_.metrics != nullptr) {
+        options_.metrics
+            ->counter("fleet.reference_sims", fleetLabels(options_))
+            .inc(unique_jobs.size());
+    }
     std::vector<core::RunReport> references;
     if (pool_ != nullptr && pool_->threadCount() > 1) {
         references = pool_->parallelMap<core::RunReport>(
@@ -257,6 +292,8 @@ FleetScheduler::accumulateBusy(Seconds until)
 FleetReport
 FleetScheduler::run()
 {
+    obs::Span run_span(options_.metrics, "fleet.run",
+                      fleetLabels(options_));
     precomputeReferences();
 
     std::priority_queue<Event, std::vector<Event>, EventAfter> events;
@@ -285,6 +322,15 @@ FleetScheduler::run()
         running.remainingAtStart = queued.remainingFraction;
         running.generation = outcome.placements;
         running_[queued.jobId] = running;
+        if (options_.metrics != nullptr) {
+            options_.metrics
+                ->counter("fleet.placements", fleetLabels(options_))
+                .inc();
+            obs::Labels seg_labels = fleetLabels(options_);
+            seg_labels.set("job", std::to_string(spec.id));
+            options_.metrics->recordSimSpan(
+                "fleet.segment", seg_labels, now, now + duration);
+        }
         ++outcome.placements;
         if (outcome.firstStart < 0.0)
             outcome.firstStart = now;
@@ -400,9 +446,21 @@ FleetScheduler::run()
                     continue;
                 }
                 queue_.pushFront(queued);
+                if (options_.metrics != nullptr) {
+                    options_.metrics
+                        ->counter("fleet.requeues",
+                                  fleetLabels(options_))
+                        .inc();
+                }
             }
             break;
           }
+        }
+        if (options_.metrics != nullptr) {
+            // Pre-scan depth: the backlog this event left to admit.
+            options_.metrics
+                ->gauge("fleet.queue.max_depth", fleetLabels(options_))
+                .max(static_cast<double>(queue_.size()));
         }
         placeScan(event.time, options_.placement);
         if (events.empty() && running_.empty() && !queue_.empty()) {
@@ -413,10 +471,23 @@ FleetScheduler::run()
             auto relaxed = options_.placement;
             relaxed.minEnvelope = 0.0;
             relaxed.headroom = 1.0;
+            if (options_.metrics != nullptr) {
+                options_.metrics
+                    ->counter("fleet.relaxed_scans",
+                              fleetLabels(options_))
+                    .inc();
+            }
             placeScan(event.time, relaxed);
             RAP_ASSERT(queue_.empty() || !running_.empty(),
                        "fleet deadlock: ", queue_.size(),
                        " jobs unplaceable on an idle cluster");
+        }
+        if (options_.metrics != nullptr) {
+            // Post-scan depth: jobs the policy could not admit yet.
+            options_.metrics
+                ->series("fleet.queue_depth", fleetLabels(options_))
+                .append(event.time,
+                        static_cast<double>(queue_.size()));
         }
     }
 

@@ -41,6 +41,10 @@
 #include "fleet/report.hpp"
 #include "sim/fault.hpp"
 
+namespace rap::obs {
+class MetricRegistry;
+}
+
 namespace rap::fleet {
 
 /** Fleet-run configuration. */
@@ -67,6 +71,20 @@ struct FleetOptions
      * job gets its own trace).
      */
     std::string tracePrefix;
+    /**
+     * Optional scheduler-level metric registry (non-owning): admission
+     * queue depth, placement outcomes, memo hit rates, and the
+     * precompute/run wall spans. Inner job simulations NEVER see the
+     * registry — their memoised reports must stay byte-identical
+     * whether or not the fleet run is instrumented.
+     */
+    obs::MetricRegistry *metrics = nullptr;
+    /**
+     * When non-empty, every fleet instrument carries a `run=<scope>`
+     * label; sweep benches sharing one registry across policies set a
+     * per-point scope so instruments stay point-private.
+     */
+    std::string metricsScope;
 };
 
 /** Runs one arrival trace to completion under one placement policy. */

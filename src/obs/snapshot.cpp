@@ -1,0 +1,181 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/log.hpp"
+
+namespace rap::obs {
+
+namespace {
+
+Json
+labelsJson(const Labels &labels)
+{
+    Json out = Json::object();
+    for (const auto &[key, value] : labels.pairs())
+        out.set(key, Json(value));
+    return out;
+}
+
+/** Aggregate of all occurrences of one (name, labels) span. */
+struct SpanAggregate
+{
+    std::uint64_t count = 0;
+    int maxDepth = 0;
+    double simSeconds = 0.0;
+    bool hasSim = false;
+    double wallSeconds = 0.0;
+    bool hasWall = false;
+};
+
+} // namespace
+
+Json
+snapshotJson(const MetricRegistry &registry, SnapshotOptions options)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json("rap.metrics.v1"));
+
+    Json counters = Json::array();
+    for (const auto &[key, counter] : registry.counters()) {
+        Json entry = Json::object();
+        entry.set("name", Json(key.first));
+        entry.set("labels", labelsJson(key.second));
+        entry.set("value", Json(counter->value()));
+        counters.push(std::move(entry));
+    }
+    doc.set("counters", std::move(counters));
+
+    Json gauges = Json::array();
+    for (const auto &[key, gauge] : registry.gauges()) {
+        Json entry = Json::object();
+        entry.set("name", Json(key.first));
+        entry.set("labels", labelsJson(key.second));
+        entry.set("value", Json(gauge->value()));
+        gauges.push(std::move(entry));
+    }
+    doc.set("gauges", std::move(gauges));
+
+    Json histograms = Json::array();
+    for (const auto &[key, histogram] : registry.histograms()) {
+        Json entry = Json::object();
+        entry.set("name", Json(key.first));
+        entry.set("labels", labelsJson(key.second));
+        Json edges = Json::array();
+        for (double edge : histogram->edges())
+            edges.push(Json(edge));
+        entry.set("edges", std::move(edges));
+        Json counts = Json::array();
+        for (std::uint64_t c : histogram->bucketCounts())
+            counts.push(Json(c));
+        entry.set("counts", std::move(counts));
+        entry.set("count", Json(histogram->count()));
+        entry.set("sum", Json(histogram->sum()));
+        histograms.push(std::move(entry));
+    }
+    doc.set("histograms", std::move(histograms));
+
+    Json series = Json::array();
+    for (const auto &[key, entry_series] : registry.seriesEntries()) {
+        Json entry = Json::object();
+        entry.set("name", Json(key.first));
+        entry.set("labels", labelsJson(key.second));
+        Json points = Json::array();
+        for (const auto &[x, y] : entry_series->points()) {
+            Json point = Json::array();
+            point.push(Json(x));
+            point.push(Json(y));
+            points.push(std::move(point));
+        }
+        entry.set("points", std::move(points));
+        series.push(std::move(entry));
+    }
+    doc.set("series", std::move(series));
+
+    // Spans aggregate per (name, labels): counts, max depth and summed
+    // sim duration all commute, so the result is independent of which
+    // worker recorded which occurrence first.
+    std::map<MetricRegistry::Key, SpanAggregate> aggregates;
+    for (const SpanRecord &record : registry.spanRecords()) {
+        SpanAggregate &agg = aggregates[{record.name, record.labels}];
+        ++agg.count;
+        agg.maxDepth = std::max(agg.maxDepth, record.depth);
+        if (record.hasSim) {
+            agg.hasSim = true;
+            agg.simSeconds += record.simEnd - record.simBegin;
+        }
+        if (record.hasWall) {
+            agg.hasWall = true;
+            agg.wallSeconds += record.wallEnd - record.wallBegin;
+        }
+    }
+    Json spans = Json::array();
+    for (const auto &[key, agg] : aggregates) {
+        Json entry = Json::object();
+        entry.set("name", Json(key.first));
+        entry.set("labels", labelsJson(key.second));
+        entry.set("count", Json(agg.count));
+        entry.set("maxDepth", Json(static_cast<std::int64_t>(
+                                  agg.maxDepth)));
+        entry.set("simSeconds",
+                  agg.hasSim ? Json(agg.simSeconds) : Json());
+        if (options.includeWallTime)
+            entry.set("wallSeconds",
+                      agg.hasWall ? Json(agg.wallSeconds) : Json());
+        spans.push(std::move(entry));
+    }
+    doc.set("spans", std::move(spans));
+
+    return doc;
+}
+
+std::string
+renderSnapshot(const MetricRegistry &registry, SnapshotOptions options)
+{
+    return snapshotJson(registry, options).dump(2) + "\n";
+}
+
+void
+writeSnapshot(const MetricRegistry &registry, const std::string &path,
+              SnapshotOptions options)
+{
+    writeJsonFile(snapshotJson(registry, options), path);
+}
+
+std::string
+seriesCsv(const MetricRegistry &registry)
+{
+    std::string out = "name,labels,x,y\n";
+    for (const auto &[key, series] : registry.seriesEntries()) {
+        const std::string labels = key.second.render();
+        for (const auto &[x, y] : series->points()) {
+            out += key.first;
+            out += ',';
+            // Label text may contain commas; CSV-quote it.
+            out += '"' + labels + '"';
+            out += ',';
+            out += Json(x).dump();
+            out += ',';
+            out += Json(y).dump();
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+void
+writeSeriesCsv(const MetricRegistry &registry, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file)
+        RAP_FATAL("cannot open '", path, "' for writing");
+    const std::string text = seriesCsv(registry);
+    file.write(text.data(),
+               static_cast<std::streamsize>(text.size()));
+    if (!file)
+        RAP_FATAL("failed writing '", path, "'");
+}
+
+} // namespace rap::obs

@@ -1,0 +1,43 @@
+#include "obs/span.hpp"
+
+namespace rap::obs {
+
+namespace {
+
+/** Per-thread count of currently-open spans (any registry). */
+thread_local int tl_open_spans = 0;
+
+} // namespace
+
+Span::Span(MetricRegistry *registry, std::string name, Labels labels)
+    : registry_(registry)
+{
+    if (registry_ == nullptr)
+        return;
+    record_.name = std::move(name);
+    record_.labels = std::move(labels);
+    record_.depth = tl_open_spans++;
+    record_.hasWall = true;
+    record_.wallBegin = registry_->wallNow();
+}
+
+Span::~Span()
+{
+    if (registry_ == nullptr)
+        return;
+    --tl_open_spans;
+    record_.wallEnd = registry_->wallNow();
+    registry_->recordSpan(std::move(record_));
+}
+
+void
+Span::annotateSim(double sim_begin, double sim_end)
+{
+    if (registry_ == nullptr)
+        return;
+    record_.hasSim = true;
+    record_.simBegin = sim_begin;
+    record_.simEnd = sim_end;
+}
+
+} // namespace rap::obs

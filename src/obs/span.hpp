@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAII phase spans recorded into a MetricRegistry.
+ *
+ * A Span times a scope on the wall clock (planner phases run on the
+ * host, outside simulated time) and records one SpanRecord when it
+ * closes. Scopes nest: each thread keeps its own active-span depth, so
+ * spans opened on thread-pool workers nest correctly within the task
+ * that opened them and merge deterministically in the snapshot (the
+ * exporter aggregates by name — counts, max depth and sim durations
+ * commute; wall durations never enter the deterministic snapshot).
+ *
+ * Phases that live on the simulated clock (iterations, replans, fleet
+ * segments) don't need a scope — record them directly with
+ * MetricRegistry::recordSimSpan, or attach sim bounds to a wall span
+ * via annotateSim.
+ */
+
+#ifndef RAP_OBS_SPAN_HPP
+#define RAP_OBS_SPAN_HPP
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rap::obs {
+
+/** Wall-clock RAII scope; records into the registry on destruction. */
+class Span
+{
+  public:
+    /**
+     * Opens the span. Null registry is allowed and makes the span a
+     * no-op, so call sites can instrument unconditionally.
+     */
+    Span(MetricRegistry *registry, std::string name,
+         Labels labels = {});
+
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach simulated-clock bounds to this occurrence. */
+    void annotateSim(double sim_begin, double sim_end);
+
+    /** @return Nesting depth of this span on its thread (0 = outer). */
+    int depth() const { return record_.depth; }
+
+  private:
+    MetricRegistry *registry_;
+    SpanRecord record_;
+};
+
+} // namespace rap::obs
+
+#endif // RAP_OBS_SPAN_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace rap::sim {
 
@@ -72,6 +73,35 @@ Cluster::setCollectiveBandwidthScale(double scale)
     RAP_ASSERT(scale > 0.0 && scale <= 1.0,
                "fabric bandwidth scale must be in (0, 1]");
     collectiveBandwidthScale_ = scale;
+}
+
+void
+Cluster::exportMetrics(obs::MetricRegistry &registry,
+                       const obs::Labels &base) const
+{
+    for (int g = 0; g < gpuCount(); ++g) {
+        const Device &dev = device(g);
+        obs::Labels labels = base;
+        labels.set("gpu", std::to_string(globalGpuId(g)));
+        registry.counter("sim.device.kernels_launched", labels)
+            .inc(dev.kernelsLaunched());
+        registry.counter("sim.device.kernels_retired", labels)
+            .inc(dev.kernelsRetired());
+        registry.counter("sim.device.kernel_retries", labels)
+            .inc(dev.kernelRetries());
+        registry.gauge("sim.device.contention_stall_seconds", labels)
+            .set(dev.contentionStallSeconds());
+        registry.gauge("sim.device.retry_backoff_seconds", labels)
+            .set(dev.retryBackoffSeconds());
+        registry.gauge("sim.device.max_resident_kernels", labels)
+            .set(static_cast<double>(dev.maxResidentKernels()));
+    }
+    registry.counter("sim.engine.events", base)
+        .inc(engine_.eventsExecuted());
+    registry.gauge("sim.engine.max_queue_depth", base)
+        .max(static_cast<double>(engine_.maxQueueDepth()));
+    registry.gauge("sim.engine.end_time_seconds", base)
+        .max(engine_.now());
 }
 
 CollectivePtr

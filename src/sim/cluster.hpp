@@ -16,6 +16,11 @@
 #include "sim/host.hpp"
 #include "sim/interconnect.hpp"
 
+namespace rap::obs {
+class Labels;
+class MetricRegistry;
+}
+
 namespace rap::sim {
 
 /**
@@ -91,6 +96,20 @@ class Cluster
 
     /** Run the simulation until all queued work drains. */
     void run() { engine_.run(); }
+
+    /**
+     * Dump the node's simulation statistics into @p registry: per-GPU
+     * kernel/launch/retry counters, contention-stall and max-residency
+     * gauges (labelled with the physical GPU ordinal), and engine
+     * queue statistics. Call after the simulation has drained; all
+     * values are simulation-derived, so the export is deterministic.
+     *
+     * @param base Labels merged into every instrument — callers that
+     *        share one registry across runs (sweep benches) pass their
+     *        `run=` scope here so gauges stay run-private.
+     */
+    void exportMetrics(obs::MetricRegistry &registry,
+                       const obs::Labels &base) const;
 
   private:
     ClusterSpec spec_;

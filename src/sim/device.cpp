@@ -177,6 +177,8 @@ Device::refresh()
             record.start = finished.start;
             record.end = engine_.now();
             record.exclusiveLatency = finished.desc.exclusiveLatency;
+            ++kernelsRetired_;
+            stallSeconds_ += std::max(record.stretch(), 0.0);
             trace_.addKernel(std::move(record));
             if (finished.done) {
                 // Completion callbacks may push more work; run them via
@@ -276,6 +278,8 @@ Device::addResident(KernelDesc desc, const std::string &stream_name,
     r.done = std::move(done);
     r.id = nextKernelId_++;
     resident_.push_back(std::move(r));
+    ++kernelsLaunched_;
+    maxResident_ = std::max(maxResident_, resident_.size());
     refresh();
 }
 

@@ -129,6 +129,22 @@ class Device
     /** @return Total retry-backoff delay charged to the timeline. */
     Seconds retryBackoffSeconds() const { return retryBackoff_; }
 
+    /** @return Kernels launched (every attempt, including retries). */
+    std::uint64_t kernelsLaunched() const { return kernelsLaunched_; }
+
+    /** @return Kernels retired (ran to completion). */
+    std::uint64_t kernelsRetired() const { return kernelsRetired_; }
+
+    /**
+     * @return Summed contention stretch of retired kernels: actual
+     *         duration minus exclusive latency, i.e. time lost to
+     *         sharing the device (or to degraded capacity).
+     */
+    Seconds contentionStallSeconds() const { return stallSeconds_; }
+
+    /** @return Largest number of simultaneously-resident kernels. */
+    std::size_t maxResidentKernels() const { return maxResident_; }
+
   private:
     struct Resident
     {
@@ -177,6 +193,10 @@ class Device
     FaultInjector *injector_ = nullptr;
     std::uint64_t kernelRetries_ = 0;
     Seconds retryBackoff_ = 0.0;
+    std::uint64_t kernelsLaunched_ = 0;
+    std::uint64_t kernelsRetired_ = 0;
+    Seconds stallSeconds_ = 0.0;
+    std::size_t maxResident_ = 0;
     LinkServer h2d_;
     LinkServer p2p_;
     Trace trace_;

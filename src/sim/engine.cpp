@@ -10,6 +10,7 @@ Engine::schedule(Seconds t, std::function<void()> fn)
     RAP_ASSERT(t >= now_ - 1e-12, "cannot schedule into the past: t=", t,
                " now=", now_);
     queue_.push(Item{std::max(t, now_), nextSeq_++, std::move(fn)});
+    maxQueueDepth_ = std::max(maxQueueDepth_, queue_.size());
 }
 
 void

@@ -47,6 +47,9 @@ class Engine
     /** @return Total number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /** @return Largest pending-event queue depth observed so far. */
+    std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+
   private:
     struct Item
     {
@@ -70,6 +73,7 @@ class Engine
     Seconds now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t maxQueueDepth_ = 0;
 };
 
 /**

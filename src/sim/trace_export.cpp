@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace rap::sim {
 
@@ -106,6 +108,81 @@ toChromeTraceJson(const Cluster &cluster, TraceExportOptions options)
               << ",\"args\":{\"sm\":" << segment.smUsage
               << ",\"bw\":" << segment.bwUsage << "}}";
             emit(e.str());
+        }
+    }
+
+    if (options.spans != nullptr) {
+        // Sim-time spans land on their GPU's process (track 0, which
+        // stream tracks never use) or on a run-wide process; planner
+        // wall-clock spans get their own host process past the GPUs.
+        const int run_pid = cluster.gpuCount();
+        const int planner_pid = cluster.gpuCount() + 1;
+        std::set<std::pair<int, int>> named_tracks;
+        auto nameTrack = [&](int pid, int tid, const std::string &name) {
+            if (!named_tracks.insert({pid, tid}).second)
+                return;
+            std::ostringstream m;
+            m << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+              << pid << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+              << escape(name) << "\"}}";
+            emit(m.str());
+        };
+        auto nameProcess = [&](int pid, const std::string &name) {
+            std::ostringstream m;
+            m << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+              << pid << ",\"args\":{\"name\":\"" << escape(name)
+              << "\"}}";
+            emit(m.str());
+        };
+        bool run_named = false;
+        bool planner_named = false;
+
+        for (const auto &record : options.spans->spanRecords()) {
+            const std::string title =
+                record.name + record.labels.render();
+            if (record.hasSim) {
+                if (!inWindow(options, record.simBegin, record.simEnd))
+                    continue;
+                int pid = run_pid;
+                for (const auto &[key, value] : record.labels.pairs()) {
+                    if (key != "gpu")
+                        continue;
+                    for (int g = 0; g < cluster.gpuCount(); ++g) {
+                        if (value ==
+                            std::to_string(cluster.globalGpuId(g))) {
+                            pid = g;
+                            break;
+                        }
+                    }
+                }
+                if (pid == run_pid && !run_named) {
+                    nameProcess(run_pid, "run");
+                    run_named = true;
+                }
+                nameTrack(pid, 0, "phases");
+                std::ostringstream e;
+                e << "{\"name\":\"" << escape(title)
+                  << "\",\"ph\":\"X\",\"pid\":" << pid
+                  << ",\"tid\":0,\"ts\":" << record.simBegin * 1e6
+                  << ",\"dur\":"
+                  << (record.simEnd - record.simBegin) * 1e6 << "}";
+                emit(e.str());
+            } else if (record.hasWall) {
+                if (!planner_named) {
+                    nameProcess(planner_pid, "planner (host)");
+                    planner_named = true;
+                }
+                const int tid = record.depth + 1;
+                nameTrack(planner_pid, tid,
+                          "depth " + std::to_string(record.depth));
+                std::ostringstream e;
+                e << "{\"name\":\"" << escape(title)
+                  << "\",\"ph\":\"X\",\"pid\":" << planner_pid
+                  << ",\"tid\":" << tid
+                  << ",\"ts\":" << record.wallBegin * 1e6 << ",\"dur\":"
+                  << (record.wallEnd - record.wallBegin) * 1e6 << "}";
+                emit(e.str());
+            }
         }
     }
 

@@ -12,6 +12,10 @@
 
 #include "sim/cluster.hpp"
 
+namespace rap::obs {
+class MetricRegistry;
+}
+
 namespace rap::sim {
 
 /** Export options. */
@@ -23,6 +27,14 @@ struct TraceExportOptions
     Seconds begin = 0.0;
     /** Drop events starting after this time (0 = no limit). */
     Seconds end = 0.0;
+    /**
+     * Also render spans recorded in this registry: sim-time spans
+     * appear on their GPU's process (a dedicated "phases" track, or
+     * the run-wide process when the span has no `gpu` label), and
+     * wall-clock spans (planner phases) on an extra "planner (host)"
+     * process past the GPUs. Null = no span rendering.
+     */
+    const obs::MetricRegistry *spans = nullptr;
 };
 
 /**

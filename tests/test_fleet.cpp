@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "fleet/fleet.hpp"
+#include "obs/snapshot.hpp"
 
 namespace rap::fleet {
 namespace {
@@ -298,6 +299,61 @@ TEST(FleetScheduler, ReportBitIdenticalAcrossThreadCounts)
         ThreadPool pool(4);
         const auto threaded = runFleet(trace, options, &pool);
         expectSameFleetReport(serial, threaded);
+    }
+}
+
+TEST(FleetPlacement, PolicyIdRoundTrips)
+{
+    for (auto policy : {PlacementPolicy::ExclusiveFirstFit,
+                        PlacementPolicy::ExclusiveBestFit,
+                        PlacementPolicy::RapShared}) {
+        EXPECT_EQ(policyFromId(policyId(policy)), policy);
+    }
+    EXPECT_EQ(policyId(PlacementPolicy::RapShared), "rap_shared");
+}
+
+TEST(FleetReportJson, RoundTripsExactly)
+{
+    const auto trace = makeArrivalTrace(tinyTraceOptions(4));
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::RapShared;
+    const auto report = runFleet(trace, options);
+
+    const std::string text = report.toJson().dump(2);
+    std::string error;
+    const Json reparsed = Json::parse(text, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    const auto restored = FleetReport::fromJson(reparsed);
+
+    // fromJson(toJson()) reproduces the artifact byte for byte — the
+    // property that makes the JSON the single source of truth.
+    EXPECT_EQ(restored.toJson().dump(2), text);
+    expectSameFleetReport(report, restored);
+}
+
+TEST(FleetMetrics, SnapshotIsThreadCountInvariant)
+{
+    const auto trace = makeArrivalTrace(tinyTraceOptions(5));
+
+    auto snapshotFor = [&](ThreadPool *pool) {
+        obs::MetricRegistry registry;
+        FleetOptions options;
+        options.placement.policy = PlacementPolicy::RapShared;
+        options.metrics = &registry;
+        options.metricsScope = "test";
+        runFleet(trace, options, pool);
+        return obs::snapshotJson(registry).dump(2);
+    };
+
+    const std::string serial = snapshotFor(nullptr);
+    ThreadPool pool(4);
+    EXPECT_EQ(snapshotFor(&pool), serial);
+    // The scheduler's instruments all made it into the snapshot.
+    for (const char *name :
+         {"fleet.placements", "fleet.memo.", "fleet.reference_sims",
+          "fleet.queue.max_depth", "fleet.queue_depth",
+          "fleet.segment", "fleet.run", "fleet.precompute"}) {
+        EXPECT_NE(serial.find(name), std::string::npos) << name;
     }
 }
 

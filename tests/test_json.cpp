@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the deterministic JSON value type (common/json.hpp): the
+ * writer's byte-stable number/string rendering, object insertion
+ * order, the strict parser, and dump/parse round-trips. These
+ * properties back every machine-read artifact the repo emits, so they
+ * get direct coverage instead of riding along inside snapshot tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace rap {
+namespace {
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json(std::string("x")).dump(), "\"x\"");
+}
+
+TEST(Json, NumberDumpIsShortestAndIntegerFriendly)
+{
+    // Integral doubles inside 2^53 print without exponent/fraction.
+    EXPECT_EQ(Json(0).dump(), "0");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(1e6).dump(), "1000000");
+    EXPECT_EQ(Json(std::int64_t{1} << 52).dump(), "4503599627370496");
+    // Negative zero normalises to "0" so it can never cause a diff.
+    EXPECT_EQ(Json(-0.0).dump(), "0");
+    // Non-integral values render via shortest round-trip.
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    EXPECT_EQ(Json(2.75).dump(), "2.75");
+    // Non-finite values have no JSON form; they degrade to null.
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, NumberRoundTripsExactly)
+{
+    for (double v : {0.1, 1.0 / 3.0, 1e-12, 6.02214076e23, -123.456}) {
+        const std::string text = Json(v).dump();
+        std::string error;
+        const Json parsed = Json::parse(text, &error);
+        EXPECT_TRUE(error.empty()) << error;
+        ASSERT_TRUE(parsed.isNumber());
+        EXPECT_EQ(parsed.asDouble(), v) << text;
+    }
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+
+    // Escaped text parses back to the original string.
+    const std::string original = "tab\there \"quoted\"\nnewline";
+    std::string error;
+    const Json parsed =
+        Json::parse(Json(original).dump(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed.asString(), original);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", Json(1));
+    obj.set("alpha", Json(2));
+    obj.set("mid", Json(3));
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+
+    // set() on an existing key replaces in place, keeping the slot.
+    obj.set("alpha", Json(99));
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":99,\"mid\":3}");
+    EXPECT_EQ(obj.size(), 3u);
+}
+
+TEST(Json, ObjectLookup)
+{
+    Json obj = Json::object();
+    obj.set("key", Json("value"));
+    ASSERT_NE(obj.find("key"), nullptr);
+    EXPECT_EQ(obj.find("key")->asString(), "value");
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_EQ(obj.at("key").asString(), "value");
+    ASSERT_EQ(obj.members().size(), 1u);
+    EXPECT_EQ(obj.members()[0].first, "key");
+}
+
+TEST(Json, ArrayOperations)
+{
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    arr.push(Json());
+    EXPECT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr.at(std::size_t{0}).asDouble(), 1.0);
+    EXPECT_EQ(arr.at(std::size_t{1}).asString(), "two");
+    EXPECT_TRUE(arr.at(std::size_t{2}).isNull());
+    EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+    EXPECT_EQ(arr.elements().size(), 3u);
+}
+
+TEST(Json, PrettyPrint)
+{
+    Json obj = Json::object();
+    obj.set("a", Json(1));
+    Json inner = Json::array();
+    inner.push(Json(2));
+    obj.set("b", std::move(inner));
+    EXPECT_EQ(obj.dump(2),
+              "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+    EXPECT_EQ(Json::object().dump(2), "{}\n");
+}
+
+TEST(Json, ParseAcceptsCanonicalDocument)
+{
+    const std::string text =
+        "{\"name\":\"run\",\"values\":[1,2.5,-300],"
+        "\"flags\":{\"on\":true,\"off\":false},\"none\":null}";
+    std::string error;
+    const Json doc = Json::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("name").asString(), "run");
+    EXPECT_EQ(doc.at("values").size(), 3u);
+    EXPECT_EQ(doc.at("values").at(std::size_t{2}).asDouble(), -300.0);
+    // Exponent forms parse but re-render canonically.
+    EXPECT_EQ(Json::parse("-3e2").dump(), "-300");
+    EXPECT_TRUE(doc.at("flags").at("on").asBool());
+    EXPECT_FALSE(doc.at("flags").at("off").asBool());
+    EXPECT_TRUE(doc.at("none").isNull());
+    // Re-serializing yields the same bytes.
+    EXPECT_EQ(doc.dump(), text);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated",
+          "1 2", "{\"a\":1,}", "{'a':1}", "[1]extra"}) {
+        std::string error;
+        const Json value = Json::parse(bad, &error);
+        EXPECT_FALSE(error.empty()) << "accepted: " << bad;
+        EXPECT_TRUE(value.isNull()) << bad;
+    }
+}
+
+TEST(Json, DumpParseRoundTripOfNestedDocument)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json("rap.test.v1"));
+    Json rows = Json::array();
+    for (int i = 0; i < 3; ++i) {
+        Json row = Json::object();
+        row.set("i", Json(i));
+        row.set("x", Json(0.1 * i));
+        rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(rows));
+
+    for (int indent : {-1, 0, 2, 4}) {
+        std::string error;
+        const Json parsed = Json::parse(doc.dump(indent), &error);
+        EXPECT_TRUE(error.empty()) << error;
+        // Round trip is exact: re-dump matches the original dump.
+        EXPECT_EQ(parsed.dump(), doc.dump()) << "indent " << indent;
+    }
+}
+
+} // namespace
+} // namespace rap

@@ -172,22 +172,33 @@ TEST(Pipeline, InterleavingFlagSupported)
 
 TEST(Pipeline, RunReportLifecycleTimestamps)
 {
-    // Fresh reports carry zeroed fleet-lifecycle timestamps…
+    // Fresh (standalone) reports carry no fleet-lifecycle timestamps,
+    // and the derived delays report "not applicable" instead of the
+    // negative garbage a zero-filled default used to produce.
     RunReport fresh;
-    EXPECT_EQ(fresh.submittedAt, 0.0);
-    EXPECT_EQ(fresh.startedAt, 0.0);
-    EXPECT_EQ(fresh.finishedAt, 0.0);
-    EXPECT_EQ(fresh.queueingDelay(), 0.0);
-    EXPECT_EQ(fresh.jobCompletionTime(), 0.0);
+    EXPECT_FALSE(fresh.submittedAt.has_value());
+    EXPECT_FALSE(fresh.startedAt.has_value());
+    EXPECT_FALSE(fresh.finishedAt.has_value());
+    EXPECT_FALSE(fresh.queueingDelay().has_value());
+    EXPECT_FALSE(fresh.jobCompletionTime().has_value());
+
+    // A partially-filled report still reports "not applicable" for
+    // any delta whose endpoints are missing.
+    RunReport partial;
+    partial.startedAt = 1.75;
+    EXPECT_FALSE(partial.queueingDelay().has_value());
+    EXPECT_FALSE(partial.jobCompletionTime().has_value());
 
     // …and the helpers are exact deltas once a scheduler fills them.
     RunReport report = runOn(System::Rap, preproc::makePlan(0));
     report.submittedAt = 1.25;
     report.startedAt = 1.75;
     report.finishedAt = 4.0;
-    EXPECT_DOUBLE_EQ(report.queueingDelay(), 0.5);
-    EXPECT_DOUBLE_EQ(report.jobCompletionTime(), 2.75);
-    EXPECT_GT(report.jobCompletionTime(), report.queueingDelay());
+    ASSERT_TRUE(report.queueingDelay().has_value());
+    ASSERT_TRUE(report.jobCompletionTime().has_value());
+    EXPECT_DOUBLE_EQ(*report.queueingDelay(), 0.5);
+    EXPECT_DOUBLE_EQ(*report.jobCompletionTime(), 2.75);
+    EXPECT_GT(*report.jobCompletionTime(), *report.queueingDelay());
 }
 
 TEST(Pipeline, GpuSubsetAndEnvelopeConfigSupported)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the validated run API: SystemConfig::validate() (one test
+ * per error path, plus multi-error accumulation) and the RunRequest
+ * builder (field plumbing, validate() pass-through, and build()'s
+ * fatal exit on an invalid configuration).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/run_request.hpp"
+#include "obs/metrics.hpp"
+
+namespace rap::core {
+namespace {
+
+/** @return Whether @p result contains an error for @p field. */
+bool
+hasError(const ValidationResult &result, const std::string &field)
+{
+    for (const auto &error : result.errors()) {
+        if (error.field == field)
+            return true;
+    }
+    return false;
+}
+
+TEST(Validate, DefaultConfigIsValid)
+{
+    const SystemConfig config;
+    const auto result = config.validate();
+    EXPECT_TRUE(result.ok()) << result.render();
+    EXPECT_TRUE(result.errors().empty());
+    EXPECT_EQ(result.render(), "");
+}
+
+TEST(Validate, RejectsNonPositiveGpuCount)
+{
+    SystemConfig config;
+    config.gpuCount = 0;
+    EXPECT_TRUE(hasError(config.validate(), "gpuCount"));
+}
+
+TEST(Validate, RejectsNonPositiveBatch)
+{
+    SystemConfig config;
+    config.batchPerGpu = 0;
+    EXPECT_TRUE(hasError(config.validate(), "batchPerGpu"));
+}
+
+TEST(Validate, RejectsNonPositiveIterations)
+{
+    SystemConfig config;
+    config.iterations = 0;
+    EXPECT_TRUE(hasError(config.validate(), "iterations"));
+}
+
+TEST(Validate, RejectsNegativeWarmup)
+{
+    SystemConfig config;
+    config.warmup = -1;
+    EXPECT_TRUE(hasError(config.validate(), "warmup"));
+}
+
+TEST(Validate, RejectsEmptySteadyStateWindow)
+{
+    SystemConfig config;
+    config.iterations = 4;
+    config.warmup = 3; // iterations must exceed warmup + 1
+    EXPECT_TRUE(hasError(config.validate(), "warmup"));
+
+    config.iterations = 5;
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsGpuSubsetSizeMismatch)
+{
+    SystemConfig config;
+    config.gpuCount = 4;
+    config.gpuSubset = {0, 1}; // two labels for four GPUs
+    EXPECT_TRUE(hasError(config.validate(), "gpuSubset"));
+
+    config.gpuSubset = {4, 5, 6, 7};
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsNegativeGpuSubsetOrdinal)
+{
+    SystemConfig config;
+    config.gpuCount = 2;
+    config.gpuSubset = {0, -3};
+    EXPECT_TRUE(hasError(config.validate(), "gpuSubset[1]"));
+}
+
+TEST(Validate, RejectsEnvelopeCountMismatch)
+{
+    SystemConfig config;
+    config.gpuCount = 4;
+    config.envelopes.resize(2); // must cover every GPU
+    EXPECT_TRUE(hasError(config.validate(), "envelopes"));
+
+    config.envelopes.resize(4);
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsEnvelopeSharesOutsideUnitInterval)
+{
+    SystemConfig config;
+    config.gpuCount = 2;
+    config.envelopes.resize(2);
+    config.envelopes[0].sm = 0.0; // shares live in (0, 1]
+    config.envelopes[1].bw = 1.5;
+    const auto result = config.validate();
+    EXPECT_TRUE(hasError(result, "envelopes[0].sm"));
+    EXPECT_TRUE(hasError(result, "envelopes[1].bw"));
+    EXPECT_FALSE(hasError(result, "envelopes[0].bw"));
+    EXPECT_FALSE(hasError(result, "envelopes[1].sm"));
+}
+
+TEST(Validate, RejectsClusterSpecGpuCountMismatch)
+{
+    SystemConfig config;
+    config.gpuCount = 4;
+    sim::ClusterSpec spec;
+    spec.gpuCount = 8;
+    config.clusterSpec = spec;
+    EXPECT_TRUE(hasError(config.validate(), "clusterSpec"));
+
+    config.clusterSpec->gpuCount = 4;
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsNonPositiveDriftThresholdWhenReplanning)
+{
+    SystemConfig config;
+    config.replanOnDrift = true;
+    config.replanDriftThreshold = 0.0;
+    EXPECT_TRUE(
+        hasError(config.validate(), "replanDriftThreshold"));
+
+    // The threshold is ignored while replanning is off.
+    config.replanOnDrift = false;
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsNegativeRowWiseThreshold)
+{
+    SystemConfig config;
+    config.rowWiseThreshold = -1;
+    EXPECT_TRUE(hasError(config.validate(), "rowWiseThreshold"));
+}
+
+TEST(Validate, RejectsNegativePlanningThreads)
+{
+    SystemConfig config;
+    config.planningThreads = -2;
+    EXPECT_TRUE(hasError(config.validate(), "planningThreads"));
+
+    config.planningThreads = 0; // 0 = hardware concurrency
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, RejectsBadTorchArrowWorkersForCpuSystems)
+{
+    for (auto system :
+         {System::TorchArrowCpu, System::HybridRap}) {
+        SystemConfig config;
+        config.system = system;
+        config.torchArrowWorkersPerGpu = 0;
+        config.coresPerWorker = 0;
+        const auto result = config.validate();
+        EXPECT_TRUE(hasError(result, "torchArrowWorkersPerGpu"))
+            << systemId(system);
+        EXPECT_TRUE(hasError(result, "coresPerWorker"))
+            << systemId(system);
+    }
+
+    // GPU-preprocessing systems never touch the TorchArrow knobs.
+    SystemConfig config;
+    config.system = System::Rap;
+    config.torchArrowWorkersPerGpu = 0;
+    config.coresPerWorker = 0;
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Validate, AccumulatesEveryProblemAtOnce)
+{
+    SystemConfig config;
+    config.gpuCount = 0;
+    config.batchPerGpu = -1;
+    config.iterations = 0;
+    config.planningThreads = -1;
+    const auto result = config.validate();
+    EXPECT_FALSE(result.ok());
+    EXPECT_GE(result.errors().size(), 4u);
+    // render() lists one "field: message" line per error.
+    const std::string rendered = result.render();
+    EXPECT_NE(rendered.find("gpuCount:"), std::string::npos);
+    EXPECT_NE(rendered.find("batchPerGpu:"), std::string::npos);
+    EXPECT_NE(rendered.find("iterations:"), std::string::npos);
+    EXPECT_NE(rendered.find("planningThreads:"), std::string::npos);
+}
+
+TEST(RunRequest, BuilderPlumbsEveryField)
+{
+    obs::MetricRegistry registry;
+    const auto config = RunRequest(System::Rap)
+                            .gpus(4)
+                            .batchPerGpu(2048)
+                            .iterations(10, 2)
+                            .planningThreads(3)
+                            .gpuSubset({4, 5, 6, 7})
+                            .replanOnDrift(true, 0.2)
+                            .tracePath("/tmp/trace.json")
+                            .metrics(&registry, "test.scope")
+                            .build();
+    EXPECT_EQ(config.system, System::Rap);
+    EXPECT_EQ(config.gpuCount, 4);
+    EXPECT_EQ(config.batchPerGpu, 2048);
+    EXPECT_EQ(config.iterations, 10);
+    EXPECT_EQ(config.warmup, 2);
+    EXPECT_EQ(config.planningThreads, 3);
+    EXPECT_EQ(config.gpuSubset, (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_TRUE(config.replanOnDrift);
+    EXPECT_EQ(config.replanDriftThreshold, 0.2);
+    EXPECT_EQ(config.tracePath, "/tmp/trace.json");
+    EXPECT_EQ(config.metrics, &registry);
+    EXPECT_EQ(config.metricsScope, "test.scope");
+}
+
+TEST(RunRequest, WrapsAnExistingConfig)
+{
+    SystemConfig base;
+    base.system = System::Mps;
+    base.gpuCount = 2;
+    RunRequest request(base);
+    EXPECT_EQ(request.config().system, System::Mps);
+    request.gpus(8);
+    EXPECT_EQ(request.config().gpuCount, 8);
+}
+
+TEST(RunRequest, ValidateReportsWithoutExiting)
+{
+    RunRequest request(System::Rap);
+    request.gpus(0);
+    const auto result = request.validate();
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(hasError(result, "gpuCount"));
+}
+
+TEST(RunRequestDeathTest, BuildExitsOnInvalidConfig)
+{
+    RunRequest request(System::Rap);
+    request.gpus(-1);
+    EXPECT_EXIT(request.build(), testing::ExitedWithCode(1),
+                "invalid run configuration");
+}
+
+} // namespace
+} // namespace rap::core
