@@ -58,6 +58,16 @@ main(int argc, char **argv)
 {
     bench::ArgParser args("bench_fault_degradation",
                           "fault injection + online replanning study");
+    int &mtbf_ms = args.addInt(
+        "--mtbf", 0,
+        "append a seeded fail-stop crash scenario with this mean "
+        "time between crashes, simulated ms (0 = off)");
+    int &fault_seed =
+        args.addInt("--fault-seed", 1, "crash-trace RNG seed");
+    int &crash_at_ms = args.addInt(
+        "--crash-at", -1,
+        "override the fault-injection time, simulated ms "
+        "(-1 = healthy makespan / 3)");
     args.parse(argc, argv);
     ThreadPool pool(args.jobThreads());
     obs::MetricRegistry registry;
@@ -75,7 +85,9 @@ main(int argc, char **argv)
     healthy_config.metricsScope = "healthy";
     const auto healthy = core::runSystem(healthy_config, plan);
     const Seconds iter_latency = healthy.avgIterationLatency;
-    const Seconds fault_at = healthy.makespan / 3.0;
+    const Seconds fault_at =
+        crash_at_ms >= 0 ? crash_at_ms / 1000.0
+                         : healthy.makespan / 3.0;
     std::cout << "healthy makespan " << formatSeconds(healthy.makespan)
               << " (" << formatSeconds(iter_latency)
               << "/iteration); faults injected at "
@@ -104,6 +116,16 @@ main(int argc, char **argv)
         Scenario s{"transient launch faults on gpu0", {}};
         s.faults.events.push_back(sim::FaultEvent::transientKernel(
             0, fault_at, fault_at + 10.0 * iter_latency, 0.3));
+        scenarios.push_back(std::move(s));
+    }
+    if (mtbf_ms > 0) {
+        // Fail-stop crashes ride the analytic recovery composer, so
+        // both arms of this row report composed completions; stale
+        // vs replanned stays a like-for-like comparison.
+        Scenario s{"seeded fail-stop crashes", {}};
+        s.faults.events = sim::makeCrashTrace(
+            mtbf_ms / 1000.0, static_cast<std::uint64_t>(fault_seed),
+            2.0 * healthy.makespan, healthy_config.gpuCount);
         scenarios.push_back(std::move(s));
     }
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/log.hpp"
@@ -235,6 +236,114 @@ fillUtilisation(RunReport &report, sim::Cluster &cluster, Seconds t0,
     report.p2pBytes = p2p;
 }
 
+/**
+ * Arm in-DES calibration checkpoints on @p driver. FixedInterval
+ * drains at its configured cadence; YoungDaly pushes one trailing
+ * calibration drain to *measure* the per-checkpoint cost (the
+ * composed interval is derived from that measurement afterwards).
+ * @return True when checkpoints were armed.
+ */
+bool
+armCheckpoints(const SystemConfig &sys, const dlrm::DlrmConfig &model,
+               const dlrm::EmbeddingSharding &sharding,
+               dlrm::TrainingDriver &driver)
+{
+    const auto &ckpt = sys.checkpoint;
+    if (ckpt.mode == CheckpointMode::None)
+        return false;
+    std::vector<Bytes> bytes;
+    bytes.reserve(static_cast<std::size_t>(sys.gpuCount));
+    for (int g = 0; g < sys.gpuCount; ++g)
+        bytes.push_back(checkpointBytesPerGpu(model, sharding, g));
+    // Cap the cadence at the run length so at least one drain executes
+    // and the cost measurement always has a sample.
+    const int cadence =
+        ckpt.mode == CheckpointMode::FixedInterval
+            ? std::min(std::max(1, ckpt.interval), sys.iterations)
+            : sys.iterations;
+    driver.setCheckpoint(std::move(bytes), cadence);
+    return true;
+}
+
+/**
+ * Summed checkpoint drain time (slowest GPU per drain) after
+ * iterations [from, to) — what checkpointing added to the wall clock
+ * inside a measurement window.
+ */
+Seconds
+checkpointSecondsInWindow(const dlrm::TrainingDriver &driver, int gpus,
+                          int from, int to)
+{
+    Seconds total = 0.0;
+    for (int j = from; j < to; ++j) {
+        Seconds worst = 0.0;
+        for (int g = 0; g < gpus; ++g) {
+            const auto &span = driver.checkpointSpan(g, j);
+            if (span.valid())
+                worst = std::max(worst, span.duration());
+        }
+        total += worst;
+    }
+    return total;
+}
+
+/**
+ * Compose the analytic crash/restore timeline over the job length and
+ * fill the report's recovery fields. The DES measured the
+ * checkpoint-free iteration interval and the per-checkpoint cost;
+ * realistic MTBFs dwarf the simulated horizon, so crashes and
+ * checkpoints are extrapolated in O(crashes + checkpoints)
+ * (core/checkpoint.hpp). When composition runs, RunReport::makespan is
+ * the composed end-to-end completion of the full job, not the DES
+ * drain time.
+ */
+void
+applyRecovery(const SystemConfig &sys, RunReport &report,
+              Seconds iter_interval, Seconds checkpoint_cost,
+              const std::vector<Seconds> &crash_times)
+{
+    const auto &ckpt = sys.checkpoint;
+    if (ckpt.mode == CheckpointMode::None && crash_times.empty())
+        return;
+    const long long job_iters =
+        ckpt.jobIterations > 0 ? ckpt.jobIterations : sys.iterations;
+    long long interval_iters = 0;
+    switch (ckpt.mode) {
+      case CheckpointMode::None:
+        break;
+      case CheckpointMode::FixedInterval:
+        interval_iters = std::max(1, ckpt.interval);
+        break;
+      case CheckpointMode::YoungDaly:
+        interval_iters = std::max<long long>(
+            1, std::llround(
+                   youngDalyInterval(checkpoint_cost, ckpt.mtbf) /
+                   iter_interval));
+        break;
+    }
+    // Restore reads the image back over the same host link, so it
+    // costs one checkpoint drain on top of the process restart.
+    const auto outcome = composeRecovery(
+        iter_interval, checkpoint_cost, checkpoint_cost,
+        ckpt.restartOverhead, job_iters, interval_iters, crash_times);
+    report.lostWork = outcome.lostWork;
+    report.checkpointOverhead = outcome.checkpointOverhead;
+    report.recoveries = outcome.recoveries;
+    report.makespan = outcome.completion;
+    if (sys.metrics != nullptr) {
+        sys.metrics->counter("train.checkpoints", runLabels(sys))
+            .inc(static_cast<std::uint64_t>(
+                std::max<long long>(0, outcome.checkpoints)));
+        sys.metrics->counter("train.lost_batches", runLabels(sys))
+            .inc(static_cast<std::uint64_t>(
+                std::max<long long>(0, outcome.lostBatches)));
+        for (const auto &window : outcome.recoveryWindows) {
+            sys.metrics->recordSimSpan("train.recovery", runLabels(sys),
+                                       window.first, window.second);
+        }
+    }
+}
+
 /** Aggregate fault-injection statistics over the whole run. */
 void
 fillFaultStats(RunReport &report, sim::Cluster &cluster)
@@ -457,11 +566,15 @@ OnlineTrainer::runIdeal()
     sim::Cluster cluster(cluster_spec, config_.gpuSubset);
     applyEnvelopes(cluster, config_);
     std::optional<sim::FaultInjector> injector;
+    std::vector<Seconds> crash_times;
     if (config_.faults) {
-        injector.emplace(*config_.faults);
+        crash_times = config_.faults->failStopTimes();
+        injector.emplace(config_.faults->degradationOnly());
         injector->arm(cluster);
     }
     dlrm::TrainingDriver driver(cluster, config, sharding);
+    const bool checkpointing =
+        armCheckpoints(config_, config, sharding, driver);
     driver.pushIterations(config_.iterations);
     cluster.run();
 
@@ -480,6 +593,9 @@ OnlineTrainer::runIdeal()
     fillUtilisation(report, cluster, t0, t1);
     report.makespan = cluster.engine().now();
     fillFaultStats(report, cluster);
+    applyRecovery(config_, report, report.avgIterationLatency,
+                  checkpointing ? driver.avgCheckpointCost() : 0.0,
+                  crash_times);
     recordIterationMetrics(config_, cluster, driver);
     maybeWriteTrace(cluster, config_);
     return report;
@@ -513,8 +629,10 @@ OnlineTrainer::runTorchArrow()
     applyEnvelopes(cluster, config_);
     auto &engine = cluster.engine();
     std::optional<sim::FaultInjector> injector;
+    std::vector<Seconds> crash_times;
     if (config_.faults) {
-        injector.emplace(*config_.faults);
+        crash_times = config_.faults->failStopTimes();
+        injector.emplace(config_.faults->degradationOnly());
         injector->arm(cluster);
     }
     const int n = config_.iterations;
@@ -540,6 +658,8 @@ OnlineTrainer::runTorchArrow()
         return ready[static_cast<std::size_t>(g)][
             static_cast<std::size_t>(i)];
     });
+    const bool checkpointing =
+        armCheckpoints(config_, config, sharding, driver);
     driver.pushIterations(n);
 
     // Worker pipelines: worker w of GPU g preprocesses batches
@@ -587,7 +707,10 @@ OnlineTrainer::runTorchArrow()
         driver.iterationSpan(0, n - 1).end;
     const double steady_iters =
         static_cast<double>(n - config_.warmup);
-    const Seconds interval = (span_end - span_start) / steady_iters;
+    const Seconds ckpt_window = checkpointSecondsInWindow(
+        driver, gpus, config_.warmup, n - 1);
+    const Seconds interval =
+        (span_end - span_start - ckpt_window) / steady_iters;
     report.avgIterationLatency = interval;
     report.throughput = static_cast<double>(config_.batchPerGpu) *
                         gpus / interval;
@@ -595,6 +718,9 @@ OnlineTrainer::runTorchArrow()
     fillUtilisation(report, cluster, span_start, span_end);
     report.makespan = engine.now();
     fillFaultStats(report, cluster);
+    applyRecovery(config_, report, report.avgIterationLatency,
+                  checkpointing ? driver.avgCheckpointCost() : 0.0,
+                  crash_times);
     recordIterationMetrics(config_, cluster, driver);
     maybeWriteTrace(cluster, config_);
     return report;
@@ -709,9 +835,15 @@ OnlineTrainer::runGpuSystem()
 
     // Optional seeded fault scenario: degraded SM/HBM envelopes, slow
     // links, transient kernel-launch failures (sim/fault.hpp).
+    // Fail-stop events are split off: the DES measures the
+    // checkpoint-free steady state on live devices, and the
+    // crash/restore timeline is composed analytically afterwards
+    // (applyRecovery) — realistic MTBFs dwarf the simulated horizon.
     std::optional<sim::FaultInjector> injector;
+    std::vector<Seconds> crash_times;
     if (config_.faults) {
-        injector.emplace(*config_.faults);
+        crash_times = config_.faults->failStopTimes();
+        injector.emplace(config_.faults->degradationOnly());
         injector->arm(cluster);
     }
 
@@ -739,6 +871,8 @@ OnlineTrainer::runGpuSystem()
         return ready[static_cast<std::size_t>(g)][
             static_cast<std::size_t>(i)];
     });
+    const bool checkpointing =
+        armCheckpoints(config_, config, sharding, driver);
     driver.pushIterations(n);
 
     std::vector<sim::Stream *> hybrid_streams(
@@ -1004,6 +1138,16 @@ OnlineTrainer::runGpuSystem()
                         j >= 1 ? span.end -
                                      driver.iterationSpan(g, j - 1).end
                                : span.end - span.start;
+                    // A checkpoint drain between the two iteration
+                    // ends is planned-for overhead, not drift.
+                    if (j >= 1 &&
+                        driver.checkpointSpan(g, j - 1).valid()) {
+                        observed[gi] = std::max(
+                            0.0,
+                            observed[gi] -
+                                driver.checkpointSpan(g, j - 1)
+                                    .duration());
+                    }
                     if (predicted[gi] > 0.0) {
                         drift = std::max(
                             drift,
@@ -1048,7 +1192,14 @@ OnlineTrainer::runGpuSystem()
     const Seconds span_end = driver.iterationSpan(0, n - 1).end;
     const double steady_iters =
         static_cast<double>(n - config_.warmup);
-    report.avgIterationLatency = (span_end - span_start) / steady_iters;
+    // Calibration checkpoint drains inside the window are subtracted:
+    // avgIterationLatency stays the checkpoint-free iteration
+    // interval (the recovery composition adds checkpoint cost back
+    // explicitly at its own cadence).
+    const Seconds ckpt_window = checkpointSecondsInWindow(
+        driver, gpus, config_.warmup, n - 1);
+    report.avgIterationLatency =
+        (span_end - span_start - ckpt_window) / steady_iters;
     report.throughput = static_cast<double>(config_.batchPerGpu) *
                         gpus / report.avgIterationLatency;
     fillUtilisation(report, cluster, span_start, span_end);
@@ -1065,6 +1216,9 @@ OnlineTrainer::runGpuSystem()
     report.makespan = engine.now();
     report.replans = replans;
     fillFaultStats(report, cluster);
+    applyRecovery(config_, report, report.avgIterationLatency,
+                  checkpointing ? driver.avgCheckpointCost() : 0.0,
+                  crash_times);
     if (config_.metrics != nullptr) {
         config_.metrics
             ->counter("train.replans", runLabels(config_))

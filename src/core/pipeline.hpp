@@ -29,6 +29,7 @@
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
+#include "core/checkpoint.hpp"
 #include "core/corun_scheduler.hpp"
 #include "core/latency_predictor.hpp"
 #include "core/mapping.hpp"
@@ -145,6 +146,18 @@ struct SystemConfig
     /** Also re-run GraphMapper::mapRap on each replan. */
     bool replanMapping = false;
     /**
+     * Checkpoint/restore policy (core/checkpoint.hpp). FixedInterval
+     * and YoungDaly charge checkpoint drains to the simulated
+     * timeline, measure the per-checkpoint cost, and — when the fault
+     * spec contains fail-stop events or an MTBF is configured — compose
+     * the crash/restore timeline analytically over the job length
+     * (checkpoint.jobIterations, defaulting to `iterations`). The
+     * composed run fills RunReport::lostWork / checkpointOverhead /
+     * recoveries and overloads RunReport::makespan with the composed
+     * end-to-end completion.
+     */
+    CheckpointPolicy checkpoint;
+    /**
      * Hardware description override. Unset, the run models
      * sim::dgxA100Spec(gpuCount); the fleet scheduler passes
      * sim::subsetSpec of its node so a job placed on k of N GPUs only
@@ -227,6 +240,12 @@ struct RunReport
     std::uint64_t kernelRetries = 0;
     /** Total retry backoff charged to the timeline. */
     Seconds retryBackoffSeconds = 0.0;
+    /** Work discarded by fail-stop crashes and replayed. */
+    Seconds lostWork = 0.0;
+    /** Summed cost of completed checkpoint drains. */
+    Seconds checkpointOverhead = 0.0;
+    /** Crash-restore cycles survived. */
+    int recoveries = 0;
     /**
      * Fleet-clock lifecycle timestamps, filled by the fleet scheduler:
      * when the job entered the admission queue, when its placement

@@ -84,6 +84,9 @@ RunReport::toJson() const
     json.set("replans", Json(replans));
     json.set("kernelRetries", Json(kernelRetries));
     json.set("retryBackoffSeconds", Json(retryBackoffSeconds));
+    json.set("lostWork", Json(lostWork));
+    json.set("checkpointOverhead", Json(checkpointOverhead));
+    json.set("recoveries", Json(recoveries));
     setOptionalSeconds(json, "submittedAt", submittedAt);
     setOptionalSeconds(json, "startedAt", startedAt);
     setOptionalSeconds(json, "finishedAt", finishedAt);
@@ -118,6 +121,11 @@ RunReport::fromJson(const Json &json)
         json.at("kernelRetries").asDouble());
     report.retryBackoffSeconds =
         json.at("retryBackoffSeconds").asDouble();
+    report.lostWork = json.at("lostWork").asDouble();
+    report.checkpointOverhead =
+        json.at("checkpointOverhead").asDouble();
+    report.recoveries =
+        static_cast<int>(json.at("recoveries").asDouble());
     report.submittedAt = getOptionalSeconds(json, "submittedAt");
     report.startedAt = getOptionalSeconds(json, "startedAt");
     report.finishedAt = getOptionalSeconds(json, "finishedAt");

@@ -89,6 +89,28 @@ SystemConfig::validate() const
                         "0 = hardware concurrency, otherwise must be "
                         "positive");
     }
+    if (checkpoint.mode == CheckpointMode::FixedInterval &&
+        checkpoint.interval < 1) {
+        result.addError("checkpoint.interval",
+                        "fixed-interval checkpointing needs an "
+                        "interval >= 1 iteration, got " +
+                            std::to_string(checkpoint.interval));
+    }
+    if (checkpoint.mode == CheckpointMode::YoungDaly &&
+        !(checkpoint.mtbf > 0.0)) {
+        result.addError("checkpoint.mtbf",
+                        "Young-Daly intervals need a positive MTBF");
+    }
+    if (checkpoint.restartOverhead < 0.0) {
+        result.addError("checkpoint.restartOverhead",
+                        "restart overhead cannot be negative");
+    }
+    if (checkpoint.jobIterations < 0) {
+        result.addError("checkpoint.jobIterations",
+                        "job length cannot be negative (0 = this "
+                        "run's iteration count)");
+    }
+
     if (system == System::TorchArrowCpu ||
         system == System::HybridRap) {
         if (torchArrowWorkersPerGpu < 1) {

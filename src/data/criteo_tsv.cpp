@@ -28,30 +28,22 @@ splitFields(std::string_view line)
     }
 }
 
-std::int64_t
-parseId(std::string_view field)
+bool
+parseId(std::string_view field, std::int64_t &value)
 {
-    std::int64_t value = 0;
     const auto *begin = field.data();
     const auto *end = field.data() + field.size();
     const auto result = std::from_chars(begin, end, value);
-    if (result.ec != std::errc{} || result.ptr != end)
-        RAP_FATAL("malformed sparse id in TSV field: '",
-                  std::string(field), "'");
-    return value;
+    return result.ec == std::errc{} && result.ptr == end;
 }
 
-float
-parseDense(std::string_view field)
+bool
+parseDense(std::string_view field, float &value)
 {
-    float value = 0.0f;
     const auto *begin = field.data();
     const auto *end = field.data() + field.size();
     const auto result = std::from_chars(begin, end, value);
-    if (result.ec != std::errc{} || result.ptr != end)
-        RAP_FATAL("malformed dense value in TSV field: '",
-                  std::string(field), "'");
-    return value;
+    return result.ec == std::errc{} && result.ptr == end;
 }
 
 } // namespace
@@ -80,19 +72,27 @@ writeCriteoTsv(std::ostream &out, const RecordBatch &batch)
     }
 }
 
-RecordBatch
-readCriteoTsv(std::istream &in, const Schema &schema,
-              std::size_t max_rows)
+TsvReadResult
+readCriteoTsvChecked(std::istream &in, const Schema &schema,
+                     std::size_t max_rows)
 {
     std::vector<std::vector<float>> dense_values(schema.denseCount());
     std::vector<std::vector<std::uint8_t>> dense_valid(
         schema.denseCount());
     std::vector<SparseColumn> sparse_cols(schema.sparseCount());
 
+    TsvReadResult result;
     std::string line;
-    std::size_t rows = 0;
-    std::vector<std::int64_t> ids;
-    while ((max_rows == 0 || rows < max_rows) &&
+    std::size_t committed = 0;
+    // Row staging: parse into these temporaries and commit to the
+    // column builders only once the whole row is clean, so a
+    // malformed field never leaves a partial row behind.
+    std::vector<float> row_dense;
+    std::vector<std::uint8_t> row_valid;
+    std::vector<std::vector<std::int64_t>> row_sparse(
+        schema.sparseCount());
+
+    while ((max_rows == 0 || committed < max_rows) &&
            std::getline(in, line)) {
         // CRLF input: getline keeps the '\r', which would otherwise
         // corrupt the last field.
@@ -100,52 +100,105 @@ readCriteoTsv(std::istream &in, const Schema &schema,
             line.pop_back();
         if (line.empty())
             continue;
+        const std::size_t row = result.rowsScanned++;
+        if (line.find('\0') != std::string::npos) {
+            result.errors.push_back(
+                {row, 0, "embedded NUL byte in TSV row"});
+            continue;
+        }
         const auto fields = splitFields(line);
         if (fields.size() != schema.featureCount()) {
-            RAP_FATAL("TSV row ", rows, " has ", fields.size(),
-                      " fields, expected ", schema.featureCount());
+            result.errors.push_back(
+                {row, 0,
+                 "has " + std::to_string(fields.size()) +
+                     " fields, expected " +
+                     std::to_string(schema.featureCount())});
+            continue;
         }
 
-        for (std::size_t f = 0; f < schema.denseCount(); ++f) {
+        bool bad = false;
+        row_dense.clear();
+        row_valid.clear();
+        for (std::size_t f = 0; !bad && f < schema.denseCount();
+             ++f) {
             const auto field = fields[f];
             if (field.empty()) {
-                dense_values[f].push_back(0.0f);
-                dense_valid[f].push_back(0);
+                row_dense.push_back(0.0f);
+                row_valid.push_back(0);
+                continue;
+            }
+            float value = 0.0f;
+            if (parseDense(field, value)) {
+                row_dense.push_back(value);
+                row_valid.push_back(1);
             } else {
-                dense_values[f].push_back(parseDense(field));
-                dense_valid[f].push_back(1);
+                result.errors.push_back(
+                    {row, f,
+                     "malformed dense value in TSV field: '" +
+                         std::string(field) + "'"});
+                bad = true;
             }
         }
-        for (std::size_t s = 0; s < schema.sparseCount(); ++s) {
+        for (std::size_t s = 0; !bad && s < schema.sparseCount();
+             ++s) {
             const auto field = fields[schema.denseCount() + s];
+            auto &ids = row_sparse[s];
             ids.clear();
-            if (!field.empty()) {
-                std::size_t start = 0;
-                for (;;) {
-                    const auto comma = field.find(',', start);
-                    if (comma == std::string_view::npos) {
-                        ids.push_back(
-                            parseId(field.substr(start)));
-                        break;
-                    }
-                    ids.push_back(parseId(
-                        field.substr(start, comma - start)));
-                    start = comma + 1;
+            std::size_t start = 0;
+            while (!bad && !field.empty()) {
+                const auto comma = field.find(',', start);
+                const auto token =
+                    comma == std::string_view::npos
+                        ? field.substr(start)
+                        : field.substr(start, comma - start);
+                std::int64_t id = 0;
+                if (parseId(token, id)) {
+                    ids.push_back(id);
+                } else {
+                    result.errors.push_back(
+                        {row, schema.denseCount() + s,
+                         "malformed sparse id in TSV field: '" +
+                             std::string(token) + "'"});
+                    bad = true;
                 }
+                if (comma == std::string_view::npos)
+                    break;
+                start = comma + 1;
             }
-            sparse_cols[s].appendRow(ids);
         }
-        ++rows;
+        if (bad)
+            continue;
+
+        for (std::size_t f = 0; f < schema.denseCount(); ++f) {
+            dense_values[f].push_back(row_dense[f]);
+            dense_valid[f].push_back(row_valid[f]);
+        }
+        for (std::size_t s = 0; s < schema.sparseCount(); ++s)
+            sparse_cols[s].appendRow(row_sparse[s]);
+        ++committed;
     }
 
-    RecordBatch batch(schema, rows);
+    RecordBatch batch(schema, committed);
     for (std::size_t f = 0; f < schema.denseCount(); ++f) {
         batch.setDense(f, DenseColumn(std::move(dense_values[f]),
                                       std::move(dense_valid[f])));
     }
     for (std::size_t s = 0; s < schema.sparseCount(); ++s)
         batch.setSparse(s, std::move(sparse_cols[s]));
-    return batch;
+    result.batch = std::move(batch);
+    return result;
+}
+
+RecordBatch
+readCriteoTsv(std::istream &in, const Schema &schema,
+              std::size_t max_rows)
+{
+    auto result = readCriteoTsvChecked(in, schema, max_rows);
+    if (!result.ok()) {
+        const auto &e = result.errors.front();
+        RAP_FATAL("TSV row ", e.row, " ", e.message);
+    }
+    return std::move(result.batch);
 }
 
 void

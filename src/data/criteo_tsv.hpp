@@ -15,11 +15,39 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "data/batch.hpp"
 #include "data/schema.hpp"
 
 namespace rap::data {
+
+/** One malformed TSV row diagnosed by readCriteoTsvChecked. */
+struct TsvError
+{
+    /** 0-based data-row ordinal in the stream (blank lines skipped). */
+    std::size_t row = 0;
+    /** 0-based field ordinal (dense first, then sparse). */
+    std::size_t field = 0;
+    /** What was wrong, quoting the offending text. */
+    std::string message;
+};
+
+/**
+ * Outcome of a checked TSV read: the batch holds every row that
+ * parsed cleanly, in stream order; `errors` records every row that
+ * did not — nothing is dropped silently and nothing is fatal.
+ */
+struct TsvReadResult
+{
+    RecordBatch batch;
+    std::vector<TsvError> errors;
+    /** Data rows scanned (valid + malformed; blank lines excluded). */
+    std::size_t rowsScanned = 0;
+
+    /** @return True when every scanned row parsed cleanly. */
+    bool ok() const { return errors.empty(); }
+};
 
 /**
  * Write @p batch as Criteo-style TSV to @p out (one row per line:
@@ -29,7 +57,25 @@ namespace rap::data {
 void writeCriteoTsv(std::ostream &out, const RecordBatch &batch);
 
 /**
+ * Parse Criteo-style TSV from @p in against @p schema, tolerating
+ * malformed input: a row with the wrong field count, an embedded NUL
+ * byte, or an unparseable dense/sparse field is staged, rejected
+ * whole, and reported as a TsvError — the reader never crashes on row
+ * content and never skips a row without recording why.
+ *
+ * @param in Stream positioned at the first data line.
+ * @param schema Expected column layout (field count is validated).
+ * @param max_rows Stop after this many *valid* rows (0 = to EOF).
+ */
+TsvReadResult readCriteoTsvChecked(std::istream &in,
+                                   const Schema &schema,
+                                   std::size_t max_rows = 0);
+
+/**
  * Parse Criteo-style TSV from @p in against @p schema.
+ *
+ * Strict wrapper over readCriteoTsvChecked: fatal on the first
+ * malformed row (for callers that treat their input as trusted).
  *
  * @param in Stream positioned at the first data line.
  * @param schema Expected column layout (field count is validated).

@@ -1,5 +1,7 @@
 #include "dlrm/trainer.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/stats.hpp"
 
@@ -40,6 +42,21 @@ TrainingDriver::trainStream(int gpu)
                    static_cast<std::size_t>(gpu) < streams_.size(),
                "gpu ordinal out of range");
     return *streams_[static_cast<std::size_t>(gpu)];
+}
+
+void
+TrainingDriver::setCheckpoint(std::vector<Bytes> bytes_per_gpu,
+                              int every_iterations)
+{
+    RAP_ASSERT(iterations_ == 0,
+               "setCheckpoint must precede pushIterations");
+    RAP_ASSERT(every_iterations >= 1,
+               "checkpoint cadence must be >= 1 iteration");
+    RAP_ASSERT(static_cast<int>(bytes_per_gpu.size()) ==
+                   cluster_.gpuCount(),
+               "need one checkpoint size per GPU");
+    checkpointBytes_ = std::move(bytes_per_gpu);
+    checkpointEvery_ = every_iterations;
 }
 
 void
@@ -112,6 +129,24 @@ TrainingDriver::pushOneIteration(
             iterationSpanMutable(g, iter).end = engine.now();
         });
         stream.pushRecord(rec.end);
+
+        // The checkpoint drain sits behind the iteration-end record:
+        // the iteration span stays checkpoint-free, but the next
+        // iteration on this stream waits for the drain to finish.
+        if (checkpointEvery_ > 0 &&
+            (iter + 1) % checkpointEvery_ == 0) {
+            if (g == 0)
+                checkpointIters_.push_back(iter);
+            stream.pushCallback([this, g, iter, &engine] {
+                checkpointSpanMutable(g, iter).start = engine.now();
+            });
+            stream.pushCopy(sim::CopyKind::DeviceToHost,
+                            checkpointBytes_[static_cast<std::size_t>(g)],
+                            [this, g, iter, &engine] {
+                                checkpointSpanMutable(g, iter).end =
+                                    engine.now();
+                            });
+        }
     }
 }
 
@@ -127,6 +162,40 @@ TrainingDriver::iterationSpanMutable(int gpu, int iter)
 {
     return iters_[static_cast<std::size_t>(gpu)][
         static_cast<std::size_t>(iter)].span;
+}
+
+OpSpan &
+TrainingDriver::checkpointSpanMutable(int gpu, int iter)
+{
+    return iters_[static_cast<std::size_t>(gpu)][
+        static_cast<std::size_t>(iter)].checkpoint;
+}
+
+const OpSpan &
+TrainingDriver::checkpointSpan(int gpu, int iter) const
+{
+    return iters_[static_cast<std::size_t>(gpu)][
+        static_cast<std::size_t>(iter)].checkpoint;
+}
+
+Seconds
+TrainingDriver::avgCheckpointCost() const
+{
+    RunningStat stat;
+    for (int iter : checkpointIters_) {
+        Seconds worst = -1.0;
+        for (const auto &per_gpu : iters_) {
+            const auto &span =
+                per_gpu[static_cast<std::size_t>(iter)].checkpoint;
+            if (span.valid())
+                worst = std::max(worst, span.duration());
+        }
+        if (worst >= 0.0)
+            stat.add(worst);
+    }
+    RAP_ASSERT(stat.count() > 0,
+               "no completed checkpoints; did the simulation run?");
+    return stat.mean();
 }
 
 sim::SimEventPtr

@@ -55,6 +55,17 @@ class TrainingDriver
     /** Install an input gate; must be set before pushIterations. */
     void setInputGate(InputGate gate) { inputGate_ = std::move(gate); }
 
+    /**
+     * Enable checkpointing: after every @p every_iterations-th
+     * iteration each GPU drains @p bytes_per_gpu[g] to the host over
+     * its PCIe link (contending with input staging). The drain sits
+     * behind the iteration-end record, so iteration *spans* stay
+     * checkpoint-free while the interval to the next iteration is
+     * charged. Must be called before pushIterations.
+     */
+    void setCheckpoint(std::vector<Bytes> bytes_per_gpu,
+                       int every_iterations);
+
     /** Enqueue @p count training iterations on every GPU. */
     void pushIterations(int count);
 
@@ -90,6 +101,23 @@ class TrainingDriver
      */
     Seconds avgOpDuration(int gpu, std::size_t op, int warmup = 1) const;
 
+    /** @return Checkpoint drain span of (gpu, iter); invalid if none. */
+    const OpSpan &checkpointSpan(int gpu, int iter) const;
+
+    /** @return Iterations that had a checkpoint pushed after them. */
+    const std::vector<int> &checkpointIterations() const
+    {
+        return checkpointIters_;
+    }
+
+    /**
+     * @return Measured per-checkpoint cost: the mean over executed
+     *         checkpoints of the slowest GPU's drain duration (GPUs
+     *         drain concurrently, so the slowest gates the restart of
+     *         training).
+     */
+    Seconds avgCheckpointCost() const;
+
   private:
     struct PerIter
     {
@@ -97,6 +125,7 @@ class TrainingDriver
         sim::SimEventPtr end;
         std::vector<OpSpan> opSpans;
         OpSpan span;
+        OpSpan checkpoint;
     };
 
     void pushOneIteration(int iter,
@@ -104,6 +133,7 @@ class TrainingDriver
 
     OpSpan &opSpanMutable(int gpu, int iter, std::size_t op);
     OpSpan &iterationSpanMutable(int gpu, int iter);
+    OpSpan &checkpointSpanMutable(int gpu, int iter);
 
     sim::Cluster &cluster_;
     DlrmConfig config_;
@@ -113,6 +143,9 @@ class TrainingDriver
     std::vector<std::vector<PerIter>> iters_; // [gpu][iter]
     InputGate inputGate_;
     int iterations_ = 0;
+    std::vector<Bytes> checkpointBytes_;
+    int checkpointEvery_ = 0;
+    std::vector<int> checkpointIters_;
 };
 
 } // namespace rap::dlrm

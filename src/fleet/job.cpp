@@ -41,7 +41,8 @@ JobSpec::variantKey() const
            std::to_string(planId) + ".s" + std::to_string(ngramStress) +
            ".b" + std::to_string(batchPerGpu) + ".i" +
            std::to_string(iterations) + ".g" +
-           std::to_string(gpusRequested);
+           std::to_string(gpusRequested) + ".c" +
+           std::to_string(checkpointInterval);
 }
 
 std::vector<JobSpec>
@@ -69,6 +70,7 @@ makeArrivalTrace(const ArrivalTraceOptions &options)
             options.tiny ? 8 : 10 + static_cast<int>(rng.uniformInt(0, 8));
         spec.ngramStress = 0;
         spec.system = core::System::Rap;
+        spec.checkpointInterval = options.checkpointInterval;
         spec.name = "job" + std::to_string(j) + ".p" +
                     std::to_string(spec.planId) + "x" +
                     std::to_string(spec.gpusRequested);
@@ -95,6 +97,13 @@ makeJobConfig(const JobSpec &spec)
     config.batchPerGpu = spec.batchPerGpu;
     config.iterations = spec.iterations;
     config.warmup = std::min(3, spec.iterations - 2);
+    if (spec.checkpointInterval > 0) {
+        // The inner simulation measures the drain cost and composes
+        // the checkpoint overhead into its makespan; fleet crash
+        // events themselves stay on the fleet clock.
+        config.checkpoint.mode = core::CheckpointMode::FixedInterval;
+        config.checkpoint.interval = spec.checkpointInterval;
+    }
     return config;
 }
 

@@ -41,6 +41,12 @@ struct JobSpec
     std::int64_t batchPerGpu = 4096;
     int iterations = 12;
     core::System system = core::System::Rap;
+    /**
+     * Iterations between checkpoints (0 = no checkpointing). A
+     * checkpointing job preempted by a crash resumes from its last
+     * sealed checkpoint; without one it restarts from scratch.
+     */
+    int checkpointInterval = 0;
 
     /**
      * @return Key identifying the job's workload shape (everything
@@ -66,6 +72,8 @@ struct ArrivalTraceOptions
     int maxGpusPerJob = 8;
     /** Smaller jobs everywhere (CI determinism mode). */
     bool tiny = false;
+    /** Checkpoint interval stamped on every synthesised job. */
+    int checkpointInterval = 0;
 };
 
 /**

@@ -99,7 +99,7 @@ placeJob(const PlacementOptions &options,
       case PlacementPolicy::ExclusiveBestFit:
         for (std::size_t g = 0; g < gpus.size(); ++g) {
             const auto &gpu = gpus[g];
-            if (gpu.residents > 0)
+            if (!gpu.alive || gpu.residents > 0)
                 continue;
             const bool best_fit =
                 options.policy == PlacementPolicy::ExclusiveBestFit;
@@ -115,6 +115,8 @@ placeJob(const PlacementOptions &options,
       case PlacementPolicy::RapShared:
         for (std::size_t g = 0; g < gpus.size(); ++g) {
             const auto &gpu = gpus[g];
+            if (!gpu.alive)
+                continue;
             // Admission: the newcomer's discounted reservation must
             // fit under the headroom bound, and the leftover slice it
             // would run in must be worth having.

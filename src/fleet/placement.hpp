@@ -49,6 +49,8 @@ PlacementPolicy policyFromId(const std::string &id);
 /** Fleet-side view of one physical GPU's occupancy. */
 struct GpuState
 {
+    /** False after a fail-stop crash: permanently unplaceable. */
+    bool alive = true;
     /** Current SM capacity (1.0 healthy; fleet faults shrink it). */
     double healthSm = 1.0;
     /** Current HBM-bandwidth capacity. */

@@ -29,6 +29,9 @@ void
 FleetReport::finalize()
 {
     requeues = 0;
+    crashRequeues = 0;
+    lostWork = 0.0;
+    goodputSeconds = 0.0;
     std::vector<Seconds> jcts;
     Seconds queueing_sum = 0.0;
     double sm_gpu_seconds = 0.0;
@@ -39,6 +42,9 @@ FleetReport::finalize()
         jcts.push_back(job.jobCompletionTime());
         queueing_sum += job.queueingDelay();
         requeues += job.requeues;
+        crashRequeues += job.crashRequeues;
+        lostWork += job.lostWork;
+        goodputSeconds += job.serviceTime - job.lostWork;
         const auto gpus = static_cast<double>(job.spec.gpusRequested);
         sm_gpu_seconds += job.demand.sm * job.serviceTime * gpus;
         bw_gpu_seconds += job.demand.bw * job.serviceTime * gpus;
@@ -81,7 +87,11 @@ FleetReport::renderSummary() const
         << "\n"
         << "  GPU occupancy   " << AsciiTable::num(gpuOccupancy, 4)
         << "\n"
-        << "  requeues        " << requeues << "\n";
+        << "  requeues        " << requeues << " (" << crashRequeues
+        << " from crashes)\n"
+        << "  lost work       " << formatSeconds(lostWork) << "\n"
+        << "  goodput         " << formatSeconds(goodputSeconds)
+        << "\n";
     return oss.str();
 }
 

@@ -32,10 +32,17 @@ struct JobOutcome
     Seconds finish = -1.0;
     /** Times the job was placed (1 + requeues). */
     int placements = 0;
-    /** Preemptions caused by GPU degradation. */
+    /** Preemptions caused by GPU degradation or crashes. */
     int requeues = 0;
+    /** Preemptions caused by fail-stop GPU crashes specifically. */
+    int crashRequeues = 0;
     /** Total time spent actually running, across segments. */
     Seconds serviceTime = 0.0;
+    /**
+     * Service time discarded at preemptions: work past the last
+     * durable checkpoint, plus wasted restart charges.
+     */
+    Seconds lostWork = 0.0;
     /** Physical GPUs of the final placement. */
     std::vector<int> lastGpus;
     /** Estimated per-GPU demand used by placement. */
@@ -65,6 +72,8 @@ struct FleetReport
     Seconds makespan = 0.0;
     /** Total preemptions across jobs. */
     int requeues = 0;
+    /** Preemptions caused by fail-stop crashes, across jobs. */
+    int crashRequeues = 0;
     /** Distinct single-job simulations executed (memo misses). */
     int simulationsRun = 0;
     /**
@@ -85,6 +94,10 @@ struct FleetReport
     double clusterBwUtil = 0.0;
     /** Mean fraction of GPUs hosting at least one job. */
     double gpuOccupancy = 0.0;
+    /** Service time that was discarded and re-run, across jobs. */
+    Seconds lostWork = 0.0;
+    /** Service time that advanced durable progress (service - lost). */
+    Seconds goodputSeconds = 0.0;
 
     /** Reduce per-job outcomes into the aggregate fields. */
     void finalize();

@@ -27,6 +27,7 @@ specJson(const JobSpec &spec)
     json.set("batchPerGpu", Json(spec.batchPerGpu));
     json.set("iterations", Json(spec.iterations));
     json.set("system", Json(core::systemId(spec.system)));
+    json.set("checkpointInterval", Json(spec.checkpointInterval));
     return json;
 }
 
@@ -55,6 +56,8 @@ specFromJson(const Json &json)
                   "' in JobSpec JSON");
     }
     spec.system = *system;
+    spec.checkpointInterval =
+        static_cast<int>(json.at("checkpointInterval").asDouble());
     return spec;
 }
 
@@ -67,7 +70,9 @@ outcomeJson(const JobOutcome &outcome)
     json.set("finish", Json(outcome.finish));
     json.set("placements", Json(outcome.placements));
     json.set("requeues", Json(outcome.requeues));
+    json.set("crashRequeues", Json(outcome.crashRequeues));
     json.set("serviceTime", Json(outcome.serviceTime));
+    json.set("lostWork", Json(outcome.lostWork));
     Json gpus = Json::array();
     for (int id : outcome.lastGpus)
         gpus.push(Json(id));
@@ -93,7 +98,10 @@ outcomeFromJson(const Json &json)
         static_cast<int>(json.at("placements").asDouble());
     outcome.requeues =
         static_cast<int>(json.at("requeues").asDouble());
+    outcome.crashRequeues =
+        static_cast<int>(json.at("crashRequeues").asDouble());
     outcome.serviceTime = json.at("serviceTime").asDouble();
+    outcome.lostWork = json.at("lostWork").asDouble();
     for (const Json &id : json.at("lastGpus").elements())
         outcome.lastGpus.push_back(static_cast<int>(id.asDouble()));
     const Json &demand = json.at("demand");
@@ -117,6 +125,7 @@ FleetReport::toJson() const
     json.set("jobs", std::move(job_array));
     json.set("makespan", Json(makespan));
     json.set("requeues", Json(requeues));
+    json.set("crashRequeues", Json(crashRequeues));
     json.set("simulationsRun", Json(simulationsRun));
     json.set("busyGpuSeconds", Json(busyGpuSeconds));
     json.set("meanJct", Json(meanJct));
@@ -127,6 +136,8 @@ FleetReport::toJson() const
     json.set("clusterSmUtil", Json(clusterSmUtil));
     json.set("clusterBwUtil", Json(clusterBwUtil));
     json.set("gpuOccupancy", Json(gpuOccupancy));
+    json.set("lostWork", Json(lostWork));
+    json.set("goodputSeconds", Json(goodputSeconds));
     return json;
 }
 
@@ -144,6 +155,8 @@ FleetReport::fromJson(const Json &json)
     report.makespan = json.at("makespan").asDouble();
     report.requeues =
         static_cast<int>(json.at("requeues").asDouble());
+    report.crashRequeues =
+        static_cast<int>(json.at("crashRequeues").asDouble());
     report.simulationsRun =
         static_cast<int>(json.at("simulationsRun").asDouble());
     report.busyGpuSeconds = json.at("busyGpuSeconds").asDouble();
@@ -156,6 +169,8 @@ FleetReport::fromJson(const Json &json)
     report.clusterSmUtil = json.at("clusterSmUtil").asDouble();
     report.clusterBwUtil = json.at("clusterBwUtil").asDouble();
     report.gpuOccupancy = json.at("gpuOccupancy").asDouble();
+    report.lostWork = json.at("lostWork").asDouble();
+    report.goodputSeconds = json.at("goodputSeconds").asDouble();
     return report;
 }
 

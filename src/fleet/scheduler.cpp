@@ -83,11 +83,14 @@ FleetScheduler::FleetScheduler(std::vector<JobSpec> jobs,
                    jobs_[j].gpusRequested, " GPUs on a ",
                    options_.node.gpuCount, "-GPU node");
     }
+    RAP_ASSERT(options_.restartOverhead >= 0.0,
+               "restart overhead cannot be negative");
     for (const auto &e : options_.faults.events) {
         RAP_ASSERT(e.kind == sim::FaultKind::SmDegrade ||
-                       e.kind == sim::FaultKind::HbmDegrade,
-                   "fleet-scope faults support SmDegrade/HbmDegrade "
-                   "only");
+                       e.kind == sim::FaultKind::HbmDegrade ||
+                       e.kind == sim::FaultKind::DeviceCrash,
+                   "fleet-scope faults support SmDegrade/HbmDegrade/"
+                   "DeviceCrash only");
         RAP_ASSERT(e.device < options_.node.gpuCount,
                    "fleet fault targets GPU ", e.device, " on a ",
                    options_.node.gpuCount, "-GPU node");
@@ -312,13 +315,19 @@ FleetScheduler::run()
         placement = quantised(std::move(placement));
         const auto report =
             simulate(spec, placement, outcome.placements);
+        // A resumed segment pays the process-restart latency before
+        // any useful iteration runs (restore cost is already inside
+        // the job's composed makespan when it checkpoints).
+        const Seconds charge =
+            queued.requeues > 0 ? options_.restartOverhead : 0.0;
         const Seconds duration =
-            queued.remainingFraction * report.makespan;
+            queued.remainingFraction * report.makespan + charge;
         applyReservation(spec, placement, +1);
         RunningJob running;
         running.placement = placement;
         running.segmentStart = now;
         running.segmentDuration = duration;
+        running.restartCharge = charge;
         running.remainingAtStart = queued.remainingFraction;
         running.generation = outcome.placements;
         running_[queued.jobId] = running;
@@ -388,24 +397,31 @@ FleetScheduler::run()
             const auto &fault =
                 options_.faults
                     .events[static_cast<std::size_t>(event.id)];
+            const bool crash =
+                fault.kind == sim::FaultKind::DeviceCrash;
             const int first = fault.device < 0 ? 0 : fault.device;
             const int last = fault.device < 0
                                  ? options_.node.gpuCount - 1
                                  : fault.device;
             for (int g = first; g <= last; ++g) {
                 auto &gpu = gpus_[static_cast<std::size_t>(g)];
-                if (fault.kind == sim::FaultKind::SmDegrade)
+                if (crash)
+                    gpu.alive = false;
+                else if (fault.kind == sim::FaultKind::SmDegrade)
                     gpu.healthSm = fault.factor;
                 else
                     gpu.healthBw = fault.factor;
             }
-            if (!options_.requeueOnDegrade)
+            // A crash always evicts residents (the device is gone);
+            // degradations only preempt when the policy says so.
+            if (!crash && !options_.requeueOnDegrade)
                 break;
-            // Preempt every job resident on a degraded GPU: credit
-            // the completed fraction, requeue at the front (highest
-            // id first, so the lowest id ends up frontmost), and let
-            // the placement scan re-place — and thereby replan — it
-            // against the shrunken envelopes.
+            // Preempt every job resident on an affected GPU —
+            // including co-located survivors sharing a crashed
+            // device: credit the last *durable* fraction, requeue at
+            // the front (highest id first, so the lowest id ends up
+            // frontmost), and let the placement scan re-place — and
+            // thereby replan — it against the surviving envelopes.
             std::vector<int> affected;
             for (const auto &[job_id, running] : running_) {
                 for (int id : running.placement.gpuIds) {
@@ -420,27 +436,66 @@ FleetScheduler::run()
                 const int job_id = *it;
                 const auto ji = static_cast<std::size_t>(job_id);
                 auto &running = running_.at(job_id);
+                const auto &spec = jobs_[ji];
                 auto &outcome = report_.jobs[ji];
                 const Seconds elapsed =
                     event.time - running.segmentStart;
-                const double frac =
-                    running.segmentDuration > 0.0
-                        ? elapsed / running.segmentDuration
+                // Fraction of this segment's *work* completed; the
+                // restart charge at its head advances nothing.
+                const Seconds work_time =
+                    running.segmentDuration - running.restartCharge;
+                const double per =
+                    work_time > 0.0
+                        ? std::clamp(
+                              (elapsed - running.restartCharge) /
+                                  work_time,
+                              0.0, 1.0)
                         : 1.0;
+                // Progress only survives preemption once a checkpoint
+                // seals it: round the completed fraction down to the
+                // last checkpoint boundary. A job that never
+                // checkpoints has no durable point and restarts from
+                // scratch — crediting the raw elapsed fraction would
+                // resume from state nobody saved.
+                const double before = 1.0 - running.remainingAtStart;
+                const double progress =
+                    before + running.remainingAtStart * per;
+                double durable = 0.0;
+                if (spec.checkpointInterval > 0) {
+                    const double chk_frac =
+                        static_cast<double>(spec.checkpointInterval) /
+                        static_cast<double>(spec.iterations);
+                    durable = std::min(
+                        progress, std::floor(progress / chk_frac +
+                                             1e-9) *
+                                      chk_frac);
+                }
+                // The segment slice that advanced the job from
+                // `before` to `durable` is kept; everything else it
+                // ran here — volatile iterations plus the restart
+                // charge — is lost and will be re-run.
+                const Seconds credited =
+                    running.remainingAtStart > 0.0
+                        ? std::max(0.0, durable - before) /
+                              running.remainingAtStart * work_time
+                        : elapsed;
+                outcome.lostWork +=
+                    std::max(0.0, elapsed - credited);
                 QueuedJob queued;
                 queued.jobId = job_id;
-                queued.remainingFraction =
-                    running.remainingAtStart *
-                    std::max(0.0, 1.0 - frac);
+                queued.remainingFraction = 1.0 - durable;
                 queued.enqueuedAt = event.time;
                 queued.requeues = outcome.requeues + 1;
                 outcome.serviceTime += elapsed;
-                applyReservation(jobs_[ji], running.placement, -1);
+                if (crash)
+                    ++outcome.crashRequeues;
+                applyReservation(spec, running.placement, -1);
                 running_.erase(job_id);
                 if (queued.remainingFraction <= 0.0) {
-                    // Degraded at the exact finish instant: done.
+                    // Preempted at the exact finish instant with
+                    // every iteration sealed: done.
                     outcome.finish = event.time;
-                    outcome.report.submittedAt = jobs_[ji].arrival;
+                    outcome.report.submittedAt = spec.arrival;
                     outcome.report.startedAt = outcome.firstStart;
                     outcome.report.finishedAt = event.time;
                     continue;
@@ -451,6 +506,12 @@ FleetScheduler::run()
                         ->counter("fleet.requeues",
                                   fleetLabels(options_))
                         .inc();
+                    if (crash) {
+                        options_.metrics
+                            ->counter("fleet.crash_requeues",
+                                      fleetLabels(options_))
+                            .inc();
+                    }
                 }
             }
             break;

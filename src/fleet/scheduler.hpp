@@ -13,11 +13,14 @@
  * cost one simulation.
  *
  * Fleet-scope faults reuse the PR 2 sim::FaultSpec vocabulary:
- * SmDegrade / HbmDegrade events, interpreted on the fleet clock
- * against physical GPU ordinals. When a GPU degrades, every resident
- * job is preempted, credited with its completed fraction, requeued at
- * the front, and re-placed — replanning against the shrunken envelope
+ * SmDegrade / HbmDegrade / DeviceCrash events, interpreted on the
+ * fleet clock against physical GPU ordinals. When a GPU degrades or
+ * crashes, every resident job is preempted, credited with its last
+ * *durable* fraction (the most recent sealed checkpoint — a job that
+ * never checkpoints restarts from scratch), requeued at the front,
+ * and re-placed — replanning against the shrunken envelope
  * (planOffline re-derives its capacity profiles via degradeProfile).
+ * Crashed GPUs are permanently excluded from placement.
  *
  * Determinism: the event loop is sequential with total (time, kind,
  * id) event ordering; the parallel phase — reference simulations of
@@ -54,12 +57,21 @@ struct FleetOptions
     /** The physical node jobs share. */
     sim::ClusterSpec node = sim::dgxA100Spec(8);
     /**
-     * Fleet-scope fault schedule (SmDegrade / HbmDegrade only):
-     * event.time is fleet clock, event.device a physical ordinal.
+     * Fleet-scope fault schedule (SmDegrade / HbmDegrade /
+     * DeviceCrash): event.time is fleet clock, event.device a
+     * physical ordinal. A DeviceCrash takes the GPU permanently
+     * offline; every resident job — including co-located survivors
+     * sharing the device — is preempted through the same
+     * requeue-and-replan path degradations use.
      */
     sim::FaultSpec faults;
     /** Preempt-and-requeue jobs whose GPUs degrade. */
     bool requeueOnDegrade = true;
+    /**
+     * Process-restart latency charged at the head of every segment
+     * that resumes a preempted job (crash or degrade requeue).
+     */
+    Seconds restartOverhead = 0.0;
     /**
      * Envelope shares are floored to this quantum before simulation,
      * bounding the memo key space (and keeping keys exact).
@@ -109,6 +121,8 @@ class FleetScheduler
         Placement placement;
         Seconds segmentStart = 0.0;
         Seconds segmentDuration = 0.0;
+        /** Restart latency charged at this segment's head (resume). */
+        Seconds restartCharge = 0.0;
         /** Remaining work when this segment started, in (0, 1]. */
         double remainingAtStart = 1.0;
         /** Invalidates stale finish events after a preemption. */

@@ -48,6 +48,8 @@ Device::queueLaunch(int group, KernelDesc desc, std::string stream_name,
                     int priority, std::function<void()> done,
                     int attempt)
 {
+    if (offline_)
+        return; // crashed devices drop launches on the floor
     auto &free_at = launchFree_[group];
     const Seconds start = std::max(engine_.now(), free_at);
     const Seconds resident_at = start + spec_.kernelLaunchOverhead;
@@ -67,6 +69,8 @@ Device::admitKernel(int group, KernelDesc desc, std::string stream_name,
                     int priority, std::function<void()> done,
                     int attempt)
 {
+    if (offline_)
+        return; // crashed between launch and admission
     if (injector_ != nullptr &&
         injector_->shouldFailLaunch(engine_.now(), id_, attempt)) {
         // The attempt dies after the detection fraction of its work,
@@ -121,10 +125,31 @@ Device::degradeBw(double capacity)
 }
 
 void
+Device::crash()
+{
+    if (offline_)
+        return;
+    advanceToNow();
+    // Discard in-flight kernels without firing their completion
+    // callbacks: dependent ops stall, mirroring a real fail-stop.
+    discardedKernels_ += resident_.size();
+    resident_.clear();
+    ++wakeGeneration_; // invalidate any pending refresh wake
+    currentSmUsage_ = 0.0;
+    currentBwUsage_ = 0.0;
+    offline_ = true;
+}
+
+void
 Device::submitCopy(CopyKind kind, Bytes bytes, std::function<void()> done)
 {
+    if (offline_)
+        return; // crashed devices drop copies on the floor
     switch (kind) {
       case CopyKind::HostToDevice:
+      case CopyKind::DeviceToHost:
+        // Checkpoint (D2H) traffic shares the PCIe link with input
+        // staging, so checkpoints contend with H2D copies.
         h2d_.submit(bytes, std::move(done));
         return;
       case CopyKind::PeerToPeer:

@@ -111,6 +111,22 @@ class Device
     /** Degrade the device's HBM bandwidth to @p capacity in (0, 1]. */
     void degradeBw(double capacity);
 
+    /**
+     * Fail-stop the device: every resident kernel is discarded without
+     * firing its completion callback, and all future launches and
+     * copies are silently dropped. Work chained behind a discarded
+     * kernel therefore stalls forever — exactly what a crashed GPU
+     * does to its process — and recovery must come from outside the
+     * simulation (checkpoint restore, fleet requeue).
+     */
+    void crash();
+
+    /** @return False once crash() has been called. */
+    bool isOnline() const { return !offline_; }
+
+    /** @return Kernels discarded in-flight by crash(). */
+    std::uint64_t discardedKernels() const { return discardedKernels_; }
+
     /** @return Current SM capacity (1.0 = healthy). */
     double smCapacity() const { return smCapacity_; }
 
@@ -190,6 +206,8 @@ class Device
     double currentBwUsage_ = 0.0;
     double smCapacity_ = 1.0;
     double bwCapacity_ = 1.0;
+    bool offline_ = false;
+    std::uint64_t discardedKernels_ = 0;
     FaultInjector *injector_ = nullptr;
     std::uint64_t kernelRetries_ = 0;
     Seconds retryBackoff_ = 0.0;

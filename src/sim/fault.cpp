@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hpp"
 #include "sim/cluster.hpp"
@@ -55,6 +56,43 @@ FaultEvent::transientKernel(int device, Seconds from, Seconds until,
     return e;
 }
 
+FaultEvent
+FaultEvent::deviceCrash(int device, Seconds time)
+{
+    FaultEvent e;
+    e.kind = FaultKind::DeviceCrash;
+    e.device = device;
+    e.time = time;
+    return e;
+}
+
+FaultEvent
+FaultEvent::hostCrash(Seconds time)
+{
+    FaultEvent e;
+    e.kind = FaultKind::HostCrash;
+    e.device = -1;
+    e.time = time;
+    return e;
+}
+
+FaultEvent
+FaultEvent::jobKill(Seconds time)
+{
+    FaultEvent e;
+    e.kind = FaultKind::JobKill;
+    e.device = -1;
+    e.time = time;
+    return e;
+}
+
+bool
+FaultEvent::isFailStop() const
+{
+    return kind == FaultKind::DeviceCrash ||
+           kind == FaultKind::HostCrash || kind == FaultKind::JobKill;
+}
+
 bool
 FaultSpec::hasTransientFaults() const
 {
@@ -62,6 +100,57 @@ FaultSpec::hasTransientFaults() const
                        [](const FaultEvent &e) {
                            return e.kind == FaultKind::TransientKernel;
                        });
+}
+
+bool
+FaultSpec::hasFailStop() const
+{
+    return std::any_of(events.begin(), events.end(),
+                       [](const FaultEvent &e) { return e.isFailStop(); });
+}
+
+FaultSpec
+FaultSpec::degradationOnly() const
+{
+    FaultSpec out = *this;
+    out.events.erase(std::remove_if(out.events.begin(),
+                                    out.events.end(),
+                                    [](const FaultEvent &e) {
+                                        return e.isFailStop();
+                                    }),
+                     out.events.end());
+    return out;
+}
+
+std::vector<Seconds>
+FaultSpec::failStopTimes() const
+{
+    std::vector<Seconds> times;
+    for (const auto &e : events)
+        if (e.isFailStop())
+            times.push_back(e.time);
+    std::sort(times.begin(), times.end());
+    return times;
+}
+
+std::vector<FaultEvent>
+makeCrashTrace(Seconds mtbf, std::uint64_t seed, Seconds horizon,
+               int gpu_count)
+{
+    RAP_ASSERT(mtbf > 0.0, "crash trace needs a positive MTBF");
+    RAP_ASSERT(horizon > 0.0, "crash trace needs a positive horizon");
+    RAP_ASSERT(gpu_count >= 1, "crash trace needs at least one GPU");
+    Rng rng(seed);
+    std::vector<FaultEvent> events;
+    Seconds t = 0.0;
+    for (;;) {
+        t += -mtbf * std::log(1.0 - rng.uniform());
+        if (t >= horizon)
+            break;
+        const int gpu = static_cast<int>(rng.uniformInt(0, gpu_count - 1));
+        events.push_back(FaultEvent::deviceCrash(gpu, t));
+    }
+    return events;
 }
 
 FaultInjector::FaultInjector(FaultSpec spec)
@@ -85,6 +174,15 @@ FaultInjector::FaultInjector(FaultSpec spec)
                        "failure probability must be in [0, 1]");
             RAP_ASSERT(e.until > e.time,
                        "failure window must have positive length");
+            break;
+          case FaultKind::DeviceCrash:
+            RAP_ASSERT(e.device >= 0,
+                       "a device crash must target one GPU");
+            RAP_ASSERT(e.time >= 0.0, "crash time must be >= 0");
+            break;
+          case FaultKind::HostCrash:
+          case FaultKind::JobKill:
+            RAP_ASSERT(e.time >= 0.0, "crash time must be >= 0");
             break;
         }
     }
@@ -125,6 +223,11 @@ FaultInjector::arm(Cluster &cluster)
                     } else {
                         device.p2pLink().setRateScale(e.factor);
                     }
+                    break;
+                  case FaultKind::DeviceCrash:
+                  case FaultKind::HostCrash:
+                  case FaultKind::JobKill:
+                    device.crash();
                     break;
                   case FaultKind::TransientKernel:
                     break;

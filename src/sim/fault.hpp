@@ -40,6 +40,12 @@ enum class FaultKind {
     LinkSlow,
     /** Kernel launches fail with `probability` inside [time, until). */
     TransientKernel,
+    /** One GPU goes permanently offline (fail-stop). */
+    DeviceCrash,
+    /** The host dies, taking every GPU down with it (fail-stop). */
+    HostCrash,
+    /** The job is killed externally; all its devices stop (fail-stop). */
+    JobKill,
 };
 
 /** Which link a LinkSlow event targets. */
@@ -89,6 +95,12 @@ struct FaultEvent
     static FaultEvent transientKernel(int device, Seconds from,
                                       Seconds until,
                                       double probability);
+    static FaultEvent deviceCrash(int device, Seconds time);
+    static FaultEvent hostCrash(Seconds time);
+    static FaultEvent jobKill(Seconds time);
+
+    /** @return True for DeviceCrash / HostCrash / JobKill. */
+    bool isFailStop() const;
 };
 
 /** A complete seeded fault scenario. */
@@ -101,7 +113,26 @@ struct FaultSpec
 
     /** @return True when any event is a TransientKernel fault. */
     bool hasTransientFaults() const;
+
+    /** @return True when any event is fail-stop. */
+    bool hasFailStop() const;
+
+    /** @return A copy with every fail-stop event removed. */
+    FaultSpec degradationOnly() const;
+
+    /** @return Sorted times of the fail-stop events. */
+    std::vector<Seconds> failStopTimes() const;
 };
+
+/**
+ * Draw a seeded fail-stop crash trace: inter-crash gaps are
+ * exponential with mean @p mtbf and each crash hits a uniformly drawn
+ * GPU in [0, gpu_count). Events stop at @p horizon, so the trace is
+ * finite and every recovery composition terminates. Deterministic in
+ * (mtbf, seed, horizon, gpu_count).
+ */
+std::vector<FaultEvent> makeCrashTrace(Seconds mtbf, std::uint64_t seed,
+                                       Seconds horizon, int gpu_count);
 
 /**
  * Applies a FaultSpec to a Cluster.

@@ -29,6 +29,8 @@ class Host;
 /** Direction of a data copy. */
 enum class CopyKind {
     HostToDevice,
+    /** Checkpoint drain; shares the PCIe link with HostToDevice. */
+    DeviceToHost,
     PeerToPeer,
 };
 

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
+#include "common/rng.hpp"
 #include "data/criteo.hpp"
 #include "data/criteo_tsv.hpp"
 
@@ -183,6 +185,154 @@ TEST(CriteoTsvDeath, NonNumericDenseValueIsFatal)
     std::stringstream buffer("1.0\tx\t3\t4\n");
     EXPECT_EXIT((void)readCriteoTsv(buffer, schema),
                 ::testing::ExitedWithCode(1), "malformed dense");
+}
+
+TEST(CriteoTsvChecked, CleanInputHasNoErrors)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("1.0\t2.0\t3\t4\n5.0\t6.0\t7\t8\n");
+    const auto result = readCriteoTsvChecked(buffer, schema);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.rowsScanned, 2u);
+    EXPECT_EQ(result.batch.rows(), 2u);
+}
+
+TEST(CriteoTsvChecked, MalformedRowsAreReportedNotFatal)
+{
+    const auto schema = smallSchema();
+    // Row 0 ok; row 1 truncated; row 2 bad dense; row 3 bad sparse;
+    // row 4 ok again — the reader keeps rows 0 and 4 and explains
+    // the other three.
+    std::stringstream buffer("1.0\t2.0\t3\t4\n"
+                             "1.0\t2.0\t3\n"
+                             "1.0\tx\t3\t4\n"
+                             "1.0\t2.0\t3,abc\t4\n"
+                             "9.0\t8.0\t7\t6\n");
+    const auto result = readCriteoTsvChecked(buffer, schema);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.rowsScanned, 5u);
+    ASSERT_EQ(result.batch.rows(), 2u);
+    EXPECT_FLOAT_EQ(result.batch.dense(0).value(1), 9.0f);
+    ASSERT_EQ(result.errors.size(), 3u);
+    EXPECT_EQ(result.errors[0].row, 1u);
+    EXPECT_NE(result.errors[0].message.find("fields"),
+              std::string::npos);
+    EXPECT_EQ(result.errors[1].row, 2u);
+    EXPECT_EQ(result.errors[1].field, 1u);
+    EXPECT_NE(result.errors[1].message.find("malformed dense"),
+              std::string::npos);
+    EXPECT_EQ(result.errors[2].row, 3u);
+    EXPECT_EQ(result.errors[2].field, 2u);
+    EXPECT_NE(result.errors[2].message.find("malformed sparse"),
+              std::string::npos);
+}
+
+TEST(CriteoTsvChecked, EmbeddedNulIsAStructuredError)
+{
+    const auto schema = smallSchema();
+    std::string text = "1.0\t2.0\t3\t4\n1.0\t2.0\t3\t4\n";
+    text[6] = '\0'; // inside row 0's sparse field area
+    std::stringstream buffer(text);
+    const auto result = readCriteoTsvChecked(buffer, schema);
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].row, 0u);
+    EXPECT_NE(result.errors[0].message.find("NUL"),
+              std::string::npos);
+    EXPECT_EQ(result.batch.rows(), 1u);
+}
+
+TEST(CriteoTsvChecked, MaxRowsCountsValidRowsOnly)
+{
+    const auto schema = smallSchema();
+    std::stringstream buffer("bad\n"
+                             "1.0\t2.0\t3\t4\n"
+                             "bad\n"
+                             "5.0\t6.0\t7\t8\n"
+                             "9.0\t9.0\t9\t9\n");
+    const auto result = readCriteoTsvChecked(buffer, schema, 2);
+    EXPECT_EQ(result.batch.rows(), 2u);
+    EXPECT_EQ(result.errors.size(), 2u);
+    EXPECT_FLOAT_EQ(result.batch.dense(0).value(1), 5.0f);
+}
+
+TEST(CriteoTsvChecked, SeededCorruptionPropertyHoldsRowAccounting)
+{
+    // Property: for any seeded corruption of a valid TSV dump, every
+    // corrupted row is reported exactly once, every clean row is
+    // committed unchanged, and scanned == committed + errors.
+    const auto schema = smallSchema();
+    for (std::uint64_t seed : {1ULL, 7ULL, 0xc0ffeeULL}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed);
+        const std::size_t rows = 64;
+        RecordBatch batch(schema, rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            batch.dense(0).set(r, static_cast<float>(r));
+            batch.dense(1).set(r, 0.5f);
+        }
+        SparseColumn s0;
+        SparseColumn s1;
+        for (std::size_t r = 0; r < rows; ++r) {
+            s0.appendRow({static_cast<std::int64_t>(r), 7});
+            s1.appendRow({static_cast<std::int64_t>(2 * r)});
+        }
+        batch.setSparse(0, std::move(s0));
+        batch.setSparse(1, std::move(s1));
+
+        std::stringstream buffer;
+        writeCriteoTsv(buffer, batch);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(buffer, line))
+            lines.push_back(line);
+        ASSERT_EQ(lines.size(), rows);
+
+        std::set<std::size_t> corrupted;
+        for (int k = 0; k < 12; ++k) {
+            const auto r = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(rows) - 1));
+            if (!corrupted.insert(r).second)
+                continue;
+            switch (rng.uniformInt(0, 2)) {
+              case 0: // truncate: drop the last field
+                lines[r] = lines[r].substr(
+                    0, lines[r].find_last_of('\t'));
+                break;
+              case 1: // garbage token in a sparse field
+                lines[r] += ",x!";
+                break;
+              default: // embedded NUL
+                lines[r][lines[r].size() / 2] = '\0';
+                break;
+            }
+        }
+        std::string corrupted_text;
+        for (const auto &l : lines)
+            corrupted_text += l + "\n";
+        std::stringstream corrupted_in(corrupted_text);
+        const auto result =
+            readCriteoTsvChecked(corrupted_in, schema);
+
+        EXPECT_EQ(result.rowsScanned, rows);
+        EXPECT_EQ(result.errors.size(), corrupted.size());
+        EXPECT_EQ(result.batch.rows(), rows - corrupted.size());
+        std::set<std::size_t> reported;
+        for (const auto &error : result.errors)
+            reported.insert(error.row);
+        EXPECT_EQ(reported, corrupted);
+        // Surviving rows keep their original values, in order.
+        std::size_t out = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (corrupted.count(r) != 0)
+                continue;
+            EXPECT_FLOAT_EQ(result.batch.dense(0).value(out),
+                            static_cast<float>(r));
+            ASSERT_EQ(result.batch.sparse(0).listLength(out), 2u);
+            EXPECT_EQ(result.batch.sparse(0).value(out, 0),
+                      static_cast<std::int64_t>(r));
+            ++out;
+        }
+    }
 }
 
 TEST(CriteoTsv, FileRoundTrip)

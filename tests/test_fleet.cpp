@@ -38,7 +38,10 @@ expectSameFleetReport(const FleetReport &a, const FleetReport &b)
     EXPECT_EQ(a.clusterSmUtil, b.clusterSmUtil);
     EXPECT_EQ(a.clusterBwUtil, b.clusterBwUtil);
     EXPECT_EQ(a.gpuOccupancy, b.gpuOccupancy);
+    EXPECT_EQ(a.lostWork, b.lostWork);
+    EXPECT_EQ(a.goodputSeconds, b.goodputSeconds);
     EXPECT_EQ(a.requeues, b.requeues);
+    EXPECT_EQ(a.crashRequeues, b.crashRequeues);
     EXPECT_EQ(a.simulationsRun, b.simulationsRun);
     ASSERT_EQ(a.jobs.size(), b.jobs.size());
     for (std::size_t j = 0; j < a.jobs.size(); ++j) {
@@ -47,7 +50,9 @@ expectSameFleetReport(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.jobs[j].finish, b.jobs[j].finish);
         EXPECT_EQ(a.jobs[j].placements, b.jobs[j].placements);
         EXPECT_EQ(a.jobs[j].requeues, b.jobs[j].requeues);
+        EXPECT_EQ(a.jobs[j].crashRequeues, b.jobs[j].crashRequeues);
         EXPECT_EQ(a.jobs[j].serviceTime, b.jobs[j].serviceTime);
+        EXPECT_EQ(a.jobs[j].lostWork, b.jobs[j].lostWork);
         EXPECT_EQ(a.jobs[j].lastGpus, b.jobs[j].lastGpus);
         EXPECT_EQ(a.jobs[j].report.makespan, b.jobs[j].report.makespan);
         EXPECT_EQ(a.jobs[j].report.submittedAt,
@@ -285,6 +290,129 @@ TEST(FleetScheduler, DegradeRequeuesAndReplansResidentJobs)
         << "losing half the SMs mid-run cannot speed the job up";
     for (const auto &job : degraded.jobs)
         EXPECT_GT(job.finish, 0.0) << job.spec.name;
+}
+
+TEST(FleetScheduler, UncheckpointedPreemptionLosesAllElapsedWork)
+{
+    // Crediting regression: a preempted job that never checkpoints
+    // has no durable progress — it restarts from scratch and every
+    // elapsed second of its cut-short segment is lost work.
+    auto trace = makeArrivalTrace(tinyTraceOptions(1));
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    const Seconds fault_time = healthy.jobs[0].firstStart +
+                               0.5 * healthy.jobs[0].serviceTime;
+
+    auto faulted = options;
+    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
+        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
+    const auto degraded = runFleet(trace, faulted);
+
+    const auto &job = degraded.jobs[0];
+    ASSERT_GE(job.requeues, 1);
+    EXPECT_DOUBLE_EQ(job.lostWork, fault_time - job.firstStart);
+    EXPECT_DOUBLE_EQ(degraded.lostWork, job.lostWork);
+    EXPECT_DOUBLE_EQ(degraded.goodputSeconds,
+                     job.serviceTime - job.lostWork);
+}
+
+TEST(FleetScheduler, CheckpointedJobResumesFromDurableFraction)
+{
+    // The same preemption against a job checkpointing every
+    // iteration: progress rounds down to the last sealed 1/8, so only
+    // the sub-interval tail is lost — strictly less than the elapsed
+    // segment time the uncheckpointed job forfeits.
+    auto trace = makeArrivalTrace(tinyTraceOptions(1));
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    trace[0].checkpointInterval = 1;
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    const Seconds segment = healthy.jobs[0].serviceTime;
+    // 0.4 of the segment elapses: 3 of 8 iterations (0.375) are
+    // sealed; the 0.025-segment remainder is forfeited.
+    const Seconds fault_time =
+        healthy.jobs[0].firstStart + 0.4 * segment;
+
+    auto faulted = options;
+    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
+        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
+    const auto degraded = runFleet(trace, faulted);
+
+    const auto &job = degraded.jobs[0];
+    ASSERT_GE(job.requeues, 1);
+    EXPECT_GT(job.lostWork, 0.0);
+    EXPECT_NEAR(job.lostWork, 0.025 * segment, 1e-9);
+    EXPECT_LT(job.lostWork, fault_time - job.firstStart);
+}
+
+TEST(FleetScheduler, RestartOverheadDelaysTheResumedSegment)
+{
+    auto trace = makeArrivalTrace(tinyTraceOptions(1));
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    const Seconds fault_time = healthy.jobs[0].firstStart +
+                               0.5 * healthy.jobs[0].serviceTime;
+
+    auto faulted = options;
+    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
+        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
+    const auto free_restart = runFleet(trace, faulted);
+    ASSERT_GE(free_restart.jobs[0].requeues, 1);
+
+    faulted.restartOverhead = 0.05;
+    const auto charged = runFleet(trace, faulted);
+    // One resumed segment, so exactly one restart charge lands on the
+    // timeline.
+    EXPECT_NEAR(charged.jobs[0].finish,
+                free_restart.jobs[0].finish + 0.05, 1e-9);
+}
+
+TEST(FleetScheduler, DeviceCrashExcludesGpuAndRequeuesResidents)
+{
+    auto trace = makeArrivalTrace(tinyTraceOptions(1));
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    const int gpu = healthy.jobs[0].lastGpus.at(0);
+    const Seconds crash_time = healthy.jobs[0].firstStart +
+                               0.5 * healthy.jobs[0].serviceTime;
+
+    auto crashed = options;
+    // Crashes preempt even with degradation-requeue turned off —
+    // there is no way to keep running on a dead GPU.
+    crashed.requeueOnDegrade = false;
+    crashed.faults.events.push_back(
+        sim::FaultEvent::deviceCrash(gpu, crash_time));
+    obs::MetricRegistry registry;
+    crashed.metrics = &registry;
+    const auto report = runFleet(trace, crashed);
+
+    EXPECT_EQ(report.crashRequeues, 1);
+    const auto &job = report.jobs[0];
+    EXPECT_EQ(job.crashRequeues, 1);
+    EXPECT_GE(job.requeues, 1);
+    EXPECT_GT(job.lostWork, 0.0);
+    EXPECT_GT(job.finish, healthy.jobs[0].finish);
+    for (const int placed : job.lastGpus)
+        EXPECT_NE(placed, gpu)
+            << "the crashed GPU must be unplaceable";
+    const std::string snapshot = obs::snapshotJson(registry).dump(2);
+    EXPECT_NE(snapshot.find("fleet.crash_requeues"),
+              std::string::npos);
 }
 
 TEST(FleetScheduler, ReportBitIdenticalAcrossThreadCounts)
