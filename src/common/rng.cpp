@@ -152,4 +152,16 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+double
+exponentialGap(double u, double mean)
+{
+    RAP_ASSERT(mean > 0.0, "exponential gap needs a positive mean");
+    RAP_ASSERT(u >= 0.0 && u < 1.0,
+               "exponential gap needs a uniform draw in [0, 1)");
+    // log1p(-u) is exact near u = 0 and finite for every u < 1, so the
+    // raw gap is in [0, ~37 * mean] for 53-bit uniforms — never inf.
+    const double gap = -mean * std::log1p(-u);
+    return std::max(gap, mean * 1e-9);
+}
+
 } // namespace rap

@@ -92,6 +92,17 @@ class Rng
     double spareNormal_ = 0.0;
 };
 
+/**
+ * Inverse-transform exponential interarrival gap with mean @p mean,
+ * hardened for event-stream synthesis: computed as -mean * log1p(-u)
+ * so a uniform draw of exactly 0 yields a zero (not infinite or NaN)
+ * raw gap, then floored at mean * 1e-9 so no draw can produce a zero
+ * or denormal gap that a cumulative arrival clock would absorb —
+ * collapsing two events onto one timestamp. The result is always
+ * strictly positive and finite for u in [0, 1).
+ */
+double exponentialGap(double u, double mean);
+
 } // namespace rap
 
 #endif // RAP_COMMON_RNG_HPP

@@ -71,17 +71,45 @@ RunningStat::stddev() const
 double
 percentile(std::vector<double> samples, double q)
 {
+    RAP_ASSERT(q >= 0.0 && q <= 100.0, "percentile q out of range");
     if (samples.empty())
         return 0.0;
-    RAP_ASSERT(q >= 0.0 && q <= 100.0, "percentile q out of range");
     std::sort(samples.begin(), samples.end());
     if (samples.size() == 1)
         return samples.front();
-    const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(rank));
-    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const auto n = samples.size();
+    const double rank = q / 100.0 * static_cast<double>(n - 1);
+    // Floating-point q/100 can land the rank a hair above an exact
+    // integer (0.95 * 20 rounds to 19.000000000000004), so the index
+    // pair is clamped to the sample range instead of trusting ceil()
+    // to stay inside it — the nearest-rank variant this replaced read
+    // one element past the intended rank on exactly these inputs.
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    lo = std::min(lo, n - 1);
+    hi = std::min(hi, n - 1);
+    if (lo == hi)
+        return samples[lo];
     const double frac = rank - static_cast<double>(lo);
     return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+p50(std::vector<double> samples)
+{
+    return percentile(std::move(samples), 50.0);
+}
+
+double
+p95(std::vector<double> samples)
+{
+    return percentile(std::move(samples), 95.0);
+}
+
+double
+p99(std::vector<double> samples)
+{
+    return percentile(std::move(samples), 99.0);
 }
 
 double

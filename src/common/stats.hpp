@@ -59,11 +59,23 @@ class RunningStat
 
 /**
  * Compute the q-th percentile (0 <= q <= 100) of a sample set by linear
- * interpolation. The input vector is copied; the original order is kept.
+ * interpolation over the sorted samples (rank = q/100 * (n-1), the
+ * NumPy "linear" convention). The input vector is copied; the original
+ * order is kept. q=0 and q=100 return the exact minimum and maximum —
+ * the interior rank never extrapolates past either end.
  *
  * @return 0 when the sample set is empty.
  */
 double percentile(std::vector<double> samples, double q);
+
+/** @return The median (50th percentile) of @p samples. */
+double p50(std::vector<double> samples);
+
+/** @return The 95th percentile of @p samples. */
+double p95(std::vector<double> samples);
+
+/** @return The 99th percentile (tail latency) of @p samples. */
+double p99(std::vector<double> samples);
 
 /** @return Geometric mean of strictly positive samples, or 0 when empty. */
 double geoMean(const std::vector<double> &samples);

@@ -177,6 +177,21 @@ clusterSpecFor(const SystemConfig &config)
     return sim::dgxA100Spec(config.gpuCount);
 }
 
+/**
+ * Build the DLRM model configuration for @p config over @p plan,
+ * carrying the system-level inference flag into the model so every
+ * run path (ideal, TorchArrow, GPU systems, offline planning) builds
+ * the same forward-only iteration when serving.
+ */
+dlrm::DlrmConfig
+modelConfigFor(const SystemConfig &config, const preproc::PreprocPlan &plan)
+{
+    auto model = dlrm::makeDlrmConfig(plan.spec.dataset, plan.schema,
+                                      config.batchPerGpu);
+    model.inferenceOnly = config.inference;
+    return model;
+}
+
 /** Shrink each device to its configured envelope share (co-location). */
 void
 applyEnvelopes(sim::Cluster &cluster, const SystemConfig &config)
@@ -448,8 +463,7 @@ planOffline(const SystemConfig &config, const preproc::PreprocPlan &plan,
 
     const auto traits = traitsFor(config.system);
     const auto cluster_spec = clusterSpecFor(config);
-    const auto dlrm_config = dlrm::makeDlrmConfig(
-        plan.spec.dataset, plan.schema, config.batchPerGpu);
+    const auto dlrm_config = modelConfigFor(config, plan);
     const auto sharding = makeSharding(config, plan);
 
     OfflinePlan offline;
@@ -559,8 +573,7 @@ RunReport
 OnlineTrainer::runIdeal()
 {
     const auto cluster_spec = clusterSpecFor(config_);
-    const auto config = dlrm::makeDlrmConfig(
-        plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
+    const auto config = modelConfigFor(config_, plan_);
     const auto sharding = makeSharding(config_, plan_);
 
     sim::Cluster cluster(cluster_spec, config_.gpuSubset);
@@ -605,8 +618,7 @@ RunReport
 OnlineTrainer::runTorchArrow()
 {
     const auto cluster_spec = clusterSpecFor(config_);
-    const auto config = dlrm::makeDlrmConfig(
-        plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
+    const auto config = modelConfigFor(config_, plan_);
     const auto sharding = makeSharding(config_, plan_);
 
     // Host cost of preprocessing one batch (all features).
@@ -731,8 +743,7 @@ OnlineTrainer::runGpuSystem()
 {
     const auto traits = traitsFor(config_.system);
     const auto cluster_spec = clusterSpecFor(config_);
-    const auto config = dlrm::makeDlrmConfig(
-        plan_.spec.dataset, plan_.schema, config_.batchPerGpu);
+    const auto config = modelConfigFor(config_, plan_);
     const auto sharding = makeSharding(config_, plan_);
 
     // ---- Offline phase: capacity profiles + plan search, fanned out

@@ -99,6 +99,14 @@ struct SystemConfig
     int warmup = 3;
     /** Inter-batch workload interleaving (§6.3; RAP variants). */
     bool interleave = true;
+    /**
+     * Inference serving mode: every iteration runs the forward-only
+     * DLRM op subset (dlrm::DlrmConfig::inferenceOnly) — one
+     * iteration models one served batch. Incompatible with
+     * checkpointing (there is no training state to checkpoint);
+     * SystemConfig::validate rejects the combination.
+     */
+    bool inference = false;
     /** Optional latency predictor (nullptr = oracle cost model). */
     const LatencyPredictor *predictor = nullptr;
     /**

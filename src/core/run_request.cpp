@@ -110,6 +110,11 @@ SystemConfig::validate() const
                         "job length cannot be negative (0 = this "
                         "run's iteration count)");
     }
+    if (inference && checkpoint.mode != CheckpointMode::None) {
+        result.addError("inference",
+                        "inference serving has no training state to "
+                        "checkpoint; disable checkpointing");
+    }
 
     if (system == System::TorchArrowCpu ||
         system == System::HybridRap) {

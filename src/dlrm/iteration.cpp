@@ -12,6 +12,8 @@ buildIteration(const DlrmConfig &config, const EmbeddingSharding &sharding,
     std::vector<TrainOp> ops;
     ops.reserve(kTrainOpCount);
     for (TrainOpKind kind : trainOpOrder()) {
+        if (config.inferenceOnly && !isForwardOp(kind))
+            continue;
         TrainOp op;
         op.kind = kind;
         op.name = trainOpName(kind);

@@ -131,6 +131,27 @@ isCommOp(TrainOpKind kind)
            kind == TrainOpKind::GradAllReduce;
 }
 
+bool
+isForwardOp(TrainOpKind kind)
+{
+    switch (kind) {
+      case TrainOpKind::EmbeddingLookup:
+      case TrainOpKind::AllToAllForward:
+      case TrainOpKind::BottomMlpForward:
+      case TrainOpKind::Interaction:
+      case TrainOpKind::TopMlpForward:
+        return true;
+      case TrainOpKind::TopMlpBackward:
+      case TrainOpKind::InteractionBackward:
+      case TrainOpKind::BottomMlpBackward:
+      case TrainOpKind::AllToAllBackward:
+      case TrainOpKind::EmbeddingUpdate:
+      case TrainOpKind::GradAllReduce:
+        return false;
+    }
+    RAP_PANIC("unknown train op kind");
+}
+
 sim::KernelDesc
 makeTrainKernel(TrainOpKind kind, const DlrmConfig &config,
                 const EmbeddingSharding &sharding, int gpu,

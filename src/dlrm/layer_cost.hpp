@@ -54,6 +54,12 @@ std::array<TrainOpKind, kTrainOpCount> trainOpOrder();
 bool isCommOp(TrainOpKind kind);
 
 /**
+ * @return True for the forward-pass subset of the iteration — the ops
+ * an inference batch executes (DlrmConfig::inferenceOnly).
+ */
+bool isForwardOp(TrainOpKind kind);
+
+/**
  * Build the compute kernel for @p kind on GPU @p gpu.
  *
  * Comm ops have no kernel — query their payload via commBytesPerGpu.

@@ -31,6 +31,16 @@ struct DlrmConfig
     std::vector<int> topMlp = {1024, 1024, 512};
     /** Per-GPU mini-batch size. */
     std::int64_t batchPerGpu = 4096;
+    /**
+     * Serve the model instead of training it: the iteration keeps
+     * only the forward operations (embedding lookup, forward
+     * all-to-all, MLPs, interaction) — no backward passes, no
+     * embedding update, no gradient all-reduce. Inference batches
+     * are embedding-lookup-dominated, which is exactly the resource
+     * signature RAP-style envelope sharing co-locates well against
+     * compute-heavy training residents.
+     */
+    bool inferenceOnly = false;
 
     /** @return Number of embedding tables. */
     std::size_t tableCount() const { return schema.sparseCount(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -35,14 +36,40 @@ drawGpuRequest(Rng &rng, int max_gpus)
 } // namespace
 
 std::string
+jobKindId(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::Training:
+        return "training";
+      case JobKind::Inference:
+        return "inference";
+    }
+    RAP_PANIC("unknown job kind");
+}
+
+JobKind
+jobKindFromId(const std::string &id)
+{
+    if (id == "training")
+        return JobKind::Training;
+    if (id == "inference")
+        return JobKind::Inference;
+    RAP_FATAL("unknown job-kind id '", id, "'");
+}
+
+std::string
 JobSpec::variantKey() const
 {
+    // The request trace / batching window are replayed analytically
+    // outside the inner simulation, so they stay out of the key; the
+    // kind is in because it flips the iteration to forward-only.
     return "sys" + std::to_string(static_cast<int>(system)) + ".p" +
            std::to_string(planId) + ".s" + std::to_string(ngramStress) +
            ".b" + std::to_string(batchPerGpu) + ".i" +
            std::to_string(iterations) + ".g" +
            std::to_string(gpusRequested) + ".c" +
-           std::to_string(checkpointInterval);
+           std::to_string(checkpointInterval) + ".k" +
+           std::to_string(static_cast<int>(kind));
 }
 
 std::vector<JobSpec>
@@ -58,9 +85,16 @@ makeArrivalTrace(const ArrivalTraceOptions &options)
     for (int j = 0; j < options.jobCount; ++j) {
         JobSpec spec;
         spec.id = j;
-        // Poisson arrivals: exponential gaps via inverse transform.
-        clock += -options.meanInterarrival *
-                 std::log(1.0 - rng.uniform());
+        // Poisson arrivals: exponential gaps via inverse transform,
+        // hardened so a u == 0 draw or a denormal gap absorbed by the
+        // running sum can never stack two jobs on one timestamp —
+        // downstream event ordering keys on (time, kind, id) and a
+        // collapsed clock silently reorders admissions.
+        const Seconds prev = clock;
+        clock += exponentialGap(rng.uniform(), options.meanInterarrival);
+        if (clock <= prev)
+            clock = std::nextafter(
+                prev, std::numeric_limits<double>::infinity());
         spec.arrival = clock;
         spec.gpusRequested = drawGpuRequest(rng, options.maxGpusPerJob);
         spec.planId = static_cast<int>(
@@ -75,6 +109,60 @@ makeArrivalTrace(const ArrivalTraceOptions &options)
                     std::to_string(spec.planId) + "x" +
                     std::to_string(spec.gpusRequested);
         jobs.push_back(std::move(spec));
+    }
+
+    if (options.serving.jobCount > 0) {
+        const auto &serving = options.serving;
+        RAP_ASSERT(serving.gpusPerJob >= 1 &&
+                       serving.gpusPerJob <= options.maxGpusPerJob,
+                   "inference jobs must fit the node");
+        // Inference submissions ride their own Poisson stream (own
+        // seed, own clock) and are merged by arrival: the serving mix
+        // can be scaled up or down without perturbing the training
+        // trace.
+        Rng srng(serving.seed);
+        Seconds sclock = 0.0;
+        for (int j = 0; j < serving.jobCount; ++j) {
+            JobSpec spec;
+            const Seconds prev = sclock;
+            sclock +=
+                exponentialGap(srng.uniform(), serving.meanInterarrival);
+            if (sclock <= prev)
+                sclock = std::nextafter(
+                    prev, std::numeric_limits<double>::infinity());
+            spec.arrival = sclock;
+            spec.kind = JobKind::Inference;
+            spec.gpusRequested = serving.gpusPerJob;
+            spec.planId = static_cast<int>(
+                srng.uniformInt(0, options.tiny ? 1 : 3));
+            spec.batchPerGpu = serving.batchPerGpu;
+            spec.iterations = serving.iterations;
+            spec.ngramStress = 0;
+            spec.system = core::System::Rap;
+            spec.checkpointInterval = 0;
+            spec.requests.qps = serving.qps;
+            spec.requests.qpsAmplitude = serving.qpsAmplitude;
+            spec.requests.qpsPeriod = serving.qpsPeriod;
+            spec.requests.duration = serving.duration;
+            // Per-job request seed, masked to 53 bits so it survives
+            // the JSON round trip (numbers are doubles) exactly.
+            spec.requests.seed = srng.next() & ((1ULL << 53) - 1);
+            spec.window.maxBatch = serving.maxBatch;
+            spec.window.maxWait = serving.maxWait;
+            spec.sloLatency = serving.sloLatency;
+            spec.name = "srv" + std::to_string(j) + ".p" +
+                        std::to_string(spec.planId) + "x" +
+                        std::to_string(spec.gpusRequested);
+            jobs.push_back(std::move(spec));
+        }
+        // Stable merge: the training stream sits first, so it wins
+        // the (practically impossible) arrival tie deterministically.
+        std::stable_sort(jobs.begin(), jobs.end(),
+                         [](const JobSpec &a, const JobSpec &b) {
+                             return a.arrival < b.arrival;
+                         });
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            jobs[j].id = static_cast<int>(j);
     }
     return jobs;
 }
@@ -97,6 +185,7 @@ makeJobConfig(const JobSpec &spec)
     config.batchPerGpu = spec.batchPerGpu;
     config.iterations = spec.iterations;
     config.warmup = std::min(3, spec.iterations - 2);
+    config.inference = spec.kind == JobKind::Inference;
     if (spec.checkpointInterval > 0) {
         // The inner simulation measures the drain cost and composes
         // the checkpoint overhead into its makespan; fleet crash

@@ -20,10 +20,26 @@
 
 #include "core/pipeline.hpp"
 #include "preproc/plan.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
 
 namespace rap::fleet {
 
-/** One training job submitted to the fleet. */
+/** What a fleet job does with its GPUs. */
+enum class JobKind {
+    /** Batch training: runs `iterations` iterations, then finishes. */
+    Training,
+    /** Online inference: serves a request trace until it drains. */
+    Inference,
+};
+
+/** @return Stable machine token ("training") for JSON / labels. */
+std::string jobKindId(JobKind kind);
+
+/** Inverse of jobKindId; RAP_FATALs on unknown tokens. */
+JobKind jobKindFromId(const std::string &id);
+
+/** One training or inference-serving job submitted to the fleet. */
 struct JobSpec
 {
     /** Dense ordinal within the arrival trace. */
@@ -47,6 +63,21 @@ struct JobSpec
      * sealed checkpoint; without one it restarts from scratch.
      */
     int checkpointInterval = 0;
+    /** Training (default) or online inference serving. */
+    JobKind kind = JobKind::Training;
+    /**
+     * Inference only: the request-arrival trace (relative to the
+     * job's arrival; the scheduler re-bases it when placing) and the
+     * latency objective its requests are judged against. For
+     * inference jobs, `iterations` / `batchPerGpu` describe the
+     * profiling iteration the batch service model is calibrated from,
+     * not a fixed amount of work.
+     */
+    serve::RequestTraceOptions requests;
+    /** Batch-formation policy of the serving executor. */
+    serve::BatchingWindow window;
+    /** Per-request latency objective (inference only). */
+    Seconds sloLatency = 0.004;
 
     /**
      * @return Key identifying the job's workload shape (everything
@@ -54,6 +85,41 @@ struct JobSpec
      * keys on equal envelopes share one memoised simulation.
      */
     std::string variantKey() const;
+};
+
+/** Inference-job synthesis knobs (ArrivalTraceOptions::serving). */
+struct InferenceTraceOptions
+{
+    /** Inference jobs mixed into the trace (0 = training only). */
+    int jobCount = 0;
+    /**
+     * Mean interarrival gap between inference job submissions. They
+     * arrive on their own Poisson stream, merged with the training
+     * stream by arrival time.
+     */
+    Seconds meanInterarrival = 0.008;
+    /** Mean request rate of each serving window. */
+    double qps = 4000.0;
+    /** Relative swing of the time-varying QPS (see RequestTraceOptions). */
+    double qpsAmplitude = 0.5;
+    /** Period of the QPS modulation. */
+    Seconds qpsPeriod = 0.02;
+    /** Length of each serving window. */
+    Seconds duration = 0.04;
+    /** Per-request latency objective. */
+    Seconds sloLatency = 0.004;
+    /** Batch launch threshold. */
+    int maxBatch = 64;
+    /** Batch wait bound. */
+    Seconds maxWait = 0.0005;
+    /** Profiling batch size for the service model calibration. */
+    std::int64_t batchPerGpu = 256;
+    /** Profiling iterations (service model calibration run length). */
+    int iterations = 8;
+    /** GPUs per inference job (small partitions co-locate best). */
+    int gpusPerJob = 1;
+    /** Seed for the inference submission stream and request traces. */
+    std::uint64_t seed = 0x5e7ef1ee7ULL;
 };
 
 /** Arrival-trace synthesis knobs. */
@@ -74,12 +140,16 @@ struct ArrivalTraceOptions
     bool tiny = false;
     /** Checkpoint interval stamped on every synthesised job. */
     int checkpointInterval = 0;
+    /** Online inference jobs mixed into the trace. */
+    InferenceTraceOptions serving;
 };
 
 /**
  * Synthesise a seeded heterogeneous arrival trace: Poisson arrivals,
  * GPU requests skewed toward small jobs (the ParvaGPU co-location
- * sweet spot), mixed preprocessing plans and batch sizes. Jobs are
+ * sweet spot), mixed preprocessing plans and batch sizes. When
+ * options.serving.jobCount > 0, an independent Poisson stream of
+ * inference-serving jobs is merged in by arrival time. Jobs are
  * returned in arrival order with dense ids.
  */
 std::vector<JobSpec> makeArrivalTrace(const ArrivalTraceOptions &options);

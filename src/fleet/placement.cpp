@@ -118,16 +118,24 @@ placeJob(const PlacementOptions &options,
             if (!gpu.alive)
                 continue;
             // Admission: the newcomer's discounted reservation must
-            // fit under the headroom bound, and the leftover slice it
-            // would run in must be worth having.
-            if (gpu.smUsed + options.demandScale * demand.sm >
-                    options.headroom * gpu.healthSm ||
-                gpu.bwUsed + options.demandScale * demand.bw >
-                    options.headroom * gpu.healthBw) {
+            // fit in what is still reservable under the headroom
+            // bound, and the slice it would run in must be worth
+            // having. Both checks go through the clamped reservable*
+            // helpers, so they share one notion of capacity — the
+            // *current* (possibly degraded) health minus incumbent
+            // reservations — instead of the headroom bound seeing
+            // degraded health while the envelope floor read raw
+            // free share.
+            const double reservable_sm =
+                gpu.reservableSm(options.headroom);
+            const double reservable_bw =
+                gpu.reservableBw(options.headroom);
+            if (options.demandScale * demand.sm > reservable_sm ||
+                options.demandScale * demand.bw > reservable_bw) {
                 continue;
             }
-            if (gpu.freeSm() < options.minEnvelope ||
-                gpu.freeBw() < options.minEnvelope) {
+            if (reservable_sm < options.minEnvelope ||
+                reservable_bw < options.minEnvelope) {
                 continue;
             }
             // Prefer the largest feasible envelope: a job takes whole

@@ -73,6 +73,28 @@ struct GpuState
     {
         return healthBw > bwUsed ? healthBw - bwUsed : 0.0;
     }
+
+    /**
+     * @return SM share still reservable under an admission bound of
+     * @p headroom x the *current* (possibly degraded) health — never
+     * negative, even when a degradation dropped health below what
+     * resident jobs already reserved. Admission and the min-envelope
+     * check both derive from current health through these helpers, so
+     * a degraded GPU can never pass headroom on stale full-health
+     * capacity.
+     */
+    double reservableSm(double headroom) const
+    {
+        const double cap = headroom * healthSm;
+        return cap > smUsed ? cap - smUsed : 0.0;
+    }
+
+    /** @return Bandwidth share reservable under @p headroom. */
+    double reservableBw(double headroom) const
+    {
+        const double cap = headroom * healthBw;
+        return cap > bwUsed ? cap - bwUsed : 0.0;
+    }
 };
 
 /** A job's estimated per-GPU resource demand (from a reference run). */

@@ -5,25 +5,11 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 
 namespace rap::fleet {
-
-namespace {
-
-/** Nearest-rank percentile of an ascending-sorted sample. */
-Seconds
-percentile(const std::vector<Seconds> &sorted, double q)
-{
-    RAP_ASSERT(!sorted.empty(), "percentile of empty sample");
-    const auto n = static_cast<double>(sorted.size());
-    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
-    const std::size_t idx = rank == 0 ? 0 : rank - 1;
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
-
-} // namespace
 
 void
 FleetReport::finalize()
@@ -32,6 +18,9 @@ FleetReport::finalize()
     crashRequeues = 0;
     lostWork = 0.0;
     goodputSeconds = 0.0;
+    serveRequests = 0;
+    serveBatches = 0;
+    serveAttained = 0;
     std::vector<Seconds> jcts;
     Seconds queueing_sum = 0.0;
     double sm_gpu_seconds = 0.0;
@@ -48,6 +37,21 @@ FleetReport::finalize()
         const auto gpus = static_cast<double>(job.spec.gpusRequested);
         sm_gpu_seconds += job.demand.sm * job.serviceTime * gpus;
         bw_gpu_seconds += job.demand.bw * job.serviceTime * gpus;
+        if (job.serve) {
+            serveRequests += job.serve->requests;
+            serveBatches += job.serve->batches;
+            serveAttained += job.serve->attained;
+        }
+    }
+    serveAttainment.reset();
+    serveGoodputRps.reset();
+    if (serveRequests > 0) {
+        serveAttainment = static_cast<double>(serveAttained) /
+                          static_cast<double>(serveRequests);
+        if (makespan > 0.0) {
+            serveGoodputRps =
+                static_cast<double>(serveAttained) / makespan;
+        }
     }
     if (jcts.empty() || makespan <= 0.0)
         return;
@@ -57,8 +61,12 @@ FleetReport::finalize()
     for (Seconds jct : jcts)
         jct_sum += jct;
     meanJct = jct_sum / n;
-    p50Jct = percentile(jcts, 0.50);
-    p95Jct = percentile(jcts, 0.95);
+    // The shared interpolating percentile replaced a local
+    // nearest-rank copy whose ceil(q * n) rank drifted one index high
+    // whenever q * n rounded just above an integer (0.95 * 20 =
+    // 19.000000000000004).
+    p50Jct = rap::p50(jcts);
+    p95Jct = rap::p95(jcts);
     maxJct = jcts.back();
     meanQueueingDelay = queueing_sum / n;
     const double gpu_seconds =
@@ -92,6 +100,20 @@ FleetReport::renderSummary() const
         << "  lost work       " << formatSeconds(lostWork) << "\n"
         << "  goodput         " << formatSeconds(goodputSeconds)
         << "\n";
+    if (serveRequests > 0) {
+        oss << "  serve requests  " << serveRequests << " in "
+            << serveBatches << " batches\n"
+            << "  SLO attainment  "
+            << AsciiTable::num(serveAttainment.value_or(0.0), 4)
+            << "\n"
+            << "  serve goodput   "
+            << AsciiTable::num(serveGoodputRps.value_or(0.0), 1)
+            << " req/s\n"
+            << "  serve p50/95/99 "
+            << formatSeconds(serveP50Latency.value_or(0.0)) << " / "
+            << formatSeconds(serveP95Latency.value_or(0.0)) << " / "
+            << formatSeconds(serveP99Latency.value_or(0.0)) << "\n";
+    }
     return oss.str();
 }
 
@@ -100,7 +122,7 @@ FleetReport::renderJobs() const
 {
     AsciiTable table({"job", "gpus", "demand sm/bw", "arrival",
                       "start", "finish", "queued", "JCT", "placed on",
-                      "requeues"});
+                      "requeues", "p99 lat", "SLO"});
     for (const auto &job : jobs) {
         std::string gpu_list;
         for (std::size_t i = 0; i < job.lastGpus.size(); ++i) {
@@ -120,6 +142,9 @@ FleetReport::renderJobs() const
             formatSeconds(job.jobCompletionTime()),
             gpu_list,
             std::to_string(job.requeues),
+            job.serve ? formatSeconds(job.serve->p99) : "-",
+            job.serve ? AsciiTable::num(job.serve->attainment(), 4)
+                      : "-",
         });
     }
     return table.render();

@@ -13,12 +13,15 @@
 #ifndef RAP_FLEET_REPORT_HPP
 #define RAP_FLEET_REPORT_HPP
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
 #include "fleet/job.hpp"
 #include "fleet/placement.hpp"
+#include "serve/slo.hpp"
 
 namespace rap::fleet {
 
@@ -52,6 +55,12 @@ struct JobOutcome
      * timestamps (submittedAt / startedAt / finishedAt) filled in.
      */
     core::RunReport report;
+    /**
+     * Inference jobs only: the serving window's latency/SLO summary
+     * (absent for training jobs and for inference jobs that never
+     * completed a serving segment).
+     */
+    std::optional<serve::SloStats> serve;
 
     /** @return Arrival-to-finish time on the fleet clock. */
     Seconds jobCompletionTime() const { return finish - spec.arrival; }
@@ -99,7 +108,31 @@ struct FleetReport
     /** Service time that advanced durable progress (service - lost). */
     Seconds goodputSeconds = 0.0;
 
-    /** Reduce per-job outcomes into the aggregate fields. */
+    // Serving aggregates across inference jobs; the counts are 0 and
+    // the optionals absent when the trace had no inference jobs.
+    /** Requests served, across inference jobs. */
+    std::uint64_t serveRequests = 0;
+    /** Batches launched, across inference jobs. */
+    std::uint64_t serveBatches = 0;
+    /** Requests that finished within their SLO, across jobs. */
+    std::uint64_t serveAttained = 0;
+    /** Fraction of requests within SLO (absent without requests). */
+    std::optional<double> serveAttainment;
+    /** SLO-attained requests per second of makespan. */
+    std::optional<double> serveGoodputRps;
+    /** Pooled median request latency across inference jobs. */
+    std::optional<Seconds> serveP50Latency;
+    /** Pooled 95th-percentile request latency. */
+    std::optional<Seconds> serveP95Latency;
+    /** Pooled 99th-percentile (tail) request latency. */
+    std::optional<Seconds> serveP99Latency;
+
+    /**
+     * Reduce per-job outcomes into the aggregate fields. The pooled
+     * serve percentiles are filled by the scheduler (it holds the
+     * per-request latencies); finalize recomputes every aggregate
+     * derivable from the outcomes alone and leaves them intact.
+     */
     void finalize();
 
     /** @return Deterministic multi-line summary (bench/CI diffable). */

@@ -14,6 +14,28 @@ namespace rap::fleet {
 
 namespace {
 
+/**
+ * Absent optional fields serialize as JSON null — never as 0.0 or a
+ * stale placeholder — so a round trip preserves "never measured"
+ * exactly (the same convention core::RunReport uses for its lifecycle
+ * timestamps).
+ */
+void
+setOptionalNumber(Json &json, const std::string &key,
+                  const std::optional<double> &value)
+{
+    json.set(key, value ? Json(*value) : Json());
+}
+
+std::optional<double>
+getOptionalNumber(const Json &json, const std::string &key)
+{
+    const Json &field = json.at(key);
+    if (field.isNull())
+        return std::nullopt;
+    return field.asDouble();
+}
+
 Json
 specJson(const JobSpec &spec)
 {
@@ -28,6 +50,21 @@ specJson(const JobSpec &spec)
     json.set("iterations", Json(spec.iterations));
     json.set("system", Json(core::systemId(spec.system)));
     json.set("checkpointInterval", Json(spec.checkpointInterval));
+    json.set("kind", Json(jobKindId(spec.kind)));
+    Json requests = Json::object();
+    requests.set("qps", Json(spec.requests.qps));
+    requests.set("qpsAmplitude", Json(spec.requests.qpsAmplitude));
+    requests.set("qpsPeriod", Json(spec.requests.qpsPeriod));
+    requests.set("duration", Json(spec.requests.duration));
+    // Request seeds are masked to 53 bits at synthesis, so the double
+    // round trip below is exact.
+    requests.set("seed", Json(spec.requests.seed));
+    json.set("requests", std::move(requests));
+    Json window = Json::object();
+    window.set("maxBatch", Json(spec.window.maxBatch));
+    window.set("maxWait", Json(spec.window.maxWait));
+    json.set("window", std::move(window));
+    json.set("sloLatency", Json(spec.sloLatency));
     return json;
 }
 
@@ -58,6 +95,20 @@ specFromJson(const Json &json)
     spec.system = *system;
     spec.checkpointInterval =
         static_cast<int>(json.at("checkpointInterval").asDouble());
+    spec.kind = jobKindFromId(json.at("kind").asString());
+    const Json &requests = json.at("requests");
+    spec.requests.qps = requests.at("qps").asDouble();
+    spec.requests.qpsAmplitude =
+        requests.at("qpsAmplitude").asDouble();
+    spec.requests.qpsPeriod = requests.at("qpsPeriod").asDouble();
+    spec.requests.duration = requests.at("duration").asDouble();
+    spec.requests.seed = static_cast<std::uint64_t>(
+        requests.at("seed").asDouble());
+    const Json &window = json.at("window");
+    spec.window.maxBatch =
+        static_cast<int>(window.at("maxBatch").asDouble());
+    spec.window.maxWait = window.at("maxWait").asDouble();
+    spec.sloLatency = json.at("sloLatency").asDouble();
     return spec;
 }
 
@@ -82,6 +133,19 @@ outcomeJson(const JobOutcome &outcome)
     demand.set("bw", Json(outcome.demand.bw));
     json.set("demand", std::move(demand));
     json.set("report", outcome.report.toJson());
+    if (outcome.serve) {
+        Json serve = Json::object();
+        serve.set("requests", Json(outcome.serve->requests));
+        serve.set("batches", Json(outcome.serve->batches));
+        serve.set("attained", Json(outcome.serve->attained));
+        serve.set("sloLatency", Json(outcome.serve->sloLatency));
+        serve.set("p50", Json(outcome.serve->p50));
+        serve.set("p95", Json(outcome.serve->p95));
+        serve.set("p99", Json(outcome.serve->p99));
+        json.set("serve", std::move(serve));
+    } else {
+        json.set("serve", Json());
+    }
     return json;
 }
 
@@ -108,6 +172,21 @@ outcomeFromJson(const Json &json)
     outcome.demand.sm = demand.at("sm").asDouble();
     outcome.demand.bw = demand.at("bw").asDouble();
     outcome.report = core::RunReport::fromJson(json.at("report"));
+    const Json &serve_json = json.at("serve");
+    if (!serve_json.isNull()) {
+        rap::serve::SloStats stats;
+        stats.requests = static_cast<std::uint64_t>(
+            serve_json.at("requests").asDouble());
+        stats.batches = static_cast<std::uint64_t>(
+            serve_json.at("batches").asDouble());
+        stats.attained = static_cast<std::uint64_t>(
+            serve_json.at("attained").asDouble());
+        stats.sloLatency = serve_json.at("sloLatency").asDouble();
+        stats.p50 = serve_json.at("p50").asDouble();
+        stats.p95 = serve_json.at("p95").asDouble();
+        stats.p99 = serve_json.at("p99").asDouble();
+        outcome.serve = stats;
+    }
     return outcome;
 }
 
@@ -138,6 +217,14 @@ FleetReport::toJson() const
     json.set("gpuOccupancy", Json(gpuOccupancy));
     json.set("lostWork", Json(lostWork));
     json.set("goodputSeconds", Json(goodputSeconds));
+    json.set("serveRequests", Json(serveRequests));
+    json.set("serveBatches", Json(serveBatches));
+    json.set("serveAttained", Json(serveAttained));
+    setOptionalNumber(json, "serveAttainment", serveAttainment);
+    setOptionalNumber(json, "serveGoodputRps", serveGoodputRps);
+    setOptionalNumber(json, "serveP50Latency", serveP50Latency);
+    setOptionalNumber(json, "serveP95Latency", serveP95Latency);
+    setOptionalNumber(json, "serveP99Latency", serveP99Latency);
     return json;
 }
 
@@ -171,6 +258,17 @@ FleetReport::fromJson(const Json &json)
     report.gpuOccupancy = json.at("gpuOccupancy").asDouble();
     report.lostWork = json.at("lostWork").asDouble();
     report.goodputSeconds = json.at("goodputSeconds").asDouble();
+    report.serveRequests = static_cast<std::uint64_t>(
+        json.at("serveRequests").asDouble());
+    report.serveBatches = static_cast<std::uint64_t>(
+        json.at("serveBatches").asDouble());
+    report.serveAttained = static_cast<std::uint64_t>(
+        json.at("serveAttained").asDouble());
+    report.serveAttainment = getOptionalNumber(json, "serveAttainment");
+    report.serveGoodputRps = getOptionalNumber(json, "serveGoodputRps");
+    report.serveP50Latency = getOptionalNumber(json, "serveP50Latency");
+    report.serveP95Latency = getOptionalNumber(json, "serveP95Latency");
+    report.serveP99Latency = getOptionalNumber(json, "serveP99Latency");
     return report;
 }
 

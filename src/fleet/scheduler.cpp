@@ -7,8 +7,10 @@
 #include <tuple>
 
 #include "common/log.hpp"
+#include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "serve/slo.hpp"
 #include "sim/cluster.hpp"
 
 namespace rap::fleet {
@@ -94,6 +96,23 @@ FleetScheduler::FleetScheduler(std::vector<JobSpec> jobs,
         RAP_ASSERT(e.device < options_.node.gpuCount,
                    "fleet fault targets GPU ", e.device, " on a ",
                    options_.node.gpuCount, "-GPU node");
+    }
+    requestArrivals_.resize(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (jobs_[j].kind != JobKind::Inference)
+            continue;
+        RAP_ASSERT(jobs_[j].checkpointInterval == 0,
+                   "inference job ", jobs_[j].id,
+                   " has no training state to checkpoint");
+        RAP_ASSERT(jobs_[j].sloLatency > 0.0, "inference job ",
+                   jobs_[j].id, " needs a positive SLO latency");
+        // Requests are generated relative to the job's submission and
+        // re-based onto the fleet clock here, once: every
+        // re-placement after a preemption re-serves this same trace.
+        auto arrivals = serve::makeRequestTrace(jobs_[j].requests);
+        for (Seconds &t : arrivals)
+            t += jobs_[j].arrival;
+        requestArrivals_[j] = std::move(arrivals);
     }
     gpus_.resize(static_cast<std::size_t>(options_.node.gpuCount));
     report_.policy = options_.placement.policy;
@@ -182,6 +201,23 @@ FleetScheduler::simulate(const JobSpec &spec, const Placement &placement,
             .inc();
     }
     return report;
+}
+
+serve::BatchReplay
+FleetScheduler::replayServe(const JobSpec &spec,
+                            const core::RunReport &report,
+                            Seconds serve_start) const
+{
+    // The batch service model is calibrated from the simulated
+    // forward-only iteration on this placement's envelope: the
+    // steady-state iteration latency at the profiling batch size is
+    // the full-batch cost; smaller batches shed the per-row share.
+    serve::ServiceModel model;
+    model.fullBatchLatency = report.avgIterationLatency;
+    model.profileBatch = spec.batchPerGpu;
+    return serve::replayBatches(
+        requestArrivals_[static_cast<std::size_t>(spec.id)],
+        spec.window, model, serve_start);
 }
 
 void
@@ -320,10 +356,20 @@ FleetScheduler::run()
         // the job's composed makespan when it checkpoints).
         const Seconds charge =
             queued.requeues > 0 ? options_.restartOverhead : 0.0;
-        const Seconds duration =
-            queued.remainingFraction * report.makespan + charge;
-        applyReservation(spec, placement, +1);
         RunningJob running;
+        Seconds duration = 0.0;
+        if (spec.kind == JobKind::Inference) {
+            // A serving segment runs until its request trace drains:
+            // the batch replay on this envelope's service model sets
+            // both the per-request latencies and the finish time.
+            running.replay = replayServe(spec, report, now + charge);
+            duration =
+                std::max(running.replay.lastCompletion - now, charge);
+        } else {
+            duration = queued.remainingFraction * report.makespan +
+                       charge;
+        }
+        applyReservation(spec, placement, +1);
         running.placement = placement;
         running.segmentStart = now;
         running.segmentDuration = duration;
@@ -351,17 +397,49 @@ FleetScheduler::run()
                      running.generation});
     };
 
-    auto placeScan = [&](Seconds now, const PlacementOptions &opts) {
+    auto placeScan = [&](Seconds now, const PlacementOptions &opts,
+                         bool enforce_slo) {
         std::size_t i = 0;
         while (i < queue_.size()) {
             const auto &queued = queue_.jobs()[i];
             const auto ji = static_cast<std::size_t>(queued.jobId);
-            const auto placement =
-                placeJob(opts, gpus_, jobs_[ji].gpusRequested,
-                         demand_[ji]);
+            const auto &spec = jobs_[ji];
+            const auto placement = placeJob(
+                opts, gpus_, spec.gpusRequested, demand_[ji]);
             if (!placement) {
                 ++i; // backfill: later jobs may still fit
                 continue;
+            }
+            if (enforce_slo && spec.kind == JobKind::Inference) {
+                // SLO admission gate: project the serving replay on
+                // the candidate envelope; a placement whose projected
+                // tail latency violates the SLO is skipped — the job
+                // stays queued and is re-planned on a later scan,
+                // exactly like a degraded training job. Whole-device
+                // grants are never gated (nothing shares them), and
+                // the final relaxed scan bypasses the gate so the
+                // fleet always drains.
+                const auto candidate = quantised(*placement);
+                if (!wholeDevices(candidate)) {
+                    const auto projection = simulate(
+                        spec, candidate, report_.jobs[ji].placements);
+                    const Seconds charge =
+                        queued.requeues > 0 ? options_.restartOverhead
+                                            : 0.0;
+                    const auto replay =
+                        replayServe(spec, projection, now + charge);
+                    if (!replay.latencies.empty() &&
+                        rap::p99(replay.latencies) > spec.sloLatency) {
+                        if (options_.metrics != nullptr) {
+                            options_.metrics
+                                ->counter("fleet.slo_rejections",
+                                          fleetLabels(options_))
+                                .inc();
+                        }
+                        ++i;
+                        continue;
+                    }
+                }
             }
             startSegment(queue_.take(i), *placement, now);
         }
@@ -389,6 +467,42 @@ FleetScheduler::run()
             outcome.report.submittedAt = jobs_[ji].arrival;
             outcome.report.startedAt = outcome.firstStart;
             outcome.report.finishedAt = event.time;
+            if (jobs_[ji].kind == JobKind::Inference) {
+                const auto &replay = it->second.replay;
+                outcome.serve = serve::computeSloStats(
+                    replay.latencies, replay.batchSizes.size(),
+                    jobs_[ji].sloLatency);
+                pooledLatencies_.insert(pooledLatencies_.end(),
+                                        replay.latencies.begin(),
+                                        replay.latencies.end());
+                if (options_.metrics != nullptr) {
+                    const auto labels = fleetLabels(options_);
+                    options_.metrics->counter("serve.requests", labels)
+                        .inc(outcome.serve->requests);
+                    options_.metrics->counter("serve.batches", labels)
+                        .inc(outcome.serve->batches);
+                    options_.metrics
+                        ->counter("serve.slo_attained", labels)
+                        .inc(outcome.serve->attained);
+                    // Bucket edges span the sub-millisecond service
+                    // floor up to SLO-busting tails (100 us .. 100 ms).
+                    static const std::vector<double> kLatencyEdges{
+                        0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005,
+                        0.01,   0.02,   0.05,   0.1};
+                    auto &latency_hist = options_.metrics->histogram(
+                        "serve.request_latency_seconds", kLatencyEdges,
+                        labels);
+                    for (Seconds latency : replay.latencies)
+                        latency_hist.observe(latency);
+                    static const std::vector<double> kBatchEdges{
+                        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                        256.0};
+                    auto &batch_hist = options_.metrics->histogram(
+                        "serve.batch_size", kBatchEdges, labels);
+                    for (int batch : replay.batchSizes)
+                        batch_hist.observe(static_cast<double>(batch));
+                }
+            }
             applyReservation(jobs_[ji], it->second.placement, -1);
             running_.erase(it);
             break;
@@ -405,12 +519,17 @@ FleetScheduler::run()
                                  : fault.device;
             for (int g = first; g <= last; ++g) {
                 auto &gpu = gpus_[static_cast<std::size_t>(g)];
-                if (crash)
+                if (crash) {
                     gpu.alive = false;
-                else if (fault.kind == sim::FaultKind::SmDegrade)
-                    gpu.healthSm = fault.factor;
-                else
-                    gpu.healthBw = fault.factor;
+                } else if (fault.kind == sim::FaultKind::SmDegrade) {
+                    // Degradations compose by min: plain assignment
+                    // let a later, milder fault *raise* an already
+                    // worse device back to stale healthier capacity,
+                    // which admission would then happily fill.
+                    gpu.healthSm = std::min(gpu.healthSm, fault.factor);
+                } else {
+                    gpu.healthBw = std::min(gpu.healthBw, fault.factor);
+                }
             }
             // A crash always evicts residents (the device is gone);
             // degradations only preempt when the policy says so.
@@ -523,7 +642,8 @@ FleetScheduler::run()
                 ->gauge("fleet.queue.max_depth", fleetLabels(options_))
                 .max(static_cast<double>(queue_.size()));
         }
-        placeScan(event.time, options_.placement);
+        placeScan(event.time, options_.placement,
+                  /*enforce_slo=*/true);
         if (events.empty() && running_.empty() && !queue_.empty()) {
             // Every remaining event has drained but jobs are still
             // queued: the cluster is idle yet no GPU passes the
@@ -538,7 +658,7 @@ FleetScheduler::run()
                               fleetLabels(options_))
                     .inc();
             }
-            placeScan(event.time, relaxed);
+            placeScan(event.time, relaxed, /*enforce_slo=*/false);
             RAP_ASSERT(queue_.empty() || !running_.empty(),
                        "fleet deadlock: ", queue_.size(),
                        " jobs unplaceable on an idle cluster");
@@ -558,6 +678,14 @@ FleetScheduler::run()
     for (const auto &outcome : report_.jobs)
         makespan = std::max(makespan, outcome.finish);
     report_.makespan = makespan;
+    // Pooled request-latency percentiles need the raw latencies, which
+    // only the scheduler holds — finalize() recomputes everything else
+    // and leaves these intact.
+    if (!pooledLatencies_.empty()) {
+        report_.serveP50Latency = rap::p50(pooledLatencies_);
+        report_.serveP95Latency = rap::p95(pooledLatencies_);
+        report_.serveP99Latency = rap::p99(pooledLatencies_);
+    }
     return report_;
 }
 

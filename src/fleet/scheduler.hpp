@@ -127,11 +127,22 @@ class FleetScheduler
         double remainingAtStart = 1.0;
         /** Invalidates stale finish events after a preemption. */
         int generation = 0;
+        /**
+         * Inference only: the serving window's batch replay on this
+         * segment's envelope. Latencies/SLO are accounted at the
+         * Finish event; a preempted segment's replay is discarded —
+         * the re-placed job re-serves its whole trace (buffered
+         * requests, no durable serving state).
+         */
+        serve::BatchReplay replay;
     };
 
     core::RunReport simulate(const JobSpec &spec,
                              const Placement &placement,
                              int segment_index);
+    serve::BatchReplay replayServe(const JobSpec &spec,
+                                   const core::RunReport &report,
+                                   Seconds serve_start) const;
     Placement quantised(Placement placement) const;
     void precomputeReferences();
     void applyReservation(const JobSpec &spec,
@@ -150,6 +161,14 @@ class FleetScheduler
     std::map<std::string, preproc::PreprocPlan> planCache_;
     FleetReport report_;
     Seconds lastBusyUpdate_ = 0.0;
+    /**
+     * Per-job request arrivals on the fleet clock (empty vectors for
+     * training jobs), synthesised once in the constructor so every
+     * re-placement replays the same trace.
+     */
+    std::vector<std::vector<Seconds>> requestArrivals_;
+    /** Per-request latencies pooled across finished inference jobs. */
+    std::vector<Seconds> pooledLatencies_;
 };
 
 /** Convenience: build, run, finalize. */

@@ -1,0 +1,70 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rap::serve {
+
+Seconds
+ServiceModel::serviceSeconds(int batch) const
+{
+    RAP_ASSERT(batch >= 1, "batches hold at least one request");
+    RAP_ASSERT(fullBatchLatency > 0.0 && profileBatch >= 1,
+               "service model needs a calibrated latency");
+    RAP_ASSERT(fixedFraction >= 0.0 && fixedFraction <= 1.0,
+               "fixed fraction is a share of the latency");
+    const double fill = static_cast<double>(batch) /
+                        static_cast<double>(profileBatch);
+    return fullBatchLatency *
+           (fixedFraction + (1.0 - fixedFraction) * fill);
+}
+
+BatchReplay
+replayBatches(const std::vector<Seconds> &arrivals,
+              const BatchingWindow &window, const ServiceModel &model,
+              Seconds serve_start)
+{
+    RAP_ASSERT(window.maxBatch >= 1, "batching window needs maxBatch >= 1");
+    RAP_ASSERT(window.maxWait >= 0.0, "maxWait cannot be negative");
+    BatchReplay replay;
+    replay.lastCompletion = serve_start;
+    if (arrivals.empty())
+        return replay;
+    replay.latencies.reserve(arrivals.size());
+
+    const std::size_t n = arrivals.size();
+    const auto max_batch = static_cast<std::size_t>(window.maxBatch);
+    std::size_t i = 0;
+    Seconds free_at = serve_start;
+    while (i < n) {
+        const Seconds head = arrivals[i];
+        // The batch launches at the latest of: executor free, head
+        // arrived, and — when the executor would otherwise idle —
+        // either the window filling to maxBatch or the head's wait
+        // deadline, whichever comes first.
+        Seconds start = std::max(free_at, head);
+        const Seconds deadline = head + window.maxWait;
+        if (start < deadline) {
+            const std::size_t fill = i + max_batch - 1;
+            if (fill < n && arrivals[fill] <= deadline)
+                start = std::max(start, arrivals[fill]);
+            else
+                start = deadline;
+        }
+        std::size_t j = i;
+        while (j < n && j - i < max_batch && arrivals[j] <= start)
+            ++j;
+        const auto batch = static_cast<int>(j - i);
+        const Seconds done = start + model.serviceSeconds(batch);
+        for (std::size_t k = i; k < j; ++k)
+            replay.latencies.push_back(done - arrivals[k]);
+        replay.batchSizes.push_back(batch);
+        free_at = done;
+        i = j;
+    }
+    replay.lastCompletion = free_at;
+    return replay;
+}
+
+} // namespace rap::serve

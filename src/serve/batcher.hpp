@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytic replay of a max-batch / max-wait batching window.
+ *
+ * Online recommendation inference amortises the embedding-lookup cost
+ * by batching requests: a batch launches when either `maxBatch`
+ * requests are waiting or the oldest waiting request has been held for
+ * `maxWait`. The replay walks a request-arrival trace against a
+ * service-time model calibrated from the simulated inference
+ * iteration, producing per-request latencies (queueing + service) for
+ * SLO accounting. Everything is closed-form and deterministic — no
+ * event loop, no randomness.
+ */
+
+#ifndef RAP_SERVE_BATCHER_HPP
+#define RAP_SERVE_BATCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rap::serve {
+
+/** Batch-formation policy. */
+struct BatchingWindow
+{
+    /** Launch as soon as this many requests are waiting. */
+    int maxBatch = 64;
+    /** Launch when the oldest waiting request has waited this long. */
+    Seconds maxWait = 0.0005;
+};
+
+/**
+ * Latency model for one served batch, calibrated from the simulated
+ * forward-only iteration at the profiling batch size: a batch of b
+ * requests costs fixedFraction of the full-batch latency (kernel
+ * launches, collectives, MLP weight reads — work that does not shrink
+ * with the batch) plus the remaining fraction scaled by b /
+ * profileBatch (the per-row embedding-gather and activation work).
+ */
+struct ServiceModel
+{
+    /** Simulated iteration latency at profileBatch rows. */
+    Seconds fullBatchLatency = 0.002;
+    /** Batch size the latency was profiled at. */
+    std::int64_t profileBatch = 256;
+    /** Batch-size-independent share of the latency. */
+    double fixedFraction = 0.35;
+
+    /** @return Modelled service time for a batch of @p batch rows. */
+    Seconds serviceSeconds(int batch) const;
+};
+
+/** Outcome of replaying one arrival trace through the batcher. */
+struct BatchReplay
+{
+    /** Per-request latency (completion - arrival), arrival order. */
+    std::vector<Seconds> latencies;
+    /** Size of each launched batch, launch order. */
+    std::vector<int> batchSizes;
+    /** Completion time of the last batch (absolute clock). */
+    Seconds lastCompletion = 0.0;
+};
+
+/**
+ * Replay @p arrivals (absolute, strictly increasing) through a
+ * single-executor batching window: batches run back-to-back, never
+ * concurrently — the serving job owns one envelope slice.
+ *
+ * @param arrivals Absolute request arrival times.
+ * @param window Batch-formation policy.
+ * @param model Batch service-time model.
+ * @param serve_start Executor availability (>= first placement time);
+ *        requests arriving earlier queue until it.
+ */
+BatchReplay replayBatches(const std::vector<Seconds> &arrivals,
+                          const BatchingWindow &window,
+                          const ServiceModel &model, Seconds serve_start);
+
+} // namespace rap::serve
+
+#endif // RAP_SERVE_BATCHER_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Open-loop inference request generation.
+ *
+ * An online recommendation service receives requests whose arrival
+ * rate it does not control: the generator draws a time-varying Poisson
+ * process (rate(t) = qps * (1 + amplitude * sin(2*pi*t / period))) via
+ * Lewis-Shedler thinning, so load swings over a serving window the way
+ * a diurnal traffic curve does, compressed to simulator timescales.
+ * Requests are relative to the serving job's start; the fleet
+ * scheduler offsets them onto its own clock when the job is placed.
+ *
+ * The process is seeded and fully deterministic: equal options yield
+ * byte-equal traces on every platform and thread count.
+ */
+
+#ifndef RAP_SERVE_REQUEST_HPP
+#define RAP_SERVE_REQUEST_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rap::serve {
+
+/** Tuning for one request trace. */
+struct RequestTraceOptions
+{
+    /** Mean arrival rate (requests per second of simulated time). */
+    double qps = 4000.0;
+    /**
+     * Relative swing of the sinusoidal rate modulation in [0, 1):
+     * rate(t) peaks at qps * (1 + amplitude) and bottoms out at
+     * qps * (1 - amplitude). 0 recovers a homogeneous Poisson process.
+     */
+    double qpsAmplitude = 0.5;
+    /** Period of the rate modulation (seconds). */
+    Seconds qpsPeriod = 0.02;
+    /** Length of the serving window; arrivals stop at this time. */
+    Seconds duration = 0.04;
+    /** RNG seed; equal seeds yield equal traces. */
+    std::uint64_t seed = 0x5e7e0001ULL;
+};
+
+/** @return The modulated arrival rate at time @p t. */
+double rateAt(const RequestTraceOptions &options, Seconds t);
+
+/**
+ * Draw the request arrival times in [0, duration), strictly
+ * increasing, relative to the serving window's start.
+ */
+std::vector<Seconds> makeRequestTrace(const RequestTraceOptions &options);
+
+} // namespace rap::serve
+
+#endif // RAP_SERVE_REQUEST_HPP

@@ -1,0 +1,29 @@
+#include "serve/slo.hpp"
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace rap::serve {
+
+SloStats
+computeSloStats(const std::vector<Seconds> &latencies,
+                std::uint64_t batch_count, Seconds slo_latency)
+{
+    RAP_ASSERT(slo_latency > 0.0, "SLO latency must be positive");
+    SloStats stats;
+    stats.sloLatency = slo_latency;
+    stats.batches = batch_count;
+    stats.requests = latencies.size();
+    for (Seconds latency : latencies) {
+        if (latency <= slo_latency)
+            ++stats.attained;
+    }
+    if (!latencies.empty()) {
+        stats.p50 = rap::p50(latencies);
+        stats.p95 = rap::p95(latencies);
+        stats.p99 = rap::p99(latencies);
+    }
+    return stats;
+}
+
+} // namespace rap::serve

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SLO accounting over per-request latencies.
+ *
+ * Serving systems are judged by tail latency against a service-level
+ * objective, not by mean throughput: the metrics here are the
+ * p50/p95/p99 of the per-request latency distribution and the
+ * fraction of requests finishing within the SLO (attainment). Goodput
+ * — SLO-attained requests per second — is what the latency-vs-goodput
+ * frontier in bench_inference plots.
+ */
+
+#ifndef RAP_SERVE_SLO_HPP
+#define RAP_SERVE_SLO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rap::serve {
+
+/** Latency/SLO summary of one serving window. */
+struct SloStats
+{
+    /** Requests served. */
+    std::uint64_t requests = 0;
+    /** Batches launched. */
+    std::uint64_t batches = 0;
+    /** Requests that finished within the SLO. */
+    std::uint64_t attained = 0;
+    /** The latency objective the requests were judged against. */
+    Seconds sloLatency = 0.0;
+    /** Median request latency. */
+    Seconds p50 = 0.0;
+    /** 95th-percentile request latency. */
+    Seconds p95 = 0.0;
+    /** 99th-percentile (tail) request latency. */
+    Seconds p99 = 0.0;
+
+    /** @return Fraction of requests within the SLO (1 when empty). */
+    double attainment() const
+    {
+        return requests == 0
+                   ? 1.0
+                   : static_cast<double>(attained) /
+                         static_cast<double>(requests);
+    }
+};
+
+/**
+ * Summarise @p latencies against @p slo_latency. @p batch_count is
+ * carried through for reporting.
+ */
+SloStats computeSloStats(const std::vector<Seconds> &latencies,
+                         std::uint64_t batch_count, Seconds slo_latency);
+
+} // namespace rap::serve
+
+#endif // RAP_SERVE_SLO_HPP

@@ -43,6 +43,14 @@ expectSameFleetReport(const FleetReport &a, const FleetReport &b)
     EXPECT_EQ(a.requeues, b.requeues);
     EXPECT_EQ(a.crashRequeues, b.crashRequeues);
     EXPECT_EQ(a.simulationsRun, b.simulationsRun);
+    EXPECT_EQ(a.serveRequests, b.serveRequests);
+    EXPECT_EQ(a.serveBatches, b.serveBatches);
+    EXPECT_EQ(a.serveAttained, b.serveAttained);
+    EXPECT_EQ(a.serveAttainment, b.serveAttainment);
+    EXPECT_EQ(a.serveGoodputRps, b.serveGoodputRps);
+    EXPECT_EQ(a.serveP50Latency, b.serveP50Latency);
+    EXPECT_EQ(a.serveP95Latency, b.serveP95Latency);
+    EXPECT_EQ(a.serveP99Latency, b.serveP99Latency);
     ASSERT_EQ(a.jobs.size(), b.jobs.size());
     for (std::size_t j = 0; j < a.jobs.size(); ++j) {
         SCOPED_TRACE("job " + std::to_string(j));
@@ -54,6 +62,15 @@ expectSameFleetReport(const FleetReport &a, const FleetReport &b)
         EXPECT_EQ(a.jobs[j].serviceTime, b.jobs[j].serviceTime);
         EXPECT_EQ(a.jobs[j].lostWork, b.jobs[j].lostWork);
         EXPECT_EQ(a.jobs[j].lastGpus, b.jobs[j].lastGpus);
+        ASSERT_EQ(a.jobs[j].serve.has_value(),
+                  b.jobs[j].serve.has_value());
+        if (a.jobs[j].serve.has_value()) {
+            EXPECT_EQ(a.jobs[j].serve->requests,
+                      b.jobs[j].serve->requests);
+            EXPECT_EQ(a.jobs[j].serve->attained,
+                      b.jobs[j].serve->attained);
+            EXPECT_EQ(a.jobs[j].serve->p99, b.jobs[j].serve->p99);
+        }
         EXPECT_EQ(a.jobs[j].report.makespan, b.jobs[j].report.makespan);
         EXPECT_EQ(a.jobs[j].report.submittedAt,
                   b.jobs[j].report.submittedAt);
@@ -196,6 +213,46 @@ TEST(FleetPlacement, DemandScaleAdmitsInterleavingJobs)
     EXPECT_FALSE(placeJob(strict, gpus, 1, {0.75, 0.20}).has_value());
 }
 
+TEST(FleetPlacement, DegradedGpuReconcilesReservationsWithHealth)
+{
+    // Regression: admission bounded reservations by headroom x
+    // *degraded* health while the min-envelope floor read the raw
+    // free share (health - used, no headroom), so a degraded GPU
+    // could admit a job into a slice the admission bound itself said
+    // was not reservable. Both checks now share the clamped
+    // reservable capacity.
+    std::vector<GpuState> gpus(1);
+    gpus[0].residents = 1;
+    gpus[0].smUsed = 0.2;
+    gpus[0].bwUsed = 0.2;
+    PlacementOptions options;
+    options.policy = PlacementPolicy::RapShared;
+    options.headroom = 0.9;
+    options.minEnvelope = 0.3;
+    options.demandScale = 1.0;
+
+    // Healthy control: 0.9 - 0.2 = 0.7 reservable, well over the
+    // floor — the co-location is admitted.
+    ASSERT_TRUE(placeJob(options, gpus, 1, {0.25, 0.25}).has_value());
+
+    // A mid-run degradation to 0.55 leaves 0.9 * 0.55 - 0.2 = 0.295
+    // reservable: under the 0.3 floor, so the slice is not worth
+    // granting — even though the raw free share (0.35) still clears
+    // the floor, which is exactly what the old check admitted on.
+    gpus[0].healthSm = 0.55;
+    gpus[0].healthBw = 0.55;
+    EXPECT_FALSE(placeJob(options, gpus, 1, {0.25, 0.25}).has_value());
+
+    // Stale over-reservation: incumbents reserved 0.6 before the GPU
+    // degraded to 0.5, so nothing is reservable (clamped to 0, not
+    // negative) and even a tiny newcomer is refused.
+    gpus[0].smUsed = 0.6;
+    gpus[0].healthSm = 0.5;
+    options.minEnvelope = 0.0;
+    EXPECT_DOUBLE_EQ(gpus[0].reservableSm(options.headroom), 0.0);
+    EXPECT_FALSE(placeJob(options, gpus, 1, {0.01, 0.01}).has_value());
+}
+
 TEST(FleetQueue, FifoWithFrontReinsertion)
 {
     AdmissionQueue queue;
@@ -290,6 +347,44 @@ TEST(FleetScheduler, DegradeRequeuesAndReplansResidentJobs)
         << "losing half the SMs mid-run cannot speed the job up";
     for (const auto &job : degraded.jobs)
         EXPECT_GT(job.finish, 0.0) << job.spec.name;
+}
+
+TEST(FleetScheduler, LaterMilderFaultCannotRestoreCapacity)
+{
+    // Regression: the degrade handler assigned `healthSm = factor`,
+    // so a later, milder fault on an already-degraded GPU *raised*
+    // its capacity back toward healthy and the re-placed job ran
+    // faster than physics allows. Degradations compose by min: after
+    // 0.7 then 0.95, the GPU still runs at 0.7.
+    auto trace = makeArrivalTrace(tinyTraceOptions(1));
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto healthy = runFleet(trace, options);
+    const int gpu = healthy.jobs[0].lastGpus.at(0);
+    const Seconds start = healthy.jobs[0].firstStart;
+    const Seconds segment = healthy.jobs[0].serviceTime;
+
+    auto one_fault = options;
+    one_fault.faults.events.push_back(
+        sim::FaultEvent::smDegrade(gpu, start + 0.4 * segment, 0.7));
+    const auto single = runFleet(trace, one_fault);
+    ASSERT_GE(single.jobs[0].requeues, 1);
+
+    auto two_faults = one_fault;
+    two_faults.faults.events.push_back(
+        sim::FaultEvent::smDegrade(gpu, start + 0.6 * segment, 0.95));
+    const auto composed = runFleet(trace, two_faults);
+
+    // The second preemption costs work on its own; what it must NOT
+    // do is hand the job a 0.95-health GPU whose faster final segment
+    // beats the single-fault run (the restore bug made it finish
+    // earlier despite restarting twice).
+    EXPECT_GE(composed.jobs[0].requeues, 2);
+    EXPECT_GT(composed.jobs[0].finish, single.jobs[0].finish)
+        << "a second (milder) fault cannot speed the job up";
 }
 
 TEST(FleetScheduler, UncheckpointedPreemptionLosesAllElapsedWork)
@@ -457,6 +552,39 @@ TEST(FleetReportJson, RoundTripsExactly)
     // property that makes the JSON the single source of truth.
     EXPECT_EQ(restored.toJson().dump(2), text);
     expectSameFleetReport(report, restored);
+}
+
+TEST(FleetReportJson, AbsentServeFieldsRoundTripAsNull)
+{
+    // A training-only fleet has no serving stats: the optional SLO
+    // columns must serialize as explicit nulls (never garbage
+    // numbers) and come back absent, not zero-valued.
+    const auto trace = makeArrivalTrace(tinyTraceOptions(3));
+    FleetOptions options;
+    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
+    const auto report = runFleet(trace, options);
+    EXPECT_EQ(report.serveRequests, 0u);
+    EXPECT_FALSE(report.serveAttainment.has_value());
+    EXPECT_FALSE(report.serveGoodputRps.has_value());
+    EXPECT_FALSE(report.serveP50Latency.has_value());
+    EXPECT_FALSE(report.serveP95Latency.has_value());
+    EXPECT_FALSE(report.serveP99Latency.has_value());
+
+    const Json json = report.toJson();
+    for (const char *field :
+         {"serveAttainment", "serveGoodputRps", "serveP50Latency",
+          "serveP95Latency", "serveP99Latency"}) {
+        const Json *value = json.find(field);
+        ASSERT_NE(value, nullptr) << field;
+        EXPECT_TRUE(value->isNull()) << field;
+    }
+
+    const auto restored = FleetReport::fromJson(json);
+    EXPECT_FALSE(restored.serveAttainment.has_value());
+    EXPECT_FALSE(restored.serveP99Latency.has_value());
+    for (const auto &job : restored.jobs)
+        EXPECT_FALSE(job.serve.has_value()) << job.spec.name;
+    EXPECT_EQ(restored.toJson().dump(2), json.dump(2));
 }
 
 TEST(FleetMetrics, SnapshotIsThreadCountInvariant)

@@ -114,6 +114,43 @@ TEST(Percentile, Interpolates)
     EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
 }
 
+TEST(Percentile, SingleSample)
+{
+    const std::vector<double> xs = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 42.0);
+}
+
+TEST(Percentile, ExactRankNotInflatedByFloatDrift)
+{
+    // Regression: a nearest-rank implementation computed the index as
+    // ceil(q * n) with q = 0.95 and n = 20, where 0.95 * 20 rounds to
+    // 19.000000000000004 in binary floating point; the ceil pushed the
+    // index one past the true rank and overstated the percentile. The
+    // interpolated definition lands exactly on rank 0.95 * (n - 1).
+    std::vector<double> xs(20);
+    for (int i = 0; i < 20; ++i)
+        xs[static_cast<std::size_t>(i)] = static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 19.05);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 10.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 20.0);
+}
+
+TEST(Percentile, TailHelpersForwardToPercentile)
+{
+    std::vector<double> xs(101);
+    for (int i = 0; i <= 100; ++i)
+        xs[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(p50(xs), 50.0);
+    EXPECT_DOUBLE_EQ(p95(xs), 95.0);
+    EXPECT_DOUBLE_EQ(p99(xs), 99.0);
+    EXPECT_DOUBLE_EQ(p50({}), 0.0);
+    EXPECT_DOUBLE_EQ(p95({}), 0.0);
+    EXPECT_DOUBLE_EQ(p99({}), 0.0);
+}
+
 TEST(GeoMean, Basics)
 {
     EXPECT_DOUBLE_EQ(geoMean({}), 0.0);

@@ -6,7 +6,7 @@
  *   validate_metrics <schema.json> <snapshot.json> [snapshot.json...]
  *
  * The validator interprets the JSON-Schema subset the schema file
- * actually uses (type / const / required / properties / items /
+ * actually uses (type / const / enum / required / properties / items /
  * minItems / maxItems / minimum), and additionally enforces the one
  * contract a schema cannot express: entries in every section must be
  * sorted by (name, labels), which is what makes snapshots diffable
@@ -99,6 +99,19 @@ validate(const Json &value, const Json &schema, const std::string &path,
             out.add(path, "expected constant " + expected->dump() +
                               ", got " + value.dump());
         return;
+    }
+    if (const Json *allowed = schema.find("enum")) {
+        bool matched = false;
+        for (const Json &candidate : allowed->elements()) {
+            if (value.dump() == candidate.dump()) {
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            out.add(path, "value " + value.dump() +
+                              " not in the allowed enum");
+        }
     }
     if (const Json *type = schema.find("type"))
         validateType(value, *type, path, out);
