@@ -7,9 +7,14 @@
  *
  *   --jobs N / -j N   worker threads for independent sweep points
  *                     (0 = all hardware threads; default 1)
+ *   --engine-jobs N   worker threads *inside* each simulation's DES
+ *                     engine (0 = all hardware threads; default 1);
+ *                     results are byte-identical at any value
  *   --tiny            smaller sweep for CI determinism jobs
  *   --trace PATH      Chrome-trace JSON output path (or prefix)
  *   --metrics PATH    deterministic metrics-snapshot JSON output
+ *   --bench-json PATH wall-clock timing JSON for the CI perf gate
+ *                     (NOT deterministic — never diff it)
  *
  * plus --help. Unknown flags are an error (exit 1) unless the bench
  * opts into allowUnknown() — the google-benchmark mains do, and hand
@@ -24,12 +29,15 @@
 #ifndef RAP_BENCH_COMMON_HPP
 #define RAP_BENCH_COMMON_HPP
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -56,11 +64,18 @@ class ArgParser
         jobs_ = &addInt("--jobs", 1,
                         "worker threads for sweep points "
                         "(0 = all hardware threads; alias -j)");
+        engineJobs_ = &addInt(
+            "--engine-jobs", 1,
+            "DES engine worker threads per simulation "
+            "(0 = all hardware threads; results byte-identical)");
         tiny_ = &addFlag("--tiny", "smaller sweep (CI mode)");
         trace_ = &addString("--trace", "",
                             "Chrome-trace JSON output path/prefix");
         metrics_ = &addString("--metrics", "",
                               "metrics snapshot JSON output path");
+        benchJson_ = &addString(
+            "--bench-json", "",
+            "wall-clock timing JSON output for the CI perf gate");
     }
 
     /** Register a boolean flag; @return its (false-initial) storage. */
@@ -172,9 +187,18 @@ class ArgParser
         return *jobs_ <= 0 ? ThreadPool::hardwareThreads() : *jobs_;
     }
 
+    /** @return DES engine worker count (0 ⇒ hardware). */
+    int
+    engineJobs() const
+    {
+        return *engineJobs_ <= 0 ? ThreadPool::hardwareThreads()
+                                 : *engineJobs_;
+    }
+
     bool tiny() const { return *tiny_; }
     const std::string &tracePath() const { return *trace_; }
     const std::string &metricsPath() const { return *metrics_; }
+    const std::string &benchJsonPath() const { return *benchJson_; }
 
     /**
      * @return argv (program name + unconsumed arguments) for handing
@@ -273,9 +297,11 @@ class ArgParser
     std::vector<std::string> remaining_;
     bool allowUnknown_ = false;
     int *jobs_ = nullptr;
+    int *engineJobs_ = nullptr;
     bool *tiny_ = nullptr;
     std::string *trace_ = nullptr;
     std::string *metrics_ = nullptr;
+    std::string *benchJson_ = nullptr;
 };
 
 /**
@@ -288,6 +314,71 @@ maybeWriteMetrics(const ArgParser &args,
 {
     if (!args.metricsPath().empty())
         obs::writeSnapshot(registry, args.metricsPath());
+}
+
+/**
+ * One wall-clock measurement for the CI perf-regression gate
+ * (tools/bench_gate.cpp): a stable name, the elapsed milliseconds,
+ * and optional work counters giving the number context.
+ */
+struct BenchTiming
+{
+    std::string name;
+    double wallMs = 0.0;
+    /** Work items behind the measurement (events, cells, ...). */
+    std::uint64_t items = 0;
+};
+
+/** Monotonic stopwatch for BenchTiming entries. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** @return Milliseconds since construction (or the last reset). */
+    double
+    elapsedMs() const
+    {
+        const auto dt = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(dt).count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Write the `rap.bench.v1` wall-clock artifact when the user passed
+ * `--bench-json <path>`; no-op otherwise. Wall-clock values are NOT
+ * deterministic: this artifact feeds the perf gate and must never be
+ * byte-diffed. Deterministic outputs (stdout, --metrics, --report)
+ * deliberately carry no wall-clock content.
+ */
+inline void
+maybeWriteBenchJson(const ArgParser &args,
+                    const std::vector<BenchTiming> &timings)
+{
+    if (args.benchJsonPath().empty())
+        return;
+    Json root = Json::object();
+    root.set("schema", "rap.bench.v1");
+    Json list = Json::array();
+    for (const auto &t : timings) {
+        Json entry = Json::object();
+        entry.set("name", t.name);
+        entry.set("wall_ms", t.wallMs);
+        entry.set("items", t.items);
+        if (t.wallMs > 0.0) {
+            entry.set("items_per_sec",
+                      static_cast<double>(t.items) /
+                          (t.wallMs / 1e3));
+        }
+        list.push(std::move(entry));
+    }
+    root.set("benchmarks", std::move(list));
+    writeJsonFile(root, args.benchJsonPath());
 }
 
 } // namespace rap::bench

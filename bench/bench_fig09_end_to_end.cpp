@@ -86,6 +86,7 @@ runForGpuCount(int gpus, const std::vector<int> &plan_ids,
                 config.system = system;
                 config.gpuCount = gpus;
                 config.batchPerGpu = batch;
+                config.engineJobs = args.engineJobs();
                 config.metrics = metrics;
                 config.metricsScope =
                     cell_scope + "." + core::systemId(system);
@@ -156,10 +157,14 @@ main(int argc, char **argv)
         gpu_counts = {std::atoi(gpus_arg.c_str())};
 
     std::map<std::string, RunningStat> speedups;
+    bench::WallTimer timer;
+    std::uint64_t cells = 0;
     for (int gpus : gpu_counts) {
         runForGpuCount(gpus, plan_ids, batches, speedups, args, pool,
                        metrics);
+        cells += plan_ids.size() * batches.size() * kSystems.size();
     }
+    const double sweep_ms = timer.elapsedMs();
 
     std::cout << "--- Average speedups (paper: RAP 17.8x over "
                  "TorchArrow, 2.01x over CUDA stream, 1.43x over MPS) "
@@ -171,6 +176,9 @@ main(int argc, char **argv)
                         AsciiTable::num(stat.max(), 2) + "x"});
     }
     std::cout << summary.render();
+    std::cerr << "[wall] fig09_sweep " << AsciiTable::num(sweep_ms, 1)
+              << " ms (" << cells << " cells)\n";
     bench::maybeWriteMetrics(args, registry);
+    bench::maybeWriteBenchJson(args, {{"fig09_sweep", sweep_ms, cells}});
     return 0;
 }

@@ -67,6 +67,7 @@ main(int argc, char **argv)
                            const std::string &scope) {
         fleet::FleetOptions options;
         options.placement.policy = policy;
+        options.engineJobs = args.engineJobs();
         options.metrics = metrics;
         options.metricsScope = scope;
         if (!trace_prefix.empty() &&

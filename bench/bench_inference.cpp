@@ -107,6 +107,7 @@ main(int argc, char **argv)
         for (const auto &arm : arms) {
             fleet::FleetOptions options;
             options.placement.policy = arm.policy;
+            options.engineJobs = args.engineJobs();
             options.metrics = metrics;
             options.metricsScope =
                 arm.id + ".load" + loadTag(load);

@@ -205,6 +205,24 @@ applyEnvelopes(sim::Cluster &cluster, const SystemConfig &config)
     }
 }
 
+/**
+ * Forward the engine-jobs knob to the cluster's DES engine. Training
+ * runs keep a single time zone — every iteration is synchronised by
+ * all-GPU collectives at sub-lookahead granularity, so a conservative
+ * partition would degenerate into one zone per barrier — which makes
+ * this a validated no-op today; partitioned simulations (bench_scale's
+ * synthetic fleets, via Cluster::partitionZones) consume the worker
+ * count for the window bodies.
+ */
+void
+applyEngineJobs(sim::Cluster &cluster, const SystemConfig &config)
+{
+    const int jobs = config.engineJobs == 0
+                         ? ThreadPool::hardwareThreads()
+                         : config.engineJobs;
+    cluster.engine().setJobs(jobs);
+}
+
 /** Dump the run's Chrome trace when the config asked for one. */
 void
 maybeWriteTrace(const sim::Cluster &cluster, const SystemConfig &config)
@@ -578,6 +596,7 @@ OnlineTrainer::runIdeal()
 
     sim::Cluster cluster(cluster_spec, config_.gpuSubset);
     applyEnvelopes(cluster, config_);
+    applyEngineJobs(cluster, config_);
     std::optional<sim::FaultInjector> injector;
     std::vector<Seconds> crash_times;
     if (config_.faults) {
@@ -639,6 +658,7 @@ OnlineTrainer::runTorchArrow()
 
     sim::Cluster cluster(cluster_spec, config_.gpuSubset);
     applyEnvelopes(cluster, config_);
+    applyEngineJobs(cluster, config_);
     auto &engine = cluster.engine();
     std::optional<sim::FaultInjector> injector;
     std::vector<Seconds> crash_times;
@@ -840,6 +860,7 @@ OnlineTrainer::runGpuSystem()
     // ---- Online phase: co-running execution. ----
     sim::Cluster cluster(cluster_spec, config_.gpuSubset);
     applyEnvelopes(cluster, config_);
+    applyEngineJobs(cluster, config_);
     auto &engine = cluster.engine();
     const int n = config_.iterations;
     const int gpus = config_.gpuCount;

@@ -134,6 +134,19 @@ struct SystemConfig
      */
     int planningThreads = 1;
     /**
+     * Worker threads for the discrete-event engine's intra-run
+     * parallelism (sim/engine.hpp). 1 = serial, 0 = hardware
+     * concurrency. Simulation results are byte-identical at any
+     * value: the engine's conservative zone partition fixes event
+     * order independently of the worker count. Training runs execute
+     * as a single zone (their collectives synchronise every device at
+     * sub-lookahead granularity), so the knob only changes wall-clock
+     * for partitioned simulations such as bench_scale's synthetic
+     * fleets; it is validated and forwarded everywhere for
+     * uniformity.
+     */
+    int engineJobs = 1;
+    /**
      * Optional seeded fault scenario injected into the simulated
      * cluster: degraded SM/HBM capacity, slow interconnect links,
      * transient kernel failures (sim/fault.hpp).

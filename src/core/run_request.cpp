@@ -89,6 +89,11 @@ SystemConfig::validate() const
                         "0 = hardware concurrency, otherwise must be "
                         "positive");
     }
+    if (engineJobs < 0) {
+        result.addError("engineJobs",
+                        "0 = hardware concurrency, otherwise must be "
+                        "positive");
+    }
     if (checkpoint.mode == CheckpointMode::FixedInterval &&
         checkpoint.interval < 1) {
         result.addError("checkpoint.interval",

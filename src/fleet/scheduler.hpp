@@ -97,6 +97,14 @@ struct FleetOptions
      * per-point scope so instruments stay point-private.
      */
     std::string metricsScope;
+    /**
+     * DES engine workers inside each inner job simulation (1 = serial,
+     * 0 = hardware concurrency). Reports are byte-identical at any
+     * value, so memo keys stay valid; the knob only trades wall clock.
+     * Trainer simulations run single-zone today, so this forwards the
+     * configuration without changing scheduling behaviour.
+     */
+    int engineJobs = 1;
 };
 
 /** Runs one arrival trace to completion under one placement policy. */

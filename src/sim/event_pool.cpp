@@ -1,0 +1,113 @@
+#include "sim/event_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace rap::sim {
+
+EventPool::Node &
+EventPool::node(std::uint32_t index)
+{
+    return slabs_[index / kSlabSize][index % kSlabSize];
+}
+
+const EventPool::Node &
+EventPool::node(std::uint32_t index) const
+{
+    return slabs_[index / kSlabSize][index % kSlabSize];
+}
+
+void
+EventPool::addSlab()
+{
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+    slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+    // Chain the fresh slab onto the free list back-to-front so nodes
+    // hand out in ascending index order.
+    for (std::size_t i = kSlabSize; i-- > 0;) {
+        Node &n = slabs_.back()[i];
+        n.nextFree = freeHead_;
+        freeHead_ = base + static_cast<std::uint32_t>(i);
+    }
+}
+
+EventHandle
+EventPool::acquire(EventCallback fn)
+{
+    if (freeHead_ == EventHandle::kInvalidIndex)
+        addSlab();
+    const std::uint32_t index = freeHead_;
+    Node &n = node(index);
+    freeHead_ = n.nextFree;
+    n.nextFree = EventHandle::kInvalidIndex;
+    n.fn = std::move(fn);
+    n.live = true;
+    ++live_;
+    return EventHandle{index, n.generation};
+}
+
+bool
+EventPool::valid(EventHandle handle) const
+{
+    if (handle.isNull() || handle.index >= capacity())
+        return false;
+    const Node &n = node(handle.index);
+    return n.live && n.generation == handle.generation;
+}
+
+EventCallback
+EventPool::take(EventHandle handle)
+{
+    RAP_ASSERT(valid(handle),
+               "stale or null event handle: index=", handle.index,
+               " generation=", handle.generation);
+    Node &n = node(handle.index);
+    EventCallback fn = std::move(n.fn);
+    // Reassigning (rather than destroying) n.fn on the next acquire
+    // lets implementations reuse the node in place; bump the
+    // generation now so any copy of this handle goes stale.
+    n.fn = nullptr;
+    n.live = false;
+    ++n.generation;
+    n.nextFree = freeHead_;
+    freeHead_ = handle.index;
+    --live_;
+    return fn;
+}
+
+void
+EventPool::release(EventHandle handle)
+{
+    RAP_ASSERT(valid(handle),
+               "stale or null event handle: index=", handle.index,
+               " generation=", handle.generation);
+    Node &n = node(handle.index);
+    n.fn = nullptr;
+    n.live = false;
+    ++n.generation;
+    n.nextFree = freeHead_;
+    freeHead_ = handle.index;
+    --live_;
+}
+
+void
+EventPool::reset()
+{
+    freeHead_ = EventHandle::kInvalidIndex;
+    live_ = 0;
+    for (std::size_t s = slabs_.size(); s-- > 0;) {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(s * kSlabSize);
+        for (std::size_t i = kSlabSize; i-- > 0;) {
+            Node &n = slabs_[s][i];
+            n.fn = nullptr;
+            if (n.live)
+                ++n.generation;
+            n.live = false;
+            n.nextFree = freeHead_;
+            freeHead_ = base + static_cast<std::uint32_t>(i);
+        }
+    }
+}
+
+} // namespace rap::sim

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Concurrency stress tests for the lock-free rings backing cross-zone
+ * event handoff (sim/lockfree_queue.hpp) plus single-threaded churn on
+ * the event pool. Registered under the `queue-stress` ctest label: the
+ * TSan CI job runs the label explicitly so the memory orderings here
+ * are race-checked every PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/event_pool.hpp"
+#include "sim/lockfree_queue.hpp"
+
+namespace rap::sim {
+namespace {
+
+TEST(SpscQueue, SingleThreadedFifoAndBounds)
+{
+    SpscQueue<int> queue(8);
+    EXPECT_EQ(queue.capacity(), 8u);
+    int out = 0;
+    EXPECT_FALSE(queue.tryPop(out));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(queue.tryPush(std::move(i)));
+    int overflow = 99;
+    EXPECT_FALSE(queue.tryPush(std::move(overflow))); // full
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(queue.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(queue.tryPop(out));
+}
+
+TEST(SpscQueue, TwoThreadStressKeepsFifoOrder)
+{
+    constexpr std::uint64_t kItems = 200000;
+    SpscQueue<std::uint64_t> queue(64);
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kItems;) {
+            std::uint64_t item = i;
+            if (queue.tryPush(std::move(item)))
+                ++i;
+            else
+                std::this_thread::yield();
+        }
+    });
+    std::uint64_t expected = 0;
+    while (expected < kItems) {
+        std::uint64_t out = 0;
+        if (queue.tryPop(out)) {
+            ASSERT_EQ(out, expected); // strict FIFO, nothing lost
+            ++expected;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    std::uint64_t tail = 0;
+    EXPECT_FALSE(queue.tryPop(tail)); // fully drained
+}
+
+TEST(MpscQueue, SingleThreadedFifoAndBounds)
+{
+    MpscQueue<int> queue(8);
+    EXPECT_EQ(queue.capacity(), 8u);
+    int out = 0;
+    EXPECT_FALSE(queue.tryPop(out));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(queue.tryPush(std::move(i)));
+    int overflow = 99;
+    EXPECT_FALSE(queue.tryPush(std::move(overflow)));
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(queue.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    // Indices have wrapped the ring once; it must keep working.
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 6; ++i)
+            EXPECT_TRUE(queue.tryPush(i + round));
+        for (int i = 0; i < 6; ++i) {
+            ASSERT_TRUE(queue.tryPop(out));
+            EXPECT_EQ(out, i + round);
+        }
+    }
+}
+
+TEST(MpscQueue, FourProducerStressDeliversEverythingInProducerOrder)
+{
+    // Item encodes (producer, sequence); the consumer checks that no
+    // item is lost or duplicated and that each producer's stream
+    // arrives in order — the exact guarantee the engine's inbox drain
+    // re-sort builds on.
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 50000;
+    MpscQueue<std::uint64_t> queue(128);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, &go, p] {
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            for (std::uint64_t i = 0; i < kPerProducer;) {
+                std::uint64_t item =
+                    (static_cast<std::uint64_t>(p) << 32) | i;
+                if (queue.tryPush(std::move(item)))
+                    ++i;
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    std::uint64_t received = 0;
+    std::uint64_t next_seq[kProducers] = {};
+    while (received < kProducers * kPerProducer) {
+        std::uint64_t out = 0;
+        if (!queue.tryPop(out)) {
+            std::this_thread::yield();
+            continue;
+        }
+        const auto producer = static_cast<int>(out >> 32);
+        const std::uint64_t seq = out & 0xffffffffULL;
+        ASSERT_LT(producer, kProducers);
+        ASSERT_EQ(seq, next_seq[producer]); // per-producer FIFO
+        ++next_seq[producer];
+        ++received;
+    }
+    for (auto &thread : producers)
+        thread.join();
+    std::uint64_t tail = 0;
+    EXPECT_FALSE(queue.tryPop(tail));
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+TEST(MpscQueue, ProducersContendWithConcurrentDrain)
+{
+    // Tiny ring + big item count: producers constantly hit the full
+    // path while the consumer drains, hammering the sequence-number
+    // handshake from both sides.
+    constexpr int kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 20000;
+    MpscQueue<std::uint64_t> queue(4);
+    std::vector<std::thread> producers;
+    std::atomic<std::uint64_t> pushed{0};
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, &pushed] {
+            for (std::uint64_t i = 0; i < kPerProducer;) {
+                std::uint64_t item = 1;
+                if (queue.tryPush(std::move(item))) {
+                    ++i;
+                    pushed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    std::uint64_t drained = 0;
+    while (drained < kProducers * kPerProducer) {
+        std::uint64_t out = 0;
+        if (queue.tryPop(out))
+            drained += out;
+        else
+            std::this_thread::yield();
+    }
+    for (auto &thread : producers)
+        thread.join();
+    EXPECT_EQ(drained, pushed.load());
+}
+
+TEST(EventPool, ChurnWithRandomInterleavedLifetimes)
+{
+    // Mixed acquire/take/release churn with a growing-and-shrinking
+    // live set: the free list, generations, and slab growth must stay
+    // consistent far past several slabs of peak occupancy.
+    EventPool pool;
+    std::vector<EventHandle> live;
+    std::uint64_t fired = 0;
+    std::uint64_t acquired = 0;
+    std::uint64_t lcg = 12345;
+    for (int step = 0; step < 200000; ++step) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        const bool grow = (lcg >> 33) % 100 <
+                          (live.size() < 700 ? 60u : 40u);
+        if (grow || live.empty()) {
+            live.push_back(pool.acquire([&fired] { ++fired; }));
+            ++acquired;
+        } else {
+            const std::size_t pick =
+                static_cast<std::size_t>(lcg >> 13) % live.size();
+            const EventHandle handle = live[pick];
+            live[pick] = live.back();
+            live.pop_back();
+            ASSERT_TRUE(pool.valid(handle));
+            if ((lcg >> 7) & 1)
+                pool.take(handle)();
+            else
+                pool.release(handle);
+            ASSERT_FALSE(pool.valid(handle));
+        }
+    }
+    EXPECT_EQ(pool.liveNodes(), live.size());
+    for (const auto &handle : live)
+        pool.take(handle)();
+    EXPECT_EQ(pool.liveNodes(), 0u);
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(pool.capacity(), 2048u); // bounded by peak, not churn
+}
+
+} // namespace
+} // namespace rap::sim

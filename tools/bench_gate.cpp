@@ -1,0 +1,209 @@
+/**
+ * @file
+ * CI gate for the `--bench-json` wall-clock artifacts (rap.bench.v1).
+ *
+ *   bench_gate --baseline bench/baseline.json [--tolerance 0.25]
+ *              [--out BENCH_pr.json] current.json [current.json...]
+ *
+ * Merges the current artifacts (duplicate benchmark names are an
+ * error), compares each baseline entry against its current wall_ms,
+ * and exits 1 when any benchmark regressed by more than the tolerance
+ * (current > baseline * (1 + tolerance)) or a baseline entry is
+ * missing from the current set. Benchmarks present only in the
+ * current set pass with a "new" note — committing them into
+ * bench/baseline.json is the follow-up, not a CI failure. `--out`
+ * writes the merged current artifact (the PR-side BENCH_pr.json CI
+ * uploads for later comparison).
+ *
+ * Wall clock is noisy; the default 25% tolerance is deliberately
+ * loose so the gate only trips on real regressions (see the
+ * perf-baseline job in .github/workflows/ci.yml). Refresh the
+ * baseline by re-running the same benches on the reference runner and
+ * committing the merged output.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace {
+
+using rap::Json;
+
+struct Entry
+{
+    double wallMs = 0.0;
+    std::uint64_t items = 0;
+};
+
+/** Parse one rap.bench.v1 file into @p out; returns false on error. */
+bool
+loadBenchFile(const std::string &path, std::map<std::string, Entry> &out,
+              bool allow_duplicates)
+{
+    const Json root = rap::readJsonFile(path); // fatal on I/O error
+    const Json *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "rap.bench.v1") {
+        std::cerr << "bench_gate: " << path
+                  << ": missing/unknown schema (want rap.bench.v1)\n";
+        return false;
+    }
+    const Json *list = root.find("benchmarks");
+    if (list == nullptr || !list->isArray()) {
+        std::cerr << "bench_gate: " << path
+                  << ": missing benchmarks array\n";
+        return false;
+    }
+    for (const auto &bench : list->elements()) {
+        const Json *name = bench.find("name");
+        const Json *wall = bench.find("wall_ms");
+        if (name == nullptr || !name->isString() || wall == nullptr ||
+            !wall->isNumber()) {
+            std::cerr << "bench_gate: " << path
+                      << ": benchmark entries need name + wall_ms\n";
+            return false;
+        }
+        Entry entry;
+        entry.wallMs = wall->asDouble();
+        if (const Json *items = bench.find("items");
+            items != nullptr && items->isNumber()) {
+            entry.items =
+                static_cast<std::uint64_t>(items->asDouble());
+        }
+        if (!out.emplace(name->asString(), entry).second &&
+            !allow_duplicates) {
+            std::cerr << "bench_gate: duplicate benchmark '"
+                      << name->asString() << "' (" << path << ")\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+fmt(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string out_path;
+    double tolerance = 0.25;
+    std::vector<std::string> current_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_gate: " << arg
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--tolerance") {
+            tolerance = std::atof(next().c_str());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bench_gate --baseline <baseline.json> "
+                         "[--tolerance 0.25] [--out merged.json] "
+                         "<current.json>...\n";
+            return 0;
+        } else if (arg.rfind("-", 0) == 0) {
+            std::cerr << "bench_gate: unknown flag '" << arg
+                      << "' (try --help)\n";
+            return 2;
+        } else {
+            current_paths.push_back(arg);
+        }
+    }
+    if (baseline_path.empty() || current_paths.empty()) {
+        std::cerr << "bench_gate: need --baseline and at least one "
+                     "current artifact (try --help)\n";
+        return 2;
+    }
+    if (!(tolerance >= 0.0)) {
+        std::cerr << "bench_gate: tolerance must be >= 0\n";
+        return 2;
+    }
+
+    std::map<std::string, Entry> baseline;
+    if (!loadBenchFile(baseline_path, baseline, false))
+        return 2;
+    std::map<std::string, Entry> current;
+    for (const auto &path : current_paths) {
+        if (!loadBenchFile(path, current, false))
+            return 2;
+    }
+
+    bool failed = false;
+    std::cout << "benchmark            baseline_ms  current_ms  ratio  "
+                 "verdict\n";
+    for (const auto &[name, base] : baseline) {
+        const auto it = current.find(name);
+        if (it == current.end()) {
+            std::cout << name << ": MISSING from current artifacts\n";
+            failed = true;
+            continue;
+        }
+        const double ratio =
+            base.wallMs > 0.0 ? it->second.wallMs / base.wallMs : 1.0;
+        const bool regressed = ratio > 1.0 + tolerance;
+        std::cout << name << "  " << fmt(base.wallMs) << "  "
+                  << fmt(it->second.wallMs) << "  " << fmt(ratio)
+                  << "x  " << (regressed ? "REGRESSED" : "ok") << "\n";
+        failed = failed || regressed;
+    }
+    for (const auto &[name, entry] : current) {
+        if (baseline.find(name) == baseline.end()) {
+            std::cout << name << "  -  " << fmt(entry.wallMs)
+                      << "  -  new (add to baseline)\n";
+        }
+    }
+
+    if (!out_path.empty()) {
+        Json root = Json::object();
+        root.set("schema", "rap.bench.v1");
+        Json list = Json::array();
+        for (const auto &[name, entry] : current) {
+            Json bench = Json::object();
+            bench.set("name", name);
+            bench.set("wall_ms", entry.wallMs);
+            bench.set("items", entry.items);
+            if (entry.wallMs > 0.0) {
+                bench.set("items_per_sec",
+                          static_cast<double>(entry.items) /
+                              (entry.wallMs / 1e3));
+            }
+            list.push(std::move(bench));
+        }
+        root.set("benchmarks", std::move(list));
+        rap::writeJsonFile(root, out_path);
+    }
+
+    if (failed) {
+        std::cerr << "bench_gate: FAIL (tolerance "
+                  << fmt(tolerance * 100.0) << "%)\n";
+        return 1;
+    }
+    std::cout << "bench_gate: all benchmarks within "
+              << fmt(tolerance * 100.0) << "% of baseline\n";
+    return 0;
+}
