@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Bounded lock-free queues shared by the parallel DES engine
+ * (sim/engine.hpp) and the streaming ingest front-end (src/ingest).
+ *
+ * Two flavours:
+ *
+ *  - SpscQueue: the classic Lamport single-producer/single-consumer
+ *    ring. Wait-free on both sides; one producer thread, one consumer
+ *    thread, nothing shared but the two indices.
+ *  - MpscQueue: a Vyukov-style bounded multi-producer/single-consumer
+ *    ring with per-slot sequence numbers. The engine gives every time
+ *    zone one MpscQueue inbox, so Z zones cost O(Z) rings instead of
+ *    the O(Z^2) an SPSC grid would need at thousand-GPU scale.
+ *
+ * Both are fixed-capacity (power of two) and fail the push when full —
+ * callers own the overflow policy. Consumers needing a stable order
+ * across producers must re-sort on a key carried in T; both current
+ * users do (the engine re-sorts inbox messages at window barriers, the
+ * ingest stager k-way-merges per-stream rings on the event key).
+ */
+
+#ifndef RAP_COMMON_LOCKFREE_QUEUE_HPP
+#define RAP_COMMON_LOCKFREE_QUEUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace rap {
+
+/** @return True when @p n is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Bounded single-producer/single-consumer ring buffer.
+ *
+ * Exactly one thread may call tryPush and exactly one thread may call
+ * tryPop; the two may run concurrently. Elements move through the
+ * ring in FIFO order.
+ */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** @param capacity Slot count; must be a power of two. */
+    explicit SpscQueue(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1)
+    {
+        RAP_ASSERT(isPowerOfTwo(capacity),
+                   "SPSC capacity must be a power of two, got ",
+                   capacity);
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** @return False when the ring is full (item untouched). */
+    bool
+    tryPush(T &&item)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail > mask_)
+            return false; // full
+        slots_[head & mask_] = std::move(item);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** @return False when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return false; // empty
+        out = std::move(slots_[tail & mask_]);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** @return Approximate occupancy (exact when quiescent). */
+    std::size_t
+    size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/**
+ * Bounded multi-producer/single-consumer ring (Vyukov bounded queue).
+ *
+ * Any number of threads may call tryPush concurrently; exactly one
+ * thread may call tryPop. Per-producer FIFO order is preserved; the
+ * interleaving across producers is whatever the race produced, so
+ * consumers needing a stable order must re-sort on a key carried in T.
+ */
+template <typename T>
+class MpscQueue
+{
+  public:
+    /** @param capacity Slot count; must be a power of two. */
+    explicit MpscQueue(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1)
+    {
+        RAP_ASSERT(isPowerOfTwo(capacity),
+                   "MPSC capacity must be a power of two, got ",
+                   capacity);
+        for (std::size_t i = 0; i < capacity; ++i)
+            slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    /** @return False when the ring is full (item untouched). */
+    bool
+    tryPush(T &&item)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[pos & mask_];
+            const std::size_t seq =
+                slot.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // full
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        Slot &slot = slots_[pos & mask_];
+        slot.value = std::move(item);
+        slot.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** @return False when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t pos = tail_;
+        Slot &slot = slots_[pos & mask_];
+        const std::size_t seq =
+            slot.sequence.load(std::memory_order_acquire);
+        const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                    static_cast<std::ptrdiff_t>(pos + 1);
+        if (diff < 0)
+            return false; // empty (or producer mid-write)
+        out = std::move(slot.value);
+        slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+        tail_ = pos + 1;
+        return true;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::size_t tail_ = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_COMMON_LOCKFREE_QUEUE_HPP

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "dlrm/trainer.hpp"
+#include "ingest/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "preproc/executor.hpp"
@@ -71,6 +72,59 @@ class InputBarrier
     int arrived_ = 0;
     std::vector<sim::SimEventPtr> targets_;
 };
+
+/** Result of the streaming-ingest pre-pass. */
+struct IngestPhase
+{
+    /** Virtual time staged batch j became available (monotone). */
+    std::vector<Seconds> readyAt;
+    ingest::IngestReport report;
+};
+
+/**
+ * Streaming-ingest pre-pass: when the run is configured with an
+ * ingest front-end, drive the whole stream (producers, lock-free
+ * transport, staging) to completion and record each staged batch's
+ * virtual ready time. The training simulation then gates iteration j
+ * on readyAt[j] — input-bound stretches of the stream surface as
+ * iteration-latency stalls. Fatal when the stream stages fewer
+ * batches than the run consumes.
+ */
+std::optional<IngestPhase>
+runIngestPhase(const SystemConfig &config)
+{
+    if (!config.ingest)
+        return std::nullopt;
+    IngestPhase phase;
+    ingest::IngestPipeline pipeline(*config.ingest);
+    phase.report = pipeline.run(
+        [&phase](ingest::StagedBatch &&batch) {
+            phase.readyAt.push_back(batch.readyAt);
+        },
+        config.metrics, runLabels(config));
+    if (phase.readyAt.size() <
+        static_cast<std::size_t>(config.iterations)) {
+        RAP_FATAL("ingest staged ", phase.readyAt.size(),
+                  " batches but the run consumes ",
+                  config.iterations,
+                  " (one per iteration); raise ingest.duration or "
+                  "shrink ingest.batchRows");
+    }
+    return phase;
+}
+
+void
+fillIngestStats(RunReport &report, const IngestPhase &phase,
+                int iterations)
+{
+    report.ingestEvents = phase.report.events;
+    report.ingestDropped = phase.report.dropped;
+    report.ingestSpilled = phase.report.spilled;
+    report.ingestBatches = phase.report.batches;
+    report.ingestStagingP99 = phase.report.p99;
+    report.ingestLastReadyAt =
+        phase.readyAt[static_cast<std::size_t>(iterations) - 1];
+}
 
 /** Per-system behavioural knobs shared by all GPU-preprocessing runs. */
 struct GpuSystemTraits
@@ -604,7 +658,47 @@ OnlineTrainer::runIdeal()
         injector.emplace(config_.faults->degradationOnly());
         injector->arm(cluster);
     }
+    const auto ingest_phase = runIngestPhase(config_);
     dlrm::TrainingDriver driver(cluster, config, sharding);
+
+    // Streaming ingest gates even the ideal system: iteration j's
+    // input event fires when staged batch j is ready, so an
+    // input-bound stream stretches the otherwise compute-bound run.
+    std::vector<std::vector<sim::SimEventPtr>> ready;
+    std::vector<std::unique_ptr<InputBarrier>> input_barriers;
+    if (ingest_phase) {
+        auto &engine = cluster.engine();
+        const int n = config_.iterations;
+        const int gpus = config_.gpuCount;
+        ready.resize(static_cast<std::size_t>(gpus));
+        for (int j = 0; j < n; ++j) {
+            input_barriers.push_back(
+                std::make_unique<InputBarrier>(engine, 1));
+        }
+        for (int g = 0; g < gpus; ++g) {
+            for (int j = 0; j < n; ++j) {
+                auto event = sim::makeEvent(
+                    "input.g" + std::to_string(g) + "." +
+                    std::to_string(j));
+                input_barriers[static_cast<std::size_t>(j)]
+                    ->addTarget(event);
+                ready[static_cast<std::size_t>(g)].push_back(
+                    std::move(event));
+            }
+        }
+        driver.setInputGate([&ready](int g, int i) {
+            return ready[static_cast<std::size_t>(g)][
+                static_cast<std::size_t>(i)];
+        });
+        for (int j = 0; j < n; ++j) {
+            auto *barrier =
+                input_barriers[static_cast<std::size_t>(j)].get();
+            engine.schedule(
+                ingest_phase->readyAt[static_cast<std::size_t>(j)],
+                [barrier] { barrier->arrive(); });
+        }
+    }
+
     const bool checkpointing =
         armCheckpoints(config_, config, sharding, driver);
     driver.pushIterations(config_.iterations);
@@ -628,6 +722,8 @@ OnlineTrainer::runIdeal()
     applyRecovery(config_, report, report.avgIterationLatency,
                   checkpointing ? driver.avgCheckpointCost() : 0.0,
                   crash_times);
+    if (ingest_phase)
+        fillIngestStats(report, *ingest_phase, config_.iterations);
     recordIterationMetrics(config_, cluster, driver);
     maybeWriteTrace(cluster, config_);
     return report;
@@ -865,6 +961,11 @@ OnlineTrainer::runGpuSystem()
     const int n = config_.iterations;
     const int gpus = config_.gpuCount;
 
+    // Streaming ingest pre-pass: the stream is staged on the same
+    // virtual clock, and iteration j's input barrier gains one extra
+    // party that arrives at staged batch j's ready time.
+    const auto ingest_phase = runIngestPhase(config_);
+
     // Optional seeded fault scenario: degraded SM/HBM envelopes, slow
     // links, transient kernel-launch failures (sim/fault.hpp).
     // Fail-stop events are split off: the DES measures the
@@ -883,8 +984,8 @@ OnlineTrainer::runGpuSystem()
         static_cast<std::size_t>(gpus));
     std::vector<std::unique_ptr<InputBarrier>> barriers;
     for (int j = 0; j < n; ++j) {
-        barriers.push_back(
-            std::make_unique<InputBarrier>(engine, gpus));
+        barriers.push_back(std::make_unique<InputBarrier>(
+            engine, gpus + (ingest_phase ? 1 : 0)));
     }
     for (int g = 0; g < gpus; ++g) {
         for (int j = 0; j < n; ++j) {
@@ -894,6 +995,15 @@ OnlineTrainer::runGpuSystem()
             barriers[static_cast<std::size_t>(j)]->addTarget(event);
             ready[static_cast<std::size_t>(g)].push_back(
                 std::move(event));
+        }
+    }
+    if (ingest_phase) {
+        for (int j = 0; j < n; ++j) {
+            auto *barrier =
+                barriers[static_cast<std::size_t>(j)].get();
+            engine.schedule(
+                ingest_phase->readyAt[static_cast<std::size_t>(j)],
+                [barrier] { barrier->arrive(); });
         }
     }
 
@@ -1251,6 +1361,8 @@ OnlineTrainer::runGpuSystem()
     applyRecovery(config_, report, report.avgIterationLatency,
                   checkpointing ? driver.avgCheckpointCost() : 0.0,
                   crash_times);
+    if (ingest_phase)
+        fillIngestStats(report, *ingest_phase, n);
     if (config_.metrics != nullptr) {
         config_.metrics
             ->counter("train.replans", runLabels(config_))

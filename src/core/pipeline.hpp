@@ -34,6 +34,7 @@
 #include "core/latency_predictor.hpp"
 #include "core/mapping.hpp"
 #include "core/validation.hpp"
+#include "ingest/config.hpp"
 #include "preproc/plan.hpp"
 #include "sim/fault.hpp"
 
@@ -153,6 +154,19 @@ struct SystemConfig
      */
     std::optional<sim::FaultSpec> faults;
     /**
+     * Streaming ingestion front-end (src/ingest). When set, the run
+     * consumes a stream instead of assuming a pre-materialized
+     * dataset: the ingest pipeline runs first on the same virtual
+     * clock, and training iteration j's input gate additionally
+     * waits until staged batch j's readyAt — input-bound phases of
+     * the stream (bursts, backpressure stalls) therefore stretch the
+     * measured iterations. The stream must stage at least
+     * `iterations` batches (tune ingest.duration / profile /
+     * batchRows); the run refuses otherwise. Incompatible with
+     * TorchArrowCpu, whose CPU workers model their own input path.
+     */
+    std::optional<ingest::IngestConfig> ingest;
+    /**
      * Online replanning: after warmup, compare each iteration's
      * observed latency against the cost model's prediction; past
      * replanDriftThreshold, re-run the co-run scheduler (and, with
@@ -267,6 +281,18 @@ struct RunReport
     Seconds checkpointOverhead = 0.0;
     /** Crash-restore cycles survived. */
     int recoveries = 0;
+    /** Events emitted by the ingest stream (0 = no ingest). */
+    std::uint64_t ingestEvents = 0;
+    /** Events lost to the drop-oldest backpressure policy. */
+    std::uint64_t ingestDropped = 0;
+    /** Events diverted to the spill log (replayed later). */
+    std::uint64_t ingestSpilled = 0;
+    /** Batches the ingest stager assembled. */
+    std::uint64_t ingestBatches = 0;
+    /** p99 staging latency of the ingest stream. */
+    Seconds ingestStagingP99 = 0.0;
+    /** Virtual time the last consumed batch became ready. */
+    Seconds ingestLastReadyAt = 0.0;
     /**
      * Fleet-clock lifecycle timestamps, filled by the fleet scheduler:
      * when the job entered the admission queue, when its placement

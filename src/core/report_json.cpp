@@ -87,6 +87,12 @@ RunReport::toJson() const
     json.set("lostWork", Json(lostWork));
     json.set("checkpointOverhead", Json(checkpointOverhead));
     json.set("recoveries", Json(recoveries));
+    json.set("ingestEvents", Json(ingestEvents));
+    json.set("ingestDropped", Json(ingestDropped));
+    json.set("ingestSpilled", Json(ingestSpilled));
+    json.set("ingestBatches", Json(ingestBatches));
+    json.set("ingestStagingP99", Json(ingestStagingP99));
+    json.set("ingestLastReadyAt", Json(ingestLastReadyAt));
     setOptionalSeconds(json, "submittedAt", submittedAt);
     setOptionalSeconds(json, "startedAt", startedAt);
     setOptionalSeconds(json, "finishedAt", finishedAt);
@@ -126,6 +132,21 @@ RunReport::fromJson(const Json &json)
         json.at("checkpointOverhead").asDouble();
     report.recoveries =
         static_cast<int>(json.at("recoveries").asDouble());
+    // Ingest fields postdate older stored reports; default to zero.
+    const auto counter = [&json](const char *key) {
+        const Json *value = json.find(key);
+        return value == nullptr
+                   ? std::uint64_t{0}
+                   : static_cast<std::uint64_t>(value->asDouble());
+    };
+    report.ingestEvents = counter("ingestEvents");
+    report.ingestDropped = counter("ingestDropped");
+    report.ingestSpilled = counter("ingestSpilled");
+    report.ingestBatches = counter("ingestBatches");
+    if (const Json *value = json.find("ingestStagingP99"))
+        report.ingestStagingP99 = value->asDouble();
+    if (const Json *value = json.find("ingestLastReadyAt"))
+        report.ingestLastReadyAt = value->asDouble();
     report.submittedAt = getOptionalSeconds(json, "submittedAt");
     report.startedAt = getOptionalSeconds(json, "startedAt");
     report.finishedAt = getOptionalSeconds(json, "finishedAt");

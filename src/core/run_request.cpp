@@ -133,6 +133,19 @@ SystemConfig::validate() const
         }
     }
 
+    if (ingest) {
+        for (const auto &issue :
+             ingest::validateIngestConfig(*ingest)) {
+            result.addError("ingest." + issue.first, issue.second);
+        }
+        if (system == System::TorchArrowCpu) {
+            result.addError("ingest",
+                            "TorchArrowCpu models its own CPU input "
+                            "pipeline; streaming ingest applies to "
+                            "the GPU-sharing systems only");
+        }
+    }
+
     return result;
 }
 

@@ -95,6 +95,14 @@ class RunRequest
         return *this;
     }
 
+    /** Gate each iteration on a streaming ingestion front-end. */
+    RunRequest &
+    ingest(ingest::IngestConfig config)
+    {
+        config_.ingest = std::move(config);
+        return *this;
+    }
+
     RunRequest &
     replanOnDrift(bool on, double threshold = 0.15)
     {

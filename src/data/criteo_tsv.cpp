@@ -1,52 +1,13 @@
 #include "data/criteo_tsv.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/log.hpp"
+#include "data/row_codec.hpp"
 
 namespace rap::data {
-
-namespace {
-
-/** Split a line into exactly the schema's field count, tab-separated. */
-std::vector<std::string_view>
-splitFields(std::string_view line)
-{
-    std::vector<std::string_view> fields;
-    std::size_t start = 0;
-    for (;;) {
-        const auto tab = line.find('\t', start);
-        if (tab == std::string_view::npos) {
-            fields.push_back(line.substr(start));
-            return fields;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-}
-
-bool
-parseId(std::string_view field, std::int64_t &value)
-{
-    const auto *begin = field.data();
-    const auto *end = field.data() + field.size();
-    const auto result = std::from_chars(begin, end, value);
-    return result.ec == std::errc{} && result.ptr == end;
-}
-
-bool
-parseDense(std::string_view field, float &value)
-{
-    const auto *begin = field.data();
-    const auto *end = field.data() + field.size();
-    const auto result = std::from_chars(begin, end, value);
-    return result.ec == std::errc{} && result.ptr == end;
-}
-
-} // namespace
 
 void
 writeCriteoTsv(std::ostream &out, const RecordBatch &batch)
@@ -84,13 +45,12 @@ readCriteoTsvChecked(std::istream &in, const Schema &schema,
     TsvReadResult result;
     std::string line;
     std::size_t committed = 0;
-    // Row staging: parse into these temporaries and commit to the
-    // column builders only once the whole row is clean, so a
-    // malformed field never leaves a partial row behind.
-    std::vector<float> row_dense;
-    std::vector<std::uint8_t> row_valid;
-    std::vector<std::vector<std::int64_t>> row_sparse(
-        schema.sparseCount());
+    // Row staging (data/row_codec.hpp): decode into a reusable
+    // CriteoRow and commit to the column builders only once the whole
+    // row is clean, so a malformed field never leaves a partial row
+    // behind. The same codec backs the ingest spill log.
+    CriteoRow staged;
+    RowError error;
 
     while ((max_rows == 0 || committed < max_rows) &&
            std::getline(in, line)) {
@@ -101,80 +61,18 @@ readCriteoTsvChecked(std::istream &in, const Schema &schema,
         if (line.empty())
             continue;
         const std::size_t row = result.rowsScanned++;
-        if (line.find('\0') != std::string::npos) {
+        if (!decodeCriteoRow(line, schema, staged, error)) {
             result.errors.push_back(
-                {row, 0, "embedded NUL byte in TSV row"});
+                {row, error.field, std::move(error.message)});
             continue;
         }
-        const auto fields = splitFields(line);
-        if (fields.size() != schema.featureCount()) {
-            result.errors.push_back(
-                {row, 0,
-                 "has " + std::to_string(fields.size()) +
-                     " fields, expected " +
-                     std::to_string(schema.featureCount())});
-            continue;
-        }
-
-        bool bad = false;
-        row_dense.clear();
-        row_valid.clear();
-        for (std::size_t f = 0; !bad && f < schema.denseCount();
-             ++f) {
-            const auto field = fields[f];
-            if (field.empty()) {
-                row_dense.push_back(0.0f);
-                row_valid.push_back(0);
-                continue;
-            }
-            float value = 0.0f;
-            if (parseDense(field, value)) {
-                row_dense.push_back(value);
-                row_valid.push_back(1);
-            } else {
-                result.errors.push_back(
-                    {row, f,
-                     "malformed dense value in TSV field: '" +
-                         std::string(field) + "'"});
-                bad = true;
-            }
-        }
-        for (std::size_t s = 0; !bad && s < schema.sparseCount();
-             ++s) {
-            const auto field = fields[schema.denseCount() + s];
-            auto &ids = row_sparse[s];
-            ids.clear();
-            std::size_t start = 0;
-            while (!bad && !field.empty()) {
-                const auto comma = field.find(',', start);
-                const auto token =
-                    comma == std::string_view::npos
-                        ? field.substr(start)
-                        : field.substr(start, comma - start);
-                std::int64_t id = 0;
-                if (parseId(token, id)) {
-                    ids.push_back(id);
-                } else {
-                    result.errors.push_back(
-                        {row, schema.denseCount() + s,
-                         "malformed sparse id in TSV field: '" +
-                             std::string(token) + "'"});
-                    bad = true;
-                }
-                if (comma == std::string_view::npos)
-                    break;
-                start = comma + 1;
-            }
-        }
-        if (bad)
-            continue;
 
         for (std::size_t f = 0; f < schema.denseCount(); ++f) {
-            dense_values[f].push_back(row_dense[f]);
-            dense_valid[f].push_back(row_valid[f]);
+            dense_values[f].push_back(staged.dense[f]);
+            dense_valid[f].push_back(staged.denseValid[f]);
         }
         for (std::size_t s = 0; s < schema.sparseCount(); ++s)
-            sparse_cols[s].appendRow(row_sparse[s]);
+            sparse_cols[s].appendRow(staged.sparse[s]);
         ++committed;
     }
 

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Single-row Criteo TSV codec shared by the batch TSV reader
+ * (data/criteo_tsv.hpp) and the streaming ingest spill log
+ * (ingest/spill.hpp).
+ *
+ * A row is the unit both paths care about: the TSV reader stages one
+ * row at a time and commits it to column builders only when the whole
+ * row is clean, and the ingest spill log persists one event (= one
+ * row) per line. Factoring the field parsing here keeps the two
+ * on-disk formats byte-compatible by construction.
+ */
+
+#ifndef RAP_DATA_ROW_CODEC_HPP
+#define RAP_DATA_ROW_CODEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/schema.hpp"
+
+namespace rap::data {
+
+/**
+ * One decoded row in row-major form: parallel dense value/validity
+ * arrays plus one id list per sparse feature. Reused across rows —
+ * clear() keeps the allocated capacity.
+ */
+struct CriteoRow
+{
+    std::vector<float> dense;
+    std::vector<std::uint8_t> denseValid;
+    std::vector<std::vector<std::int64_t>> sparse;
+
+    /** Drop contents, keep capacity (per-feature lists included). */
+    void clear();
+};
+
+/** One malformed row diagnosed by decodeCriteoRow. */
+struct RowError
+{
+    /** 0-based field ordinal (dense first, then sparse). */
+    std::size_t field = 0;
+    /** What was wrong, quoting the offending text. */
+    std::string message;
+};
+
+/**
+ * Decode one Criteo TSV line (no trailing newline/CR) against
+ * @p schema into @p row. Whole-row semantics: on any malformed field
+ * the function stops, fills @p error, and returns false — @p row then
+ * holds partial content the caller must discard. Empty dense fields
+ * decode as nulls; an empty sparse field is an empty list.
+ */
+bool decodeCriteoRow(std::string_view line, const Schema &schema,
+                     CriteoRow &row, RowError &error);
+
+/**
+ * Append @p row to @p out as one TSV line (no trailing newline).
+ * Dense values use the shortest round-trip decimal form
+ * (std::to_chars), so decodeCriteoRow(encodeCriteoRow(r)) is
+ * bit-exact — the property the ingest spill/replay path relies on.
+ * (writeCriteoTsv keeps its historical 6-significant-digit ostream
+ * formatting for interchange files; only this codec guarantees
+ * round-trips.)
+ */
+void encodeCriteoRow(const CriteoRow &row, std::string &out);
+
+} // namespace rap::data
+
+#endif // RAP_DATA_ROW_CODEC_HPP

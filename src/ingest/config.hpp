@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration for the streaming ingest front-end: how many logical
+ * streams emit, at what rate profile, how the staging consumer is
+ * provisioned, and which backpressure policy governs overload.
+ *
+ * The determinism split that everything downstream relies on:
+ *
+ *  - `streams` is the *logical* knob. Every event is a pure function
+ *    of (seed, stream), so changing the stream count changes the
+ *    workload.
+ *  - `producers` is the *transport* knob: how many OS threads carry
+ *    the streams into the staging consumer. Any producer count yields
+ *    byte-identical batches, metrics, and reports — the same contract
+ *    `--jobs` / `--engine-jobs` keep elsewhere in the repo, and what
+ *    CI's determinism job diffs for bench_ingest.
+ */
+
+#ifndef RAP_INGEST_CONFIG_HPP
+#define RAP_INGEST_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "data/criteo.hpp"
+#include "ingest/rate_profile.hpp"
+
+namespace rap::ingest {
+
+/** What the staging consumer does when its queue is at capacity. */
+enum class BackpressurePolicy {
+    /** Queue anyway: no loss, latency absorbs the overload. */
+    Block,
+    /** Drop the oldest queued event to admit the new one. */
+    DropOldest,
+    /** Divert the new event to a disk log, replay it after drain. */
+    Spill,
+};
+
+/** @return Stable lowercase id: "block" / "drop-oldest" / "spill". */
+std::string backpressurePolicyId(BackpressurePolicy policy);
+
+/** @return False when @p text names no policy (out untouched). */
+bool parseBackpressurePolicy(std::string_view text,
+                             BackpressurePolicy &out);
+
+struct IngestConfig
+{
+    /** Logical substream count (the workload knob, see file docs). */
+    int streams = 4;
+    /** Transport threads; 0 = one per stream. Never affects results. */
+    int producers = 1;
+    /** Root seed; stream s derives its own generator from (seed, s). */
+    std::uint64_t seed = 20240408;
+    /** Schema preset the synthetic events follow. */
+    data::DatasetPreset preset = data::DatasetPreset::CriteoKaggle;
+    /** Per-stream emission rate over time. */
+    RateProfile profile;
+    /** Emission horizon on the virtual clock. */
+    Seconds duration = 0.05;
+    /** Rows per assembled RecordBatch. */
+    std::int64_t batchRows = 256;
+    /** Per-stream SPSC ring capacity (power of two). */
+    std::size_t ringCapacity = 1024;
+    /** Staging queue capacity before the policy kicks in (0 = cap
+     *  disabled; only meaningful with Block). */
+    std::size_t stagingQueueCap = 512;
+    /** Staging service rate: events the consumer stages per second. */
+    double stagingEventsPerSec = 300000.0;
+    BackpressurePolicy policy = BackpressurePolicy::Block;
+    /** Spill log path; "" auto-creates one under the temp dir. */
+    std::string spillPath;
+    /** Sample ingest.queue_depth every N-th arrival. */
+    int depthSampleEvery = 64;
+};
+
+/** One rejected knob: (field, why). Folded into core validation. */
+using ConfigIssue = std::pair<std::string, std::string>;
+
+/** @return Every invalid knob in @p config (empty = valid). */
+std::vector<ConfigIssue> validateIngestConfig(
+    const IngestConfig &config);
+
+} // namespace rap::ingest
+
+#endif // RAP_INGEST_CONFIG_HPP

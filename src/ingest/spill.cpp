@@ -1,0 +1,143 @@
+#include "ingest/spill.hpp"
+
+#include <atomic>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "data/row_codec.hpp"
+
+namespace rap::ingest {
+
+namespace {
+
+std::string
+uniqueSpillPath()
+{
+    static std::atomic<std::uint64_t> next{0};
+    const auto ordinal = next.fetch_add(1, std::memory_order_relaxed);
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("rap_ingest_spill_" +
+                   std::to_string(static_cast<long>(::getpid())) +
+                   "_" + std::to_string(ordinal) + ".tsv"))
+        .string();
+}
+
+void
+appendHex(std::string &out, std::uint64_t value)
+{
+    char buf[17];
+    const auto result =
+        std::to_chars(buf, buf + sizeof(buf), value, 16);
+    out.append(buf, result.ptr);
+}
+
+bool
+parseU64(std::string_view field, std::uint64_t &value, int base = 10)
+{
+    const auto *begin = field.data();
+    const auto *end = field.data() + field.size();
+    const auto result = std::from_chars(begin, end, value, base);
+    return result.ec == std::errc{} && result.ptr == end;
+}
+
+} // namespace
+
+SpillLog::~SpillLog()
+{
+    removeFile();
+}
+
+void
+SpillLog::open(const std::string &path)
+{
+    path_ = path.empty() ? uniqueSpillPath() : path;
+    out_.open(path_, std::ios::trunc);
+    if (!out_)
+        RAP_FATAL("cannot open spill log for writing: ", path_);
+    appended_ = 0;
+}
+
+void
+SpillLog::append(const Event &event)
+{
+    RAP_ASSERT(out_.is_open(), "spill log not open");
+    line_.clear();
+    appendHex(line_, event.stream);
+    line_ += '\t';
+    appendHex(line_, event.seq);
+    line_ += '\t';
+    appendHex(line_, std::bit_cast<std::uint64_t>(event.emitTime));
+    line_ += '\t';
+    data::encodeCriteoRow(event.row, line_);
+    line_ += '\n';
+    out_ << line_;
+    if (!out_)
+        RAP_FATAL("failed writing spill log: ", path_);
+    ++appended_;
+}
+
+void
+SpillLog::replay(const data::Schema &schema,
+                 const std::function<void(Event &&)> &fn)
+{
+    if (!out_.is_open())
+        return;
+    out_.close();
+    std::ifstream in(path_);
+    if (!in)
+        RAP_FATAL("cannot reopen spill log for replay: ", path_);
+    std::string line;
+    std::uint64_t replayed = 0;
+    data::RowError error;
+    while (std::getline(in, line)) {
+        std::string_view view(line);
+        // Three fixed metadata fields, then the row codec's TSV.
+        std::uint64_t stream = 0, seq = 0, bits = 0;
+        bool ok = true;
+        for (int field = 0; ok && field < 3; ++field) {
+            const auto tab = view.find('\t');
+            ok = tab != std::string_view::npos;
+            if (!ok)
+                break;
+            const auto token = view.substr(0, tab);
+            view.remove_prefix(tab + 1);
+            switch (field) {
+              case 0: ok = parseU64(token, stream, 16); break;
+              case 1: ok = parseU64(token, seq, 16); break;
+              default: ok = parseU64(token, bits, 16); break;
+            }
+        }
+        Event event;
+        if (!ok ||
+            !data::decodeCriteoRow(view, schema, event.row, error)) {
+            RAP_FATAL("corrupt spill log line ", replayed, " in ",
+                      path_);
+        }
+        event.stream = static_cast<std::uint32_t>(stream);
+        event.seq = seq;
+        event.emitTime = std::bit_cast<double>(bits);
+        fn(std::move(event));
+        ++replayed;
+    }
+    RAP_ASSERT(replayed == appended_,
+               "spill replay saw ", replayed, " events, expected ",
+               appended_);
+}
+
+void
+SpillLog::removeFile()
+{
+    if (out_.is_open())
+        out_.close();
+    if (!path_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+        path_.clear();
+    }
+}
+
+} // namespace rap::ingest

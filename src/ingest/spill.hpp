@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Disk spill log backing BackpressurePolicy::Spill: overload-diverted
+ * events are appended as TSV lines and replayed in order once the
+ * live queue has drained, so no event is lost — it just pays the
+ * detour in staging latency.
+ *
+ * Line format: `<stream>\t<seq>\t<emit-bits-hex>\t<row TSV>`. The
+ * emit time is persisted as the hex of its IEEE-754 bit pattern and
+ * the row via data/row_codec.hpp's round-trip-exact encoder, so a
+ * replayed event is bit-identical to the one spilled — checksums over
+ * replayed batches stay producer-count-invariant.
+ */
+
+#ifndef RAP_INGEST_SPILL_HPP
+#define RAP_INGEST_SPILL_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "data/schema.hpp"
+#include "ingest/event.hpp"
+
+namespace rap::ingest {
+
+class SpillLog
+{
+  public:
+    SpillLog() = default;
+    ~SpillLog();
+
+    SpillLog(const SpillLog &) = delete;
+    SpillLog &operator=(const SpillLog &) = delete;
+
+    /**
+     * Open for writing (truncates). @p path may be empty: a unique
+     * file under the system temp directory is created instead.
+     * Fatal on I/O failure.
+     */
+    void open(const std::string &path);
+
+    bool isOpen() const { return out_.is_open(); }
+    const std::string &path() const { return path_; }
+    std::uint64_t appended() const { return appended_; }
+
+    /** Persist one event (append order = spill order). */
+    void append(const Event &event);
+
+    /**
+     * Close the writer and stream every spilled event back through
+     * @p fn in append order. Fatal on a malformed line — the log is
+     * ours, corruption means a bug.
+     */
+    void replay(const data::Schema &schema,
+                const std::function<void(Event &&)> &fn);
+
+    /** Best-effort unlink of the log file (idempotent). */
+    void removeFile();
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::string line_;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace rap::ingest
+
+#endif // RAP_INGEST_SPILL_HPP

@@ -1,0 +1,241 @@
+#include "ingest/stager.hpp"
+
+#include <bit>
+#include <limits>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rap::ingest {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (byte * 8)) & 0xffULL;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+} // namespace
+
+const std::vector<double> &
+stagingLatencyEdges()
+{
+    static const std::vector<double> edges = {
+        1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+        1e-3, 2e-3, 5e-3, 1e-2, 5e-2,
+    };
+    return edges;
+}
+
+IngestMetrics
+IngestMetrics::create(obs::MetricRegistry &registry,
+                      const obs::Labels &labels)
+{
+    IngestMetrics metrics;
+    metrics.events = &registry.counter("ingest.events", labels);
+    metrics.dropped = &registry.counter("ingest.dropped", labels);
+    metrics.spilled = &registry.counter("ingest.spilled", labels);
+    metrics.replayed = &registry.counter("ingest.replayed", labels);
+    metrics.batches = &registry.counter("ingest.batches", labels);
+    metrics.stagingLatency = &registry.histogram(
+        "ingest.staging_latency", stagingLatencyEdges(), labels);
+    metrics.queueDepth =
+        &registry.series("ingest.queue_depth", labels);
+    return metrics;
+}
+
+Stager::Stager(const IngestConfig &config, data::Schema schema,
+               BatchSink sink, IngestMetrics metrics)
+    : config_(config), schema_(std::move(schema)),
+      sink_(std::move(sink)), metrics_(metrics),
+      serviceTime_(1.0 / config.stagingEventsPerSec),
+      denseValues_(schema_.denseCount()),
+      denseValid_(schema_.denseCount()),
+      sparseCols_(schema_.sparseCount()), batchHash_(kFnvOffset)
+{
+    stats_.checksum = kFnvOffset;
+    if (config_.policy == BackpressurePolicy::Spill)
+        spill_.open(config_.spillPath);
+}
+
+void
+Stager::push(Event &&event)
+{
+    RAP_ASSERT(!finished_, "push after finish");
+    ++stats_.arrived;
+    completeUntil(event.emitTime);
+
+    ++arrivalTick_;
+    if (metrics_.queueDepth != nullptr &&
+        arrivalTick_ %
+                static_cast<std::uint64_t>(config_.depthSampleEvery) ==
+            0) {
+        metrics_.queueDepth->append(
+            event.emitTime, static_cast<double>(waiting_.size()));
+    }
+
+    if (config_.stagingQueueCap > 0 &&
+        waiting_.size() >= config_.stagingQueueCap) {
+        switch (config_.policy) {
+          case BackpressurePolicy::Block:
+            // Backpressure: the event queues anyway and the overload
+            // shows up as staging latency, never as loss.
+            break;
+          case BackpressurePolicy::DropOldest:
+            waiting_.pop_front();
+            ++stats_.dropped;
+            if (metrics_.dropped != nullptr)
+                metrics_.dropped->inc();
+            break;
+          case BackpressurePolicy::Spill:
+            spill_.append(event);
+            ++stats_.spilled;
+            if (metrics_.spilled != nullptr)
+                metrics_.spilled->inc();
+            return; // diverted; replayed in finish()
+        }
+    }
+
+    Pending pending;
+    pending.arrival = event.emitTime;
+    pending.emit = event.emitTime;
+    pending.row = std::move(event.row);
+    waiting_.push_back(std::move(pending));
+    stats_.maxQueueDepth =
+        std::max(stats_.maxQueueDepth, waiting_.size());
+}
+
+void
+Stager::completeUntil(Seconds t)
+{
+    while (!waiting_.empty()) {
+        Pending &front = waiting_.front();
+        const Seconds start = std::max(serverFreeAt_, front.arrival);
+        const Seconds done = start + serviceTime_;
+        if (done > t)
+            break;
+        serverFreeAt_ = done;
+        complete(std::move(front), done, /*replay=*/false);
+        waiting_.pop_front();
+    }
+}
+
+void
+Stager::complete(Pending &&pending, Seconds done, bool replay)
+{
+    const double latency = done - pending.emit;
+    stats_.latencies.push_back(latency);
+    if (metrics_.stagingLatency != nullptr)
+        metrics_.stagingLatency->observe(latency);
+    if (replay) {
+        ++stats_.replayed;
+        if (metrics_.replayed != nullptr)
+            metrics_.replayed->inc();
+    } else {
+        ++stats_.stagedLive;
+    }
+    appendRow(pending.row);
+    ++stats_.rowsStaged;
+    if (builderRows_ ==
+        static_cast<std::size_t>(config_.batchRows))
+        flushBatch(done);
+}
+
+void
+Stager::appendRow(const data::CriteoRow &row)
+{
+    for (std::size_t f = 0; f < schema_.denseCount(); ++f) {
+        denseValues_[f].push_back(row.dense[f]);
+        denseValid_[f].push_back(row.denseValid[f]);
+        batchHash_ = fnv1a(batchHash_, row.denseValid[f]);
+        batchHash_ = fnv1a(
+            batchHash_,
+            row.denseValid[f] != 0
+                ? std::bit_cast<std::uint32_t>(row.dense[f])
+                : 0u);
+    }
+    for (std::size_t s = 0; s < schema_.sparseCount(); ++s) {
+        sparseCols_[s].appendRow(row.sparse[s]);
+        batchHash_ = fnv1a(batchHash_, row.sparse[s].size());
+        for (const auto id : row.sparse[s]) {
+            batchHash_ =
+                fnv1a(batchHash_, static_cast<std::uint64_t>(id));
+        }
+    }
+    ++builderRows_;
+}
+
+void
+Stager::flushBatch(Seconds ready_at)
+{
+    data::RecordBatch batch(schema_, builderRows_);
+    for (std::size_t f = 0; f < schema_.denseCount(); ++f) {
+        batch.setDense(f,
+                       data::DenseColumn(std::move(denseValues_[f]),
+                                         std::move(denseValid_[f])));
+        denseValues_[f] = {};
+        denseValid_[f] = {};
+    }
+    for (std::size_t s = 0; s < schema_.sparseCount(); ++s) {
+        batch.setSparse(s, std::move(sparseCols_[s]));
+        sparseCols_[s] = {};
+    }
+
+    StagedBatch staged;
+    staged.batch = std::move(batch);
+    staged.index = stats_.batches;
+    staged.readyAt = ready_at;
+    staged.checksum = batchHash_;
+
+    ++stats_.batches;
+    stats_.lastReadyAt = ready_at;
+    stats_.checksum = fnv1a(stats_.checksum, batchHash_);
+    if (metrics_.batches != nullptr)
+        metrics_.batches->inc();
+
+    builderRows_ = 0;
+    batchHash_ = kFnvOffset;
+    if (sink_)
+        sink_(std::move(staged));
+}
+
+void
+Stager::finish()
+{
+    RAP_ASSERT(!finished_, "finish called twice");
+    finished_ = true;
+    completeUntil(std::numeric_limits<double>::infinity());
+    RAP_ASSERT(waiting_.empty(), "stager drain left events behind");
+
+    if (spill_.isOpen() && spill_.appended() > 0) {
+        // Replay after the live drain: the server is free from
+        // serverFreeAt_ on, so spilled events queue behind everything
+        // live and their latency keeps counting from the original
+        // emission — the cost of the detour is visible in the tail.
+        spill_.replay(schema_, [this](Event &&event) {
+            Pending pending;
+            pending.arrival = event.emitTime;
+            pending.emit = event.emitTime;
+            pending.row = std::move(event.row);
+            const Seconds start =
+                std::max(serverFreeAt_, pending.arrival);
+            const Seconds done = start + serviceTime_;
+            serverFreeAt_ = done;
+            complete(std::move(pending), done, /*replay=*/true);
+        });
+    }
+    spill_.removeFile();
+
+    if (builderRows_ > 0)
+        flushBatch(serverFreeAt_);
+}
+
+} // namespace rap::ingest

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The staging consumer: turns the globally-ordered event stream into
+ * RecordBatches under a deterministic virtual-time service model.
+ *
+ * The stager models itself as a single server with a constant
+ * per-event service time (1 / stagingEventsPerSec) on the same
+ * virtual clock the emitters stamp events with. Every decision —
+ * when an event completes staging, whether the queue is over
+ * capacity, which event a policy drops or spills — is made in virtual
+ * time on the merged stream, never from wall-clock races. That is the
+ * whole determinism story: transport threads can jitter all they
+ * want, the stager's inputs and therefore its outputs are fixed.
+ *
+ * Per-event staging latency (completion − emission) feeds the
+ * ingest.staging_latency histogram; queue depth is sampled into the
+ * ingest.queue_depth series; drops/spills/replays hit wait-free
+ * counters (obs/metrics.hpp).
+ */
+
+#ifndef RAP_INGEST_STAGER_HPP
+#define RAP_INGEST_STAGER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "data/batch.hpp"
+#include "data/schema.hpp"
+#include "ingest/config.hpp"
+#include "ingest/event.hpp"
+#include "ingest/spill.hpp"
+#include "obs/metrics.hpp"
+
+namespace rap::ingest {
+
+/** Histogram edges for ingest.staging_latency (seconds). */
+const std::vector<double> &stagingLatencyEdges();
+
+/** One assembled batch plus its place on the virtual clock. */
+struct StagedBatch
+{
+    data::RecordBatch batch;
+    /** 0-based emission ordinal. */
+    std::uint64_t index = 0;
+    /** Virtual time the last row finished staging. */
+    Seconds readyAt = 0.0;
+    /** FNV-1a digest over the batch's row contents. */
+    std::uint64_t checksum = 0;
+};
+
+using BatchSink = std::function<void(StagedBatch &&)>;
+
+/** Cached wait-free instrument references for the ingest hot path. */
+struct IngestMetrics
+{
+    obs::Counter *events = nullptr;
+    obs::Counter *dropped = nullptr;
+    obs::Counter *spilled = nullptr;
+    obs::Counter *replayed = nullptr;
+    obs::Counter *batches = nullptr;
+    obs::Histogram *stagingLatency = nullptr;
+    obs::Series *queueDepth = nullptr;
+
+    /** Resolve all instruments once (registry lookup takes a lock;
+     *  the returned references are then update-wait-free). */
+    static IngestMetrics create(obs::MetricRegistry &registry,
+                                const obs::Labels &labels);
+};
+
+/** Accounting the stager keeps as it goes (all deterministic). */
+struct StagerStats
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t stagedLive = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t rowsStaged = 0;
+    std::size_t maxQueueDepth = 0;
+    Seconds lastReadyAt = 0.0;
+    /** Running FNV-1a over per-batch checksums. */
+    std::uint64_t checksum = 0;
+    /** Per-staged-event latency samples (completion − emission). */
+    std::vector<double> latencies;
+};
+
+class Stager
+{
+  public:
+    /**
+     * @param sink Receives each finished batch (may be empty).
+     * @param metrics Optional hot-path instruments (may be empty).
+     */
+    Stager(const IngestConfig &config, data::Schema schema,
+           BatchSink sink, IngestMetrics metrics = {});
+
+    /** Feed the next event in global order (nondecreasing emitTime). */
+    void push(Event &&event);
+
+    /**
+     * Drain the queue, replay the spill log (if any), and flush the
+     * final partial batch. Call exactly once, after the last push.
+     */
+    void finish();
+
+    const StagerStats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        Seconds arrival = 0.0;
+        Seconds emit = 0.0;
+        data::CriteoRow row;
+    };
+
+    /** Complete every queued event whose service ends by @p t. */
+    void completeUntil(Seconds t);
+    /** Account one staged row at virtual time @p done. */
+    void complete(Pending &&pending, Seconds done, bool replay);
+    void appendRow(const data::CriteoRow &row);
+    void flushBatch(Seconds ready_at);
+
+    IngestConfig config_;
+    data::Schema schema_;
+    BatchSink sink_;
+    IngestMetrics metrics_;
+    SpillLog spill_;
+
+    Seconds serviceTime_;
+    Seconds serverFreeAt_ = 0.0;
+    std::deque<Pending> waiting_;
+    std::uint64_t arrivalTick_ = 0;
+
+    // Column builders for the batch under assembly.
+    std::vector<std::vector<float>> denseValues_;
+    std::vector<std::vector<std::uint8_t>> denseValid_;
+    std::vector<data::SparseColumn> sparseCols_;
+    std::size_t builderRows_ = 0;
+    std::uint64_t batchHash_;
+
+    StagerStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace rap::ingest
+
+#endif // RAP_INGEST_STAGER_HPP

@@ -1,0 +1,71 @@
+#include "ingest/stream.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rap::ingest {
+
+namespace {
+
+/** Derive an independent per-stream seed from the root seed. */
+std::uint64_t
+streamSeed(std::uint64_t root, std::uint32_t stream,
+           std::uint64_t salt)
+{
+    std::uint64_t v = root ^ salt;
+    v += (static_cast<std::uint64_t>(stream) + 1) *
+         0x9e3779b97f4a7c15ULL;
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return v;
+}
+
+} // namespace
+
+StreamEmitter::StreamEmitter(const IngestConfig &config,
+                             const data::Schema &schema,
+                             std::uint32_t stream)
+    : profile_(config.profile), duration_(config.duration),
+      stream_(stream),
+      rng_(streamSeed(config.seed, stream, 0x717261ULL)),
+      generator_(schema, streamSeed(config.seed, stream, 0x726f77ULL))
+{
+}
+
+bool
+StreamEmitter::next(Event &out)
+{
+    if (exhausted_)
+        return false;
+    // Lewis-Shedler thinning against the profile's peak rate, the
+    // same open-loop arrival model the serving layer uses.
+    const double rate_max = peakRate(profile_);
+    for (;;) {
+        clock_ += exponentialGap(rng_.uniform(), 1.0 / rate_max);
+        if (clock_ >= duration_) {
+            exhausted_ = true;
+            return false;
+        }
+        if (rng_.uniform() * rate_max > rateAt(profile_, clock_))
+            continue; // thinned out
+        if (clock_ <= last_) {
+            clock_ = std::nextafter(
+                last_, std::numeric_limits<double>::infinity());
+            if (clock_ >= duration_) {
+                exhausted_ = true;
+                return false;
+            }
+        }
+        last_ = clock_;
+        out.stream = stream_;
+        out.seq = seq_++;
+        out.emitTime = clock_;
+        generator_.generateRow(out.row);
+        return true;
+    }
+}
+
+} // namespace rap::ingest

@@ -6,6 +6,15 @@
 
 namespace rap::obs {
 
+std::size_t
+threadMetricShard()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return slot;
+}
+
 Labels::Labels(
     std::initializer_list<std::pair<std::string, std::string>> pairs)
 {
@@ -51,20 +60,65 @@ Histogram::Histogram(std::vector<double> edges)
                    std::adjacent_find(edges_.begin(), edges_.end()) ==
                        edges_.end(),
                "histogram edges must be strictly increasing");
-    counts_.assign(edges_.size() + 1, 0);
+    const std::size_t buckets = edges_.size() + 1;
+    for (auto &shard : shards_) {
+        shard.buckets =
+            std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+        for (std::size_t i = 0; i < buckets; ++i)
+            shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
 }
 
 void
 Histogram::observe(double v)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     // First bucket: v < edges[0]; middle bucket i: edges[i-1] <= v <
     // edges[i]; last bucket: v >= edges.back().
     const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
     const auto bucket = static_cast<std::size_t>(it - edges_.begin());
-    ++counts_[bucket];
-    ++count_;
-    sum_ += v;
+    Shard &shard = shards_[threadMetricShard()];
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    // The CAS loop only retries against a thread sharing this slot;
+    // under the single-strand contract it never loops.
+    double cur = shard.sum.load(std::memory_order_relaxed);
+    while (!shard.sum.compare_exchange_weak(
+        cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> folded(edges_.size() + 1, 0);
+    for (const auto &shard : shards_) {
+        for (std::size_t i = 0; i < folded.size(); ++i) {
+            folded[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+        }
+    }
+    return folded;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::sum() const
+{
+    // Fold in slot order: with all observations in one shard (the
+    // determinism contract) this adds exact zeros around the one
+    // program-order partial sum, so snapshots stay byte-identical.
+    double total = 0.0;
+    for (const auto &shard : shards_)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
 }
 
 void

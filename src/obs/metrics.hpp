@@ -9,14 +9,24 @@
  * matter what the outer run records. Instruments identify themselves
  * by (name, labels), e.g. `sim.device.kernels{gpu=3}`.
  *
+ * Hot-path cost: Counter::inc and Histogram::observe are wait-free —
+ * each thread updates its own cache-line-padded shard (a relaxed
+ * fetch_add; no mutex, no CAS retry against other threads on the
+ * counter path), and shards are folded only at snapshot time. The
+ * streaming ingest producers put metric updates on their emit path,
+ * which is what forced the mutex out; every bench's worker threads
+ * benefit the same way.
+ *
  * Determinism contract (what lets CI diff snapshots across --jobs):
  *  - counters are unsigned integers and gauges taking max/set are
  *    order-insensitive, so concurrent recording from thread-pool
  *    workers still sums/maxes to the same value;
  *  - one histogram or series instance must only be fed from a single
  *    logical strand (the simulation thread, or one sweep point): its
- *    double accumulations then happen in program order. Sweep benches
- *    get this by scoping instruments with a per-point `run=` label;
+ *    double accumulations then happen in program order within one
+ *    shard, and the shard fold adds the other shards' exact zeros.
+ *    Sweep benches get this by scoping instruments with a per-point
+ *    `run=` label;
  *  - wall-clock quantities (span durations) are recorded but NEVER
  *    enter the deterministic snapshot unless explicitly requested
  *    (SnapshotOptions::includeWallTime).
@@ -28,6 +38,7 @@
 #ifndef RAP_OBS_METRICS_HPP
 #define RAP_OBS_METRICS_HPP
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -39,6 +50,17 @@
 #include <vector>
 
 namespace rap::obs {
+
+/**
+ * Shard count for wait-free Counter/Histogram updates. Threads are
+ * assigned shard slots round-robin at first use; two threads may
+ * share a slot (updates stay atomic, they just contend on the line),
+ * so this bounds memory per instrument, not the thread count.
+ */
+inline constexpr std::size_t kMetricShards = 16;
+
+/** @return The calling thread's shard slot in [0, kMetricShards). */
+std::size_t threadMetricShard();
 
 /**
  * Instrument labels: key-value pairs, kept sorted by key so equal
@@ -72,22 +94,36 @@ class Labels
     std::vector<std::pair<std::string, std::string>> pairs_;
 };
 
-/** Monotonic unsigned counter (thread-safe; addition commutes). */
+/**
+ * Monotonic unsigned counter. inc() is wait-free (one relaxed
+ * fetch_add on the calling thread's shard); value() folds the shards
+ * in slot order. Addition commutes, so concurrent increments from any
+ * number of threads sum to the same total.
+ */
 class Counter
 {
   public:
     void inc(std::uint64_t delta = 1)
     {
-        value_.fetch_add(delta, std::memory_order_relaxed);
+        shards_[threadMetricShard()].value.fetch_add(
+            delta, std::memory_order_relaxed);
     }
 
-    std::uint64_t value() const
+    std::uint64_t
+    value() const
     {
-        return value_.load(std::memory_order_relaxed);
+        std::uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard.value.load(std::memory_order_relaxed);
+        return total;
     }
 
   private:
-    std::atomic<std::uint64_t> value_{0};
+    struct Shard
+    {
+        alignas(64) std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Shard, kMetricShards> shards_;
 };
 
 /** Last-written double value (set from one strand at a time). */
@@ -119,6 +155,14 @@ class Gauge
  * with edges[i-1] <= v < edges[i] (bucket 0: v < edges[0]); the last
  * bucket counts v >= edges.back(). Edges are fixed at creation so
  * snapshots from different runs line up bucket-for-bucket.
+ *
+ * observe() is wait-free with respect to other threads: it touches
+ * only the calling thread's shard (relaxed fetch_add per bucket and
+ * count, a CAS loop on the shard-local sum that can only retry
+ * against a slot-sharing thread). Accessors fold the shards in slot
+ * order and return by value. Under the single-strand determinism
+ * contract every observation lands in one shard, so the fold adds
+ * exact zeros and reproduces the program-order sum bit-for-bit.
  */
 class Histogram
 {
@@ -128,20 +172,22 @@ class Histogram
     void observe(double v);
 
     const std::vector<double> &edges() const { return edges_; }
-    const std::vector<std::uint64_t> &bucketCounts() const
-    {
-        return counts_;
-    }
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    /** @return Folded per-bucket counts (edges.size() + 1 entries). */
+    std::vector<std::uint64_t> bucketCounts() const;
+    std::uint64_t count() const;
+    double sum() const;
 
   private:
-    friend class MetricRegistry;
+    struct Shard
+    {
+        alignas(64) std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        /** edges.size() + 1 buckets, heap-allocated per shard. */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    };
+
     std::vector<double> edges_;
-    std::vector<std::uint64_t> counts_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    std::mutex mutex_;
+    std::array<Shard, kMetricShards> shards_;
 };
 
 /**
@@ -182,7 +228,9 @@ struct SpanRecord
 
 /**
  * The per-run instrument registry. Lookup creates on first use;
- * returned references stay valid for the registry's lifetime.
+ * returned references stay valid for the registry's lifetime. Lookup
+ * takes the registry mutex — hot paths cache the returned reference
+ * once and then update it wait-free.
  */
 class MetricRegistry
 {

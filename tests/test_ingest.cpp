@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests for the streaming ingest front-end (src/ingest): the shared
+ * row codec's bit-exact round-trip, config validation, rate profiles,
+ * emitter determinism, hand-computed virtual-time staging timelines
+ * for every backpressure policy, spill-log round-trips, the
+ * producer-count invariance contract of the full pipeline, and the
+ * core-run integration (SystemConfig.ingest gating + report fields).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/run_request.hpp"
+#include "data/row_codec.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/spill.hpp"
+#include "ingest/stream.hpp"
+#include "preproc/plan.hpp"
+
+namespace rap::ingest {
+namespace {
+
+/** Tiny two-dense / two-sparse schema for hand-built rows. */
+data::Schema
+miniSchema()
+{
+    data::Schema schema;
+    schema.addDense("d0");
+    schema.addDense("d1");
+    schema.addSparse("s0", 1000, 1.5);
+    schema.addSparse("s1", 50, 1.0);
+    return schema;
+}
+
+/** A hand-built row matching miniSchema(). */
+data::CriteoRow
+miniRow(float a, float b)
+{
+    data::CriteoRow row;
+    row.dense = {a, b};
+    row.denseValid = {1, 1};
+    row.sparse = {{7, 13}, {42}};
+    return row;
+}
+
+Event
+miniEvent(std::uint32_t stream, std::uint64_t seq, Seconds emit,
+          float a = 1.0f, float b = 2.0f)
+{
+    Event event;
+    event.stream = stream;
+    event.seq = seq;
+    event.emitTime = emit;
+    event.row = miniRow(a, b);
+    return event;
+}
+
+/** Ingest config whose staging timeline is hand-computable. */
+IngestConfig
+miniConfig(BackpressurePolicy policy, double events_per_sec,
+           std::size_t cap, std::int64_t batch_rows)
+{
+    IngestConfig config;
+    config.streams = 1;
+    config.stagingEventsPerSec = events_per_sec;
+    config.stagingQueueCap = cap;
+    config.policy = policy;
+    config.batchRows = batch_rows;
+    return config;
+}
+
+TEST(RowCodec, RoundTripIsBitExact)
+{
+    const auto schema = miniSchema();
+    // Values whose decimal forms stress shortest-round-trip printing.
+    data::CriteoRow row = miniRow(0.1f, std::nextafter(1.0f, 2.0f));
+    std::string line;
+    data::encodeCriteoRow(row, line);
+
+    data::CriteoRow back;
+    data::RowError error;
+    ASSERT_TRUE(data::decodeCriteoRow(line, schema, back, error))
+        << error.message;
+    ASSERT_EQ(back.dense.size(), row.dense.size());
+    for (std::size_t i = 0; i < row.dense.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(back.dense[i]),
+                  std::bit_cast<std::uint32_t>(row.dense[i]));
+    }
+    EXPECT_EQ(back.denseValid, row.denseValid);
+    EXPECT_EQ(back.sparse, row.sparse);
+}
+
+TEST(RowCodec, RoundTripsNullsAndEmptyLists)
+{
+    const auto schema = miniSchema();
+    data::CriteoRow row;
+    row.dense = {0.0f, 3.5f};
+    row.denseValid = {0, 1}; // first dense field is null
+    row.sparse = {{}, {9}};  // first sparse list is empty
+    std::string line;
+    data::encodeCriteoRow(row, line);
+
+    data::CriteoRow back;
+    data::RowError error;
+    ASSERT_TRUE(data::decodeCriteoRow(line, schema, back, error));
+    EXPECT_EQ(back.denseValid, row.denseValid);
+    EXPECT_EQ(back.sparse, row.sparse);
+}
+
+TEST(RowCodec, ReportsMalformedFields)
+{
+    const auto schema = miniSchema();
+    data::CriteoRow row;
+    data::RowError error;
+
+    EXPECT_FALSE(data::decodeCriteoRow("1.0\t2.0\t7", schema, row,
+                                       error)); // 3 of 4 fields
+    EXPECT_FALSE(
+        data::decodeCriteoRow("1.0\tbad\t7\t42", schema, row, error));
+    EXPECT_EQ(error.field, 1u);
+    EXPECT_NE(error.message.find("'bad'"), std::string::npos);
+    EXPECT_FALSE(
+        data::decodeCriteoRow("1.0\t2.0\t7,x\t42", schema, row,
+                              error));
+    EXPECT_EQ(error.field, 2u);
+}
+
+TEST(Config, DefaultIsValid)
+{
+    EXPECT_TRUE(validateIngestConfig(IngestConfig{}).empty());
+}
+
+TEST(Config, RejectsBadKnobs)
+{
+    const auto field = [](const IngestConfig &config) {
+        const auto issues = validateIngestConfig(config);
+        return issues.empty() ? std::string() : issues.front().first;
+    };
+
+    IngestConfig config;
+    config.streams = 0;
+    EXPECT_EQ(field(config), "streams");
+
+    config = IngestConfig{};
+    config.ringCapacity = 100; // not a power of two
+    EXPECT_EQ(field(config), "ringCapacity");
+
+    config = IngestConfig{};
+    config.stagingEventsPerSec = 0.0;
+    EXPECT_EQ(field(config), "stagingEventsPerSec");
+
+    config = IngestConfig{};
+    config.policy = BackpressurePolicy::DropOldest;
+    config.stagingQueueCap = 0;
+    EXPECT_EQ(field(config), "stagingQueueCap");
+
+    config = IngestConfig{};
+    config.duration = 0.0;
+    EXPECT_EQ(field(config), "duration");
+}
+
+TEST(Config, IdsRoundTrip)
+{
+    for (auto policy :
+         {BackpressurePolicy::Block, BackpressurePolicy::DropOldest,
+          BackpressurePolicy::Spill}) {
+        BackpressurePolicy parsed;
+        ASSERT_TRUE(parseBackpressurePolicy(
+            backpressurePolicyId(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    for (auto kind :
+         {RateProfileKind::Steady, RateProfileKind::Diurnal,
+          RateProfileKind::Burst}) {
+        RateProfileKind parsed;
+        ASSERT_TRUE(
+            parseRateProfileKind(rateProfileId(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+}
+
+TEST(RateProfileTest, ShapesMatchTheirDefinitions)
+{
+    RateProfile steady;
+    steady.eventsPerSec = 1000.0;
+    EXPECT_DOUBLE_EQ(rateAt(steady, 0.0), 1000.0);
+    EXPECT_DOUBLE_EQ(rateAt(steady, 1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(peakRate(steady), 1000.0);
+
+    RateProfile burst;
+    burst.kind = RateProfileKind::Burst;
+    burst.eventsPerSec = 1000.0;
+    burst.period = 1.0;
+    burst.burstFactor = 4.0;
+    burst.burstFraction = 0.25;
+    EXPECT_DOUBLE_EQ(rateAt(burst, 0.1), 4000.0);  // inside the burst
+    EXPECT_DOUBLE_EQ(rateAt(burst, 0.5), 1000.0);  // off-peak
+    EXPECT_DOUBLE_EQ(peakRate(burst), 4000.0);
+
+    RateProfile diurnal;
+    diurnal.kind = RateProfileKind::Diurnal;
+    diurnal.eventsPerSec = 1000.0;
+    diurnal.amplitude = 0.5;
+    EXPECT_DOUBLE_EQ(peakRate(diurnal), 1500.0);
+    for (double t : {0.0, 0.003, 0.011, 0.017}) {
+        const double rate = rateAt(diurnal, t);
+        EXPECT_GE(rate, 500.0);
+        EXPECT_LE(rate, 1500.0);
+    }
+}
+
+TEST(Emitter, IsAPureFunctionOfSeedAndStream)
+{
+    IngestConfig config;
+    config.duration = 0.002;
+    config.profile.eventsPerSec = 50000.0;
+    const auto schema = data::makePresetSchema(config.preset);
+
+    StreamEmitter a(config, schema, 3);
+    StreamEmitter b(config, schema, 3);
+    StreamEmitter other(config, schema, 4);
+
+    Event ea, eb, eo;
+    std::size_t count = 0;
+    Seconds last = -1.0;
+    bool differs = false;
+    while (a.next(ea)) {
+        ASSERT_TRUE(b.next(eb));
+        EXPECT_EQ(ea.seq, eb.seq);
+        EXPECT_EQ(ea.emitTime, eb.emitTime);
+        EXPECT_EQ(ea.row.dense, eb.row.dense);
+        EXPECT_EQ(ea.row.sparse, eb.row.sparse);
+        EXPECT_GT(ea.emitTime, last); // strictly increasing
+        EXPECT_LT(ea.emitTime, config.duration);
+        last = ea.emitTime;
+        if (other.next(eo) && eo.emitTime != ea.emitTime)
+            differs = true;
+        ++count;
+    }
+    EXPECT_FALSE(b.next(eb));
+    EXPECT_GT(count, 10u);
+    EXPECT_TRUE(differs); // stream id really changes the sequence
+}
+
+TEST(StagerTest, BlockTimelineIsHandComputable)
+{
+    // Service time 0.1s, batches of two rows. A and B arrive back to
+    // back at t=0: A stages at 0.1 (latency 0.1), B queues behind it
+    // and stages at 0.2 (latency 0.2). C arrives at 0.5 into an idle
+    // server: done 0.6, latency 0.1.
+    const auto config =
+        miniConfig(BackpressurePolicy::Block, 10.0, 2, 2);
+    std::vector<StagedBatch> batches;
+    Stager stager(config, miniSchema(),
+                  [&](StagedBatch &&b) { batches.push_back(std::move(b)); });
+    stager.push(miniEvent(0, 0, 0.0));
+    stager.push(miniEvent(0, 1, 0.0));
+    stager.push(miniEvent(0, 2, 0.5));
+    stager.finish();
+
+    const auto &stats = stager.stats();
+    EXPECT_EQ(stats.arrived, 3u);
+    EXPECT_EQ(stats.stagedLive, 3u);
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.rowsStaged, 3u);
+    ASSERT_EQ(stats.latencies.size(), 3u);
+    EXPECT_NEAR(stats.latencies[0], 0.1, 1e-12);
+    EXPECT_NEAR(stats.latencies[1], 0.2, 1e-12);
+    EXPECT_NEAR(stats.latencies[2], 0.1, 1e-12);
+
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0].index, 0u);
+    EXPECT_EQ(batches[0].batch.rows(), 2u);
+    EXPECT_NEAR(batches[0].readyAt, 0.2, 1e-12);
+    EXPECT_EQ(batches[1].batch.rows(), 1u); // final partial flush
+    EXPECT_NEAR(batches[1].readyAt, 0.6, 1e-12);
+    EXPECT_EQ(batches[0].batch.denseCount(), 2u);
+    EXPECT_EQ(batches[0].batch.sparseCount(), 2u);
+}
+
+TEST(StagerTest, DropOldestShedsFromTheFront)
+{
+    // One event per second of service, queue cap 1: B evicts A,
+    // C evicts B; only C ever stages, at 0.2 + 1.0.
+    const auto config =
+        miniConfig(BackpressurePolicy::DropOldest, 1.0, 1, 4);
+    Stager stager(config, miniSchema(), {});
+    stager.push(miniEvent(0, 0, 0.0));
+    stager.push(miniEvent(0, 1, 0.1));
+    stager.push(miniEvent(0, 2, 0.2));
+    stager.finish();
+
+    const auto &stats = stager.stats();
+    EXPECT_EQ(stats.arrived, 3u);
+    EXPECT_EQ(stats.dropped, 2u);
+    EXPECT_EQ(stats.stagedLive, 1u);
+    EXPECT_EQ(stats.rowsStaged, 1u);
+    ASSERT_EQ(stats.latencies.size(), 1u);
+    EXPECT_NEAR(stats.latencies[0], 1.0, 1e-12);
+    EXPECT_NEAR(stats.lastReadyAt, 1.2, 1e-12);
+}
+
+TEST(StagerTest, SpillDivertsAndReplaysEverything)
+{
+    // Same overload as the drop test, but nothing is lost: B and C
+    // detour through the spill log and replay after A drains, paying
+    // their queueing delay in latency. Replays keep their original
+    // emit times: B stages at 2.0 (latency 1.9), C at 3.0 (2.8).
+    auto config = miniConfig(BackpressurePolicy::Spill, 1.0, 1, 4);
+    config.spillPath = "test_ingest_spill.tsv";
+    std::vector<StagedBatch> batches;
+    Stager stager(config, miniSchema(),
+                  [&](StagedBatch &&b) { batches.push_back(std::move(b)); });
+    stager.push(miniEvent(0, 0, 0.0, 1.5f, -2.0f));
+    stager.push(miniEvent(0, 1, 0.1, 0.1f, 7.25f));
+    stager.push(miniEvent(0, 2, 0.2, -0.3f, 1e-20f));
+    stager.finish();
+
+    const auto &stats = stager.stats();
+    EXPECT_EQ(stats.arrived, 3u);
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.spilled, 2u);
+    EXPECT_EQ(stats.replayed, 2u);
+    EXPECT_EQ(stats.stagedLive, 1u);
+    EXPECT_EQ(stats.rowsStaged, 3u);
+    ASSERT_EQ(stats.latencies.size(), 3u);
+    EXPECT_NEAR(stats.latencies[0], 1.0, 1e-12);
+    EXPECT_NEAR(stats.latencies[1], 1.9, 1e-12);
+    EXPECT_NEAR(stats.latencies[2], 2.8, 1e-12);
+
+    // The replayed rows land bit-exactly in the final batch.
+    ASSERT_EQ(batches.size(), 1u);
+    ASSERT_EQ(batches[0].batch.rows(), 3u);
+    EXPECT_EQ(batches[0].batch.dense(0).value(1), 0.1f);
+    EXPECT_EQ(batches[0].batch.dense(1).value(2), 1e-20f);
+
+    // The log is cleaned up after replay.
+    std::FILE *file = std::fopen(config.spillPath.c_str(), "rb");
+    EXPECT_EQ(file, nullptr);
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+TEST(SpillLogTest, RoundTripsEventsBitExactly)
+{
+    const auto schema = miniSchema();
+    SpillLog log;
+    log.open("test_ingest_spill_log.tsv");
+    const auto first = miniEvent(3, 17, 0.125, 0.1f, -1e-30f);
+    const auto second =
+        miniEvent(1, 2, std::nextafter(0.125, 1.0), 6.0f, 0.0f);
+    log.append(first);
+    log.append(second);
+    EXPECT_EQ(log.appended(), 2u);
+
+    std::vector<Event> replayed;
+    log.replay(schema, [&](Event &&event) {
+        replayed.push_back(std::move(event));
+    });
+    ASSERT_EQ(replayed.size(), 2u);
+    EXPECT_EQ(replayed[0].stream, first.stream);
+    EXPECT_EQ(replayed[0].seq, first.seq);
+    EXPECT_EQ(replayed[0].emitTime, first.emitTime);
+    EXPECT_EQ(replayed[0].row.dense, first.row.dense);
+    EXPECT_EQ(replayed[1].emitTime, second.emitTime);
+    EXPECT_EQ(replayed[1].row.sparse, second.row.sparse);
+    log.removeFile();
+    log.removeFile(); // idempotent
+}
+
+/** Small but non-trivial pipeline config for whole-run tests. */
+IngestConfig
+pipelineConfig(BackpressurePolicy policy)
+{
+    IngestConfig config;
+    config.streams = 3;
+    config.duration = 0.004;
+    config.profile.kind = RateProfileKind::Burst;
+    config.profile.eventsPerSec = 50000.0;
+    config.profile.period = 0.002;
+    config.stagingEventsPerSec = 100000.0;
+    config.stagingQueueCap = 32;
+    config.batchRows = 64;
+    config.policy = policy;
+    return config;
+}
+
+TEST(Pipeline, ResultsAreInvariantToProducerCount)
+{
+    for (auto policy :
+         {BackpressurePolicy::Block, BackpressurePolicy::DropOldest,
+          BackpressurePolicy::Spill}) {
+        std::string baseline;
+        std::vector<std::uint64_t> baseline_checksums;
+        for (int producers : {1, 2, 4}) {
+            auto config = pipelineConfig(policy);
+            config.producers = producers;
+            IngestPipeline pipeline(config);
+            std::vector<std::uint64_t> checksums;
+            auto report = pipeline.run([&](StagedBatch &&batch) {
+                checksums.push_back(batch.checksum);
+            });
+            report.wallMs = 0.0; // the only nondeterministic field
+            const std::string dump = report.toJson().dump();
+            if (producers == 1) {
+                baseline = dump;
+                baseline_checksums = checksums;
+                EXPECT_GT(report.events, 100u);
+                EXPECT_GT(report.batches, 0u);
+            } else {
+                EXPECT_EQ(dump, baseline)
+                    << backpressurePolicyId(policy) << " producers="
+                    << producers;
+                EXPECT_EQ(checksums, baseline_checksums);
+            }
+        }
+    }
+}
+
+TEST(Pipeline, AccountingIdentitiesHold)
+{
+    {
+        IngestPipeline pipeline(
+            pipelineConfig(BackpressurePolicy::Block));
+        const auto report = pipeline.run();
+        EXPECT_EQ(report.dropped, 0u);
+        EXPECT_EQ(report.spilled, 0u);
+        EXPECT_EQ(report.rowsStaged, report.events);
+    }
+    {
+        IngestPipeline pipeline(
+            pipelineConfig(BackpressurePolicy::DropOldest));
+        const auto report = pipeline.run();
+        EXPECT_GT(report.dropped, 0u); // the burst overloads the cap
+        EXPECT_EQ(report.rowsStaged + report.dropped, report.events);
+    }
+    {
+        IngestPipeline pipeline(
+            pipelineConfig(BackpressurePolicy::Spill));
+        const auto report = pipeline.run();
+        EXPECT_GT(report.spilled, 0u);
+        EXPECT_EQ(report.replayed, report.spilled);
+        EXPECT_EQ(report.rowsStaged, report.events); // nothing lost
+    }
+}
+
+TEST(Pipeline, MetricsMatchTheReport)
+{
+    obs::MetricRegistry registry;
+    const obs::Labels labels{{"run", "t"}};
+    IngestPipeline pipeline(
+        pipelineConfig(BackpressurePolicy::DropOldest));
+    const auto report = pipeline.run({}, &registry, labels);
+
+    EXPECT_EQ(registry.counter("ingest.events", labels).value(),
+              report.events);
+    EXPECT_EQ(registry.counter("ingest.dropped", labels).value(),
+              report.dropped);
+    EXPECT_EQ(registry.counter("ingest.batches", labels).value(),
+              report.batches);
+    EXPECT_EQ(registry
+                  .histogram("ingest.staging_latency",
+                             stagingLatencyEdges(), labels)
+                  .count(),
+              report.rowsStaged);
+}
+
+TEST(CoreIntegration, ValidationCoversIngestKnobs)
+{
+    core::SystemConfig config;
+    config.ingest = IngestConfig{};
+    config.ingest->streams = 0;
+    const auto result = config.validate();
+    EXPECT_FALSE(result.ok());
+    bool found = false;
+    for (const auto &error : result.errors())
+        found |= error.field == "ingest.streams";
+    EXPECT_TRUE(found);
+
+    core::SystemConfig torcharrow;
+    torcharrow.system = core::System::TorchArrowCpu;
+    torcharrow.ingest = IngestConfig{};
+    const auto torcharrow_result = torcharrow.validate();
+    bool rejected = false;
+    for (const auto &error : torcharrow_result.errors())
+        rejected |= error.field == "ingest";
+    EXPECT_TRUE(rejected);
+}
+
+/** Ingest knobs sized so a 4-iteration run is clearly input-bound. */
+IngestConfig
+gatingConfig()
+{
+    IngestConfig config;
+    config.streams = 2;
+    config.duration = 0.02;
+    config.profile.eventsPerSec = 20000.0;
+    config.stagingEventsPerSec = 100000.0;
+    config.batchRows = 64;
+    return config;
+}
+
+TEST(CoreIntegration, IngestGatesTheRun)
+{
+    const auto plan = preproc::makePlan(0);
+    core::SystemConfig config;
+    config.system = core::System::Ideal;
+    config.gpuCount = 2;
+    config.batchPerGpu = 1024;
+    config.iterations = 4;
+    config.warmup = 1;
+    const auto ungated = core::runSystem(config, plan);
+
+    config.ingest = gatingConfig();
+    const auto gated = core::runSystem(config, plan);
+
+    EXPECT_GT(gated.ingestEvents, 0u);
+    EXPECT_GE(gated.ingestBatches, 4u);
+    EXPECT_GT(gated.ingestLastReadyAt, 0.0);
+    // Iteration j waits for staged batch j, so the gated run cannot
+    // finish before the 4th batch is ready — and an input-bound
+    // stream stretches the makespan past the compute-bound run.
+    EXPECT_GE(gated.makespan, gated.ingestLastReadyAt);
+    EXPECT_GT(gated.makespan, ungated.makespan);
+
+    // The new report fields survive the JSON round-trip.
+    const auto back = core::RunReport::fromJson(gated.toJson());
+    EXPECT_EQ(back.ingestEvents, gated.ingestEvents);
+    EXPECT_EQ(back.ingestBatches, gated.ingestBatches);
+    EXPECT_DOUBLE_EQ(back.ingestLastReadyAt, gated.ingestLastReadyAt);
+    EXPECT_DOUBLE_EQ(back.ingestStagingP99, gated.ingestStagingP99);
+}
+
+TEST(CoreIntegration, RapRunsWithIngest)
+{
+    const auto plan = preproc::makePlan(0);
+    core::SystemConfig config;
+    config.system = core::System::Rap;
+    config.gpuCount = 2;
+    config.batchPerGpu = 1024;
+    config.iterations = 4;
+    config.warmup = 1;
+    config.ingest = gatingConfig();
+    const auto report = core::runSystem(config, plan);
+    EXPECT_GT(report.throughput, 0.0);
+    EXPECT_GT(report.ingestEvents, 0u);
+    EXPECT_GE(report.makespan, report.ingestLastReadyAt);
+}
+
+} // namespace
+} // namespace rap::ingest
