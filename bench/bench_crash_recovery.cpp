@@ -141,9 +141,10 @@ main(int argc, char **argv)
             auto config = base;
             config.checkpoint = arms[i].checkpoint;
             config.faults = faults;
-            config.metrics = metrics;
-            config.metricsScope = "arm." + arms[i].key;
-            return ArmResult{core::runSystem(config, plan)};
+            return ArmResult{
+                core::RunRequest(std::move(config))
+                    .metrics(metrics, "arm." + arms[i].key)
+                    .run(plan)};
         });
 
     // Useful work is policy-independent: the job's iterations at the

@@ -22,6 +22,21 @@
  * outcomes, memo hit rates; one `run=<policy arm>` scope per arm) and
  * `--report <path>` the full FleetReport JSON artifact the CI
  * determinism job diffs across thread counts.
+ *
+ * Catalog mode (`--catalog <dir>`) switches to a single shared-policy
+ * arm backed by the durable WAL catalog, for the resume gate:
+ *
+ *   bench_fleet --tiny --catalog runs/cat --report ref.json
+ *   bench_fleet --tiny --catalog runs/cat2 --stop-after 7   # SIGKILL
+ *   bench_fleet --tiny --catalog runs/cat2 --resume --report res.json
+ *   diff ref.json res.json                                  # empty
+ *
+ * `--stop-after N` raises SIGKILL after the Nth committed event frame
+ * (exit code 137 — the deterministic power cut); `--resume` rebuilds
+ * the run from the catalog's genesis record, byte-verifies the
+ * re-executed frames against the recovered WAL tail, and finishes the
+ * run. `--fsync` turns on fsync-per-commit, `--compact-every N`
+ * periodic snapshot compaction.
  */
 
 #include <iostream>
@@ -31,11 +46,65 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "ctrl/catalog.hpp"
 #include "fleet/fleet.hpp"
 
 namespace {
 
 using namespace rap;
+
+fleet::ArrivalTraceOptions
+traceOptions(bool tiny)
+{
+    fleet::ArrivalTraceOptions options;
+    options.tiny = tiny;
+    options.jobCount = tiny ? 8 : 14;
+    options.meanInterarrival = tiny ? 0.004 : 0.005;
+    return options;
+}
+
+/** Single-arm catalog-backed run: initial, killed, or resumed. */
+int
+runCatalogMode(const bench::ArgParser &args,
+               const std::string &catalog_dir, bool resume,
+               int stop_after, bool fsync, int compact_every,
+               const std::string &report_path, ThreadPool &pool,
+               obs::MetricRegistry &registry)
+{
+    obs::MetricRegistry *metrics =
+        args.metricsPath().empty() ? nullptr : &registry;
+    fleet::FleetReport report;
+    if (resume) {
+        ctrl::CatalogOptions catalog_options;
+        catalog_options.dir = catalog_dir;
+        catalog_options.fsyncOnCommit = fsync;
+        catalog_options.compactEvery = compact_every;
+        catalog_options.metrics = metrics;
+        report = fleet::resumeFleet(catalog_options, &pool);
+        std::cout << "resumed catalog " << catalog_dir << "\n";
+    } else {
+        const auto trace =
+            fleet::makeArrivalTrace(traceOptions(args.tiny()));
+        fleet::FleetRequest request(trace);
+        request.policy(fleet::PlacementPolicy::RapShared)
+            .engineJobs(args.engineJobs())
+            .catalogDir(catalog_dir)
+            .fsyncOnCommit(fsync)
+            .compactEvery(compact_every)
+            .metrics(metrics);
+        if (stop_after > 0) {
+            // The process dies inside run() — SIGKILL, exit 137 —
+            // leaving the catalog's durable prefix behind.
+            request.stopAfterEvents(stop_after);
+        }
+        report = request.run(&pool);
+    }
+    std::cout << report.renderSummary() << "\n";
+    if (!report_path.empty())
+        writeJsonFile(report.toJson(), report_path);
+    bench::maybeWriteMetrics(args, registry);
+    return 0;
+}
 
 } // namespace
 
@@ -46,6 +115,19 @@ main(int argc, char **argv)
                           "multi-tenant placement-policy study");
     const std::string &report_path = args.addString(
         "--report", "", "FleetReport JSON output path (all arms)");
+    const std::string &catalog_dir = args.addString(
+        "--catalog", "",
+        "durable catalog directory (single shared-policy arm)");
+    const bool &resume = args.addFlag(
+        "--resume", "resume the run persisted in --catalog");
+    const int &stop_after = args.addInt(
+        "--stop-after", 0,
+        "SIGKILL after N committed event frames (needs --catalog)");
+    const bool &fsync =
+        args.addFlag("--fsync", "fsync the catalog WAL per commit");
+    const int &compact_every = args.addInt(
+        "--compact-every", 0,
+        "compact the catalog snapshot every N commits (0 = never)");
     args.parse(argc, argv);
     const bool tiny = args.tiny();
     const std::string &trace_prefix = args.tracePath();
@@ -54,54 +136,49 @@ main(int argc, char **argv)
     obs::MetricRegistry *metrics =
         args.metricsPath().empty() ? nullptr : &registry;
 
-    fleet::ArrivalTraceOptions trace_options;
-    trace_options.tiny = tiny;
-    trace_options.jobCount = tiny ? 8 : 14;
-    trace_options.meanInterarrival = tiny ? 0.004 : 0.005;
-    const auto trace = fleet::makeArrivalTrace(trace_options);
+    if (!catalog_dir.empty()) {
+        return runCatalogMode(args, catalog_dir, resume, stop_after,
+                              fsync, compact_every, report_path, pool,
+                              registry);
+    }
+
+    const auto trace = fleet::makeArrivalTrace(traceOptions(tiny));
 
     std::cout << "=== Fleet scheduling: " << trace.size()
               << " jobs arriving on one 8x A100 node ===\n\n";
 
-    auto baseOptions = [&](fleet::PlacementPolicy policy,
+    auto makeRequest = [&](fleet::PlacementPolicy policy,
                            const std::string &scope) {
-        fleet::FleetOptions options;
-        options.placement.policy = policy;
-        options.engineJobs = args.engineJobs();
-        options.metrics = metrics;
-        options.metricsScope = scope;
-        if (!trace_prefix.empty() &&
-            policy == fleet::PlacementPolicy::RapShared) {
-            options.tracePrefix = trace_prefix;
-        }
-        return options;
+        fleet::FleetRequest request(trace);
+        request.policy(policy)
+            .engineJobs(args.engineJobs())
+            .metrics(metrics, scope);
+        if (!trace_prefix.empty() && scope == "shared")
+            request.tracePrefix(trace_prefix);
+        return request;
     };
 
-    const auto exclusive = fleet::runFleet(
-        trace,
-        baseOptions(fleet::PlacementPolicy::ExclusiveFirstFit,
-                    "first_fit"),
-        &pool);
-    const auto best_fit = fleet::runFleet(
-        trace,
-        baseOptions(fleet::PlacementPolicy::ExclusiveBestFit,
-                    "best_fit"),
-        &pool);
-    const auto shared = fleet::runFleet(
-        trace,
-        baseOptions(fleet::PlacementPolicy::RapShared, "shared"),
-        &pool);
+    const auto exclusive =
+        makeRequest(fleet::PlacementPolicy::ExclusiveFirstFit,
+                    "first_fit")
+            .run(&pool);
+    const auto best_fit =
+        makeRequest(fleet::PlacementPolicy::ExclusiveBestFit,
+                    "best_fit")
+            .run(&pool);
+    const auto shared =
+        makeRequest(fleet::PlacementPolicy::RapShared, "shared")
+            .run(&pool);
 
     // Degradation arm: GPU 0 loses 30% SM capacity a third of the way
     // through the exclusive makespan; resident jobs requeue and replan
     // against the shrunken envelope.
-    auto degraded_options = baseOptions(
-        fleet::PlacementPolicy::RapShared, "shared_degrade");
-    degraded_options.tracePrefix.clear();
-    degraded_options.faults.events.push_back(sim::FaultEvent::smDegrade(
-        0, exclusive.makespan / 3.0, 0.7));
     const auto degraded =
-        fleet::runFleet(trace, degraded_options, &pool);
+        makeRequest(fleet::PlacementPolicy::RapShared,
+                    "shared_degrade")
+            .addFault(sim::FaultEvent::smDegrade(
+                0, exclusive.makespan / 3.0, 0.7))
+            .run(&pool);
 
     for (const auto *report :
          {&exclusive, &best_fit, &shared, &degraded}) {

@@ -105,13 +105,13 @@ main(int argc, char **argv)
         Json arms_json = Json::object();
         reports.emplace_back();
         for (const auto &arm : arms) {
-            fleet::FleetOptions options;
-            options.placement.policy = arm.policy;
-            options.engineJobs = args.engineJobs();
-            options.metrics = metrics;
-            options.metricsScope =
-                arm.id + ".load" + loadTag(load);
-            auto report = fleet::runFleet(trace, options, &pool);
+            auto report =
+                fleet::FleetRequest(trace)
+                    .policy(arm.policy)
+                    .engineJobs(args.engineJobs())
+                    .metrics(metrics,
+                             arm.id + ".load" + loadTag(load))
+                    .run(&pool);
             table.addRow({
                 loadTag(load) + "x",
                 fleet::policyName(arm.policy),

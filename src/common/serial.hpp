@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the JsonSerializable round-trip convention
+ * (documented in core/serial.hpp, which layers the checkable concept
+ * on top). They live in common so every module that serializes —
+ * obs's metrics snapshot, sim's hardware specs, core and fleet
+ * reports, the ctrl catalog — writes the same dialect:
+ *
+ *  - a leading `schema` version token, stamped by stampSchema and
+ *    checked by requireSchema (absent passes for pre-convention
+ *    artifacts; a mismatch is fatal);
+ *  - optional fields as explicit null, read back with the find()-based
+ *    getters so absent and null both mean "never measured"
+ *    (std::nullopt) — never a fabricated zero, never a fatal at().
+ */
+
+#ifndef RAP_COMMON_SERIAL_HPP
+#define RAP_COMMON_SERIAL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace rap::serial {
+
+/** Stamp @p token as the object's leading `schema` member. */
+inline void
+stampSchema(Json &json, const char *token)
+{
+    json.set("schema", Json(token));
+}
+
+/**
+ * Check the object's `schema` member against @p token. Absent tokens
+ * pass (pre-convention artifacts); mismatched tokens are fatal.
+ */
+inline void
+requireSchema(const Json &json, const char *token)
+{
+    if (!json.isObject())
+        RAP_FATAL(token, " payload must be a JSON object");
+    const Json *schema = json.find("schema");
+    if (schema != nullptr && schema->asString() != token) {
+        RAP_FATAL("expected schema '", token, "', found '",
+                  schema->asString(), "'");
+    }
+}
+
+/** Absent-tolerant optional read: missing or null -> nullopt. */
+inline std::optional<double>
+getOptionalNumber(const Json &json, const std::string &key)
+{
+    const Json *value = json.find(key);
+    if (value == nullptr || value->isNull())
+        return std::nullopt;
+    return value->asDouble();
+}
+
+/** Write an optional as its value or explicit null. */
+inline void
+setOptionalNumber(Json &json, const std::string &key,
+                  const std::optional<double> &value)
+{
+    json.set(key, value ? Json(*value) : Json());
+}
+
+/** Required numeric reads with the integral casts spelled once. */
+inline double
+getNumber(const Json &json, const std::string &key)
+{
+    return json.at(key).asDouble();
+}
+
+inline int
+getInt(const Json &json, const std::string &key)
+{
+    return static_cast<int>(json.at(key).asDouble());
+}
+
+inline std::int64_t
+getInt64(const Json &json, const std::string &key)
+{
+    return static_cast<std::int64_t>(json.at(key).asDouble());
+}
+
+inline std::uint64_t
+getUint64(const Json &json, const std::string &key)
+{
+    return static_cast<std::uint64_t>(json.at(key).asDouble());
+}
+
+} // namespace rap::serial
+
+#endif // RAP_COMMON_SERIAL_HPP

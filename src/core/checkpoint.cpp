@@ -4,8 +4,35 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "core/serial.hpp"
 
 namespace rap::core {
+
+Json
+CheckpointManifest::toJson() const
+{
+    Json json = Json::object();
+    json.set("jobId", Json(jobId));
+    json.set("sequence", Json(sequence));
+    json.set("fraction", Json(fraction));
+    json.set("sealedAt", Json(sealedAt));
+    json.set("segment", Json(segment));
+    return json;
+}
+
+CheckpointManifest
+CheckpointManifest::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("CheckpointManifest JSON must be an object");
+    CheckpointManifest manifest;
+    manifest.jobId = serial::getInt(json, "jobId");
+    manifest.sequence = serial::getInt(json, "sequence");
+    manifest.fraction = serial::getNumber(json, "fraction");
+    manifest.sealedAt = serial::getNumber(json, "sealedAt");
+    manifest.segment = serial::getInt(json, "segment");
+    return manifest;
+}
 
 namespace {
 

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/units.hpp"
 #include "dlrm/model_config.hpp"
 #include "dlrm/sharding.hpp"
@@ -62,6 +63,31 @@ struct CheckpointPolicy
      * a short measured run to a production-length job.
      */
     long long jobIterations = 0;
+};
+
+/**
+ * One sealed checkpoint, as the durable control plane records it: the
+ * proof that a job's progress up to `fraction` survives preemption.
+ * The fleet scheduler emits a manifest whenever a preemption credits a
+ * newly durable fraction and when a checkpointing job finishes
+ * (fraction 1.0). Serialized into `rap.catalog.v1` transactions via
+ * the JsonSerializable convention (core/serial.hpp).
+ */
+struct CheckpointManifest
+{
+    /** Owning fleet job. */
+    int jobId = 0;
+    /** Per-job seal ordinal (0, 1, ...). */
+    int sequence = 0;
+    /** Fraction of the job's iterations sealed by this checkpoint. */
+    double fraction = 0.0;
+    /** Fleet-clock time the seal was recorded. */
+    Seconds sealedAt = 0.0;
+    /** Placement segment the sealed work ran in. */
+    int segment = 0;
+
+    Json toJson() const;
+    static CheckpointManifest fromJson(const Json &json);
 };
 
 /**

@@ -1,17 +1,22 @@
 /**
  * @file
- * RunReport serialization: toJson()/fromJson() round-trip exactly and
- * are the single source of truth for report artifacts (bench output,
- * CI determinism diffs read these, never scraped stdout).
+ * RunReport serialization: toJson()/fromJson() round-trip exactly
+ * under the core/serial.hpp JsonSerializable convention (schema token
+ * "rap.run_report.v1") and are the single source of truth for report
+ * artifacts (bench output, CI determinism diffs read these, never
+ * scraped stdout).
  */
 
 #include "core/pipeline.hpp"
 
 #include "common/log.hpp"
+#include "core/serial.hpp"
 
 namespace rap::core {
 
 namespace {
+
+constexpr const char *kRunReportSchema = "rap.run_report.v1";
 
 constexpr std::pair<System, const char *> kSystemIds[] = {
     {System::Ideal, "ideal"},
@@ -26,21 +31,10 @@ constexpr std::pair<System, const char *> kSystemIds[] = {
     {System::TorchArrowCpu, "torcharrow_cpu"},
 };
 
-void
-setOptionalSeconds(Json &json, const std::string &key,
-                   const std::optional<Seconds> &value)
-{
-    json.set(key, value ? Json(*value) : Json());
-}
-
-std::optional<Seconds>
-getOptionalSeconds(const Json &json, const std::string &key)
-{
-    const Json *value = json.find(key);
-    if (value == nullptr || value->isNull())
-        return std::nullopt;
-    return value->asDouble();
-}
+// The shared optional-field dialect: absent and null both read back
+// as "never measured" (core/serial.hpp).
+using serial::getOptionalNumber;
+using serial::setOptionalNumber;
 
 } // namespace
 
@@ -68,6 +62,7 @@ Json
 RunReport::toJson() const
 {
     Json json = Json::object();
+    serial::stampSchema(json, kRunReportSchema);
     json.set("system", Json(system));
     json.set("gpuCount", Json(gpuCount));
     json.set("batchPerGpu", Json(batchPerGpu));
@@ -93,17 +88,16 @@ RunReport::toJson() const
     json.set("ingestBatches", Json(ingestBatches));
     json.set("ingestStagingP99", Json(ingestStagingP99));
     json.set("ingestLastReadyAt", Json(ingestLastReadyAt));
-    setOptionalSeconds(json, "submittedAt", submittedAt);
-    setOptionalSeconds(json, "startedAt", startedAt);
-    setOptionalSeconds(json, "finishedAt", finishedAt);
+    setOptionalNumber(json, "submittedAt", submittedAt);
+    setOptionalNumber(json, "startedAt", startedAt);
+    setOptionalNumber(json, "finishedAt", finishedAt);
     return json;
 }
 
 RunReport
 RunReport::fromJson(const Json &json)
 {
-    if (!json.isObject())
-        RAP_FATAL("RunReport JSON must be an object");
+    serial::requireSchema(json, kRunReportSchema);
     RunReport report;
     report.system = json.at("system").asString();
     report.gpuCount = static_cast<int>(json.at("gpuCount").asDouble());
@@ -147,9 +141,9 @@ RunReport::fromJson(const Json &json)
         report.ingestStagingP99 = value->asDouble();
     if (const Json *value = json.find("ingestLastReadyAt"))
         report.ingestLastReadyAt = value->asDouble();
-    report.submittedAt = getOptionalSeconds(json, "submittedAt");
-    report.startedAt = getOptionalSeconds(json, "startedAt");
-    report.finishedAt = getOptionalSeconds(json, "finishedAt");
+    report.submittedAt = getOptionalNumber(json, "submittedAt");
+    report.startedAt = getOptionalNumber(json, "startedAt");
+    report.finishedAt = getOptionalNumber(json, "finishedAt");
     return report;
 }
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The JsonSerializable round-trip convention shared by every
+ * machine-read artifact in the repo.
+ *
+ * A serializable type provides
+ *
+ *   Json     toJson() const;            // deterministic, exact
+ *   static T fromJson(const Json &);    // fatal on bad shape
+ *
+ * and its top-level object carries a `schema` version token
+ * ("rap.run_report.v1", "rap.fleet_report.v1", "rap.metrics.v1",
+ * "rap.catalog.v1", ...). toJson stamps the token first; fromJson
+ * checks it with requireSchema, which tolerates an *absent* token —
+ * artifacts written before the convention existed — but rejects a
+ * mismatched one, so a v2 payload can never be silently misread as v1.
+ *
+ * Field conventions:
+ *  - doubles serialize through common/json.hpp's shortest-round-trip
+ *    writer, so fromJson(toJson(x)) == x exactly — resume determinism
+ *    and CI byte-diffs depend on this;
+ *  - 64-bit seeds either carry a 53-bit mask applied at synthesis or
+ *    travel as decimal strings (sim/spec_json.cpp);
+ *  - optional fields serialize as explicit JSON null when absent and
+ *    are read with the find()-based helpers: absent and null both
+ *    mean "never measured" (std::nullopt), which is distinct from a
+ *    measured zero. Reading an optional with at() — fatal on absence
+ *    — is the dialect bug this convention retires.
+ *
+ * The helper functions live in common/serial.hpp (namespace
+ * rap::serial) so lower layers — obs, sim — write the same dialect;
+ * core re-exports them as core::serial and adds the checkable
+ * concept.
+ */
+
+#ifndef RAP_CORE_SERIAL_HPP
+#define RAP_CORE_SERIAL_HPP
+
+#include <concepts>
+
+#include "common/serial.hpp"
+
+namespace rap::core {
+
+/** The round-trip convention, as a checkable concept. */
+template <typename T>
+concept JsonSerializable = requires(const T &value, const Json &json) {
+    { value.toJson() } -> std::same_as<Json>;
+    { T::fromJson(json) } -> std::same_as<T>;
+};
+
+namespace serial = ::rap::serial;
+
+} // namespace rap::core
+
+#endif // RAP_CORE_SERIAL_HPP

@@ -1,0 +1,343 @@
+#include "ctrl/catalog.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace rap::ctrl {
+
+namespace {
+
+/** Bump a ctrl.* counter when a registry is attached. */
+void
+count(obs::MetricRegistry *metrics, const char *name,
+      std::uint64_t delta = 1)
+{
+    if (metrics != nullptr && delta > 0)
+        metrics->counter(name).inc(delta);
+}
+
+/** fsync a path (directory or file) so a rename is durable. */
+void
+syncPath(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return; // best effort: some filesystems refuse dir opens
+    ::fsync(fd);
+    ::close(fd);
+}
+
+/** Stamp schema + LSN first, caller members after (stamps dropped). */
+Json
+stampTransaction(const Json &transaction, std::uint64_t lsn)
+{
+    RAP_ASSERT(transaction.isObject(),
+               "catalog transactions must be objects");
+    Json stamped = Json::object();
+    stamped.set("schema", Json(kCatalogSchema));
+    stamped.set("lsn", Json(lsn));
+    for (const auto &[key, value] : transaction.members()) {
+        if (key != "schema" && key != "lsn")
+            stamped.set(key, value);
+    }
+    return stamped;
+}
+
+} // namespace
+
+std::string
+Catalog::walPath(const std::string &dir)
+{
+    return dir + "/wal.log";
+}
+
+std::string
+Catalog::snapshotPath(const std::string &dir)
+{
+    return dir + "/snapshot.json";
+}
+
+std::string
+Catalog::lockPath(const std::string &dir)
+{
+    return dir + "/LOCK";
+}
+
+Catalog::Catalog(CatalogOptions options) : options_(std::move(options))
+{
+}
+
+Catalog::~Catalog()
+{
+    wal_.reset();
+    if (lockFd_ >= 0)
+        ::close(lockFd_); // closing drops the flock
+}
+
+std::unique_ptr<Catalog>
+Catalog::tryOpen(CatalogOptions options, std::string *error)
+{
+    RAP_ASSERT(!options.dir.empty(), "catalog needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(options.dir, ec);
+    if (ec) {
+        if (error != nullptr) {
+            *error = "cannot create catalog directory '" +
+                     options.dir + "': " + ec.message();
+        }
+        return nullptr;
+    }
+    std::unique_ptr<Catalog> catalog(new Catalog(std::move(options)));
+    if (!catalog->recover(error))
+        return nullptr;
+    return catalog;
+}
+
+std::unique_ptr<Catalog>
+Catalog::open(CatalogOptions options)
+{
+    std::string error;
+    auto catalog = tryOpen(std::move(options), &error);
+    if (catalog == nullptr)
+        RAP_FATAL("catalog open failed: ", error);
+    return catalog;
+}
+
+bool
+Catalog::recover(std::string *error)
+{
+    if (!options_.readOnly) {
+        // The kernel drops a flock when its holder dies — SIGKILL
+        // included — so refusal here always means a *live* writer.
+        lockFd_ = ::open(lockPath(options_.dir).c_str(),
+                         O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+        if (lockFd_ < 0) {
+            if (error != nullptr) {
+                *error = "cannot open '" + lockPath(options_.dir) +
+                         "': " + std::strerror(errno);
+            }
+            return false;
+        }
+        if (::flock(lockFd_, LOCK_EX | LOCK_NB) != 0) {
+            if (error != nullptr) {
+                *error = "catalog '" + options_.dir +
+                         "' is already open (flock held)";
+            }
+            ::close(lockFd_);
+            lockFd_ = -1;
+            return false;
+        }
+    }
+
+    const std::string snap_path = snapshotPath(options_.dir);
+    if (std::filesystem::exists(snap_path)) {
+        const Json snapshot = readJsonFile(snap_path);
+        const Json *schema = snapshot.find("schema");
+        if (schema == nullptr || schema->asString() != kCatalogSchema) {
+            RAP_FATAL("catalog snapshot '", snap_path,
+                      "' has wrong schema");
+        }
+        state_.lastLsn = static_cast<std::uint64_t>(
+            snapshot.at("lastLsn").asDouble());
+        state_.framesCommitted = static_cast<std::uint64_t>(
+            snapshot.at("framesCommitted").asDouble());
+        state_.genesis = snapshot.at("genesis");
+        for (const Json &entry : snapshot.at("jobs").elements()) {
+            state_.jobs[static_cast<int>(entry.at("id").asDouble())] =
+                entry.at("record");
+        }
+        for (const Json &entry : snapshot.at("placements").elements()) {
+            state_.placements[static_cast<int>(
+                entry.at("id").asDouble())] = entry.at("record");
+        }
+        for (const Json &entry : snapshot.at("manifests").elements())
+            state_.manifests.push_back(entry);
+    }
+    const std::uint64_t snapshot_lsn = state_.lastLsn;
+
+    const auto wal = readWal(walPath(options_.dir));
+    std::uint64_t replayed = 0;
+    for (const std::string &payload : wal.records) {
+        std::string parse_error;
+        const Json txn = Json::parse(payload, &parse_error);
+        if (!txn.isObject()) {
+            // The checksum passed, so this is not crash damage —
+            // something else wrote garbage into the log.
+            RAP_FATAL("catalog WAL record is not valid JSON: ",
+                      parse_error);
+        }
+        const auto lsn =
+            static_cast<std::uint64_t>(txn.at("lsn").asDouble());
+        if (lsn <= snapshot_lsn) {
+            // A compaction crashed between the snapshot rename and
+            // the WAL reset: the snapshot already covers this record.
+            continue;
+        }
+        RAP_ASSERT(lsn == state_.lastLsn + 1,
+                   "catalog WAL gap: expected LSN ",
+                   state_.lastLsn + 1, ", found ", lsn);
+        applyTransaction(txn);
+        recoveredTail_[lsn] = payload;
+        ++replayed;
+    }
+    count(options_.metrics, "ctrl.recovery.replayed", replayed);
+
+    if (wal.tornTail) {
+        truncatedTornTail_ = true;
+        count(options_.metrics, "ctrl.wal.truncated_records");
+    }
+    if (!options_.readOnly) {
+        // Re-opening the writer at validBytes drops the torn tail.
+        wal_ = std::make_unique<WalWriter>(walPath(options_.dir),
+                                           wal.validBytes);
+    }
+    return true;
+}
+
+std::string
+Catalog::serializeTransaction(const Json &transaction,
+                              std::uint64_t lsn)
+{
+    return stampTransaction(transaction, lsn).dump();
+}
+
+std::uint64_t
+Catalog::commit(Json transaction)
+{
+    RAP_ASSERT(!options_.readOnly,
+               "commit on a read-only catalog");
+    const std::uint64_t lsn = state_.lastLsn + 1;
+    const Json stamped = stampTransaction(transaction, lsn);
+    const std::string payload = stamped.dump();
+    wal_->append(payload);
+    if (options_.fsyncOnCommit) {
+        wal_->sync();
+        count(options_.metrics, "ctrl.wal.syncs");
+    }
+    count(options_.metrics, "ctrl.wal.appends");
+    count(options_.metrics, "ctrl.wal.bytes",
+          payload.size() + kWalFrameHeaderBytes);
+    // Durable first, applied second: a kill between the two loses
+    // only the in-memory view, which recovery rebuilds from the log.
+    applyTransaction(stamped);
+    ++commitsSinceCompact_;
+    if (options_.compactEvery > 0 &&
+        commitsSinceCompact_ >= options_.compactEvery) {
+        compact();
+    }
+    return lsn;
+}
+
+void
+Catalog::applyTransaction(const Json &txn)
+{
+    const auto lsn = static_cast<std::uint64_t>(txn.at("lsn").asDouble());
+    const std::string &kind = txn.at("kind").asString();
+    if (kind == "genesis") {
+        RAP_ASSERT(!state_.hasGenesis(),
+                   "catalog already has a genesis transaction");
+        state_.genesis = txn;
+        for (const Json &spec : txn.at("jobs").elements()) {
+            Json record = Json::object();
+            record.set("spec", spec);
+            record.set("status", Json("submitted"));
+            state_.jobs[static_cast<int>(spec.at("id").asDouble())] =
+                std::move(record);
+        }
+    } else if (kind == "frame") {
+        for (const Json &op : txn.at("ops").elements()) {
+            const std::string &name = op.at("op").asString();
+            if (name == "seal") {
+                state_.manifests.push_back(op.at("manifest"));
+                continue;
+            }
+            if (name == "fault")
+                continue; // no per-job record
+            const int job = static_cast<int>(op.at("job").asDouble());
+            const auto it = state_.jobs.find(job);
+            RAP_ASSERT(it != state_.jobs.end(),
+                       "catalog op for unknown job ", job);
+            if (name == "admit" || name == "preempt") {
+                it->second.set("status", Json("queued"));
+            } else if (name == "place") {
+                it->second.set("status", Json("running"));
+                state_.placements[job] = op;
+            } else if (name == "finish") {
+                it->second.set("status", Json("finished"));
+            } else {
+                RAP_FATAL("unknown catalog op '", name, "'");
+            }
+        }
+        state_.framesCommitted = static_cast<std::uint64_t>(
+                                     txn.at("frame").asDouble()) +
+                                 1;
+    } else {
+        RAP_FATAL("unknown catalog transaction kind '", kind, "'");
+    }
+    state_.lastLsn = lsn;
+}
+
+Json
+Catalog::snapshotJson() const
+{
+    Json snapshot = Json::object();
+    snapshot.set("schema", Json(kCatalogSchema));
+    snapshot.set("lastLsn", Json(state_.lastLsn));
+    snapshot.set("framesCommitted", Json(state_.framesCommitted));
+    snapshot.set("genesis", state_.genesis);
+    Json jobs = Json::array();
+    for (const auto &[id, record] : state_.jobs) {
+        Json entry = Json::object();
+        entry.set("id", Json(id));
+        entry.set("record", record);
+        jobs.push(std::move(entry));
+    }
+    snapshot.set("jobs", std::move(jobs));
+    Json placements = Json::array();
+    for (const auto &[id, record] : state_.placements) {
+        Json entry = Json::object();
+        entry.set("id", Json(id));
+        entry.set("record", record);
+        placements.push(std::move(entry));
+    }
+    snapshot.set("placements", std::move(placements));
+    Json manifests = Json::array();
+    for (const Json &manifest : state_.manifests)
+        manifests.push(manifest);
+    snapshot.set("manifests", std::move(manifests));
+    return snapshot;
+}
+
+void
+Catalog::compact()
+{
+    RAP_ASSERT(!options_.readOnly,
+               "compact on a read-only catalog");
+    const std::string final_path = snapshotPath(options_.dir);
+    const std::string tmp_path = final_path + ".tmp";
+    // Write-temp, fsync, rename: the snapshot becomes visible
+    // atomically, so recovery sees either the old or the new one —
+    // never a half-written file.
+    writeJsonFile(snapshotJson(), tmp_path);
+    syncPath(tmp_path);
+    if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        RAP_FATAL("cannot rename catalog snapshot into place: ",
+                  std::strerror(errno));
+    }
+    syncPath(options_.dir);
+    // The WAL reset comes last. A crash right before it leaves stale
+    // records the next recovery skips by LSN (<= snapshot lastLsn).
+    wal_->reset();
+    commitsSinceCompact_ = 0;
+    count(options_.metrics, "ctrl.snapshot.writes");
+}
+
+} // namespace rap::ctrl

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The durable fleet catalog: a small transactional store over one
+ * directory —
+ *
+ *   <dir>/wal.log        CRC-framed WAL of committed transactions
+ *   <dir>/snapshot.json  periodic compaction of everything before it
+ *   <dir>/LOCK           flock(2)-held while a process has it open
+ *
+ * Every transaction is one versioned `rap.catalog.v1` JSON payload
+ * (common/json.hpp's deterministic writer). commit() appends the
+ * framed record — fsync'ing when the fsync-on-commit knob is set —
+ * *before* folding it into the in-memory CatalogState, so durable
+ * state never lags applied state. Recovery-on-open loads the latest
+ * snapshot, replays the WAL tail over it (records whose LSN the
+ * snapshot already covers are skipped, which is what makes a crash
+ * between the snapshot rename and the WAL reset harmless), and
+ * truncates any torn trailing record.
+ *
+ * The state tracks three record families for the fleet layer: job
+ * specs, placement decisions (with their envelope reservations), and
+ * checkpoint manifests. The catalog itself is schema-agnostic beyond
+ * the transaction envelope — apply() folds ops structurally.
+ */
+
+#ifndef RAP_CTRL_CATALOG_HPP
+#define RAP_CTRL_CATALOG_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "ctrl/wal.hpp"
+
+namespace rap::obs {
+class MetricRegistry;
+}
+
+namespace rap::ctrl {
+
+/** Schema token stamped on every catalog transaction and snapshot. */
+inline constexpr const char *kCatalogSchema = "rap.catalog.v1";
+
+/** Catalog configuration. */
+struct CatalogOptions
+{
+    /** Directory holding wal.log / snapshot.json / LOCK. */
+    std::string dir;
+    /**
+     * fsync the WAL inside every commit. Off by default: the benches
+     * trade the sync for speed (a kernel crash can then lose the last
+     * commits, a process kill cannot — writes reach the kernel before
+     * commit returns either way).
+     */
+    bool fsyncOnCommit = false;
+    /**
+     * Compact into snapshot.json every N commits (0 = only when
+     * compact() is called explicitly).
+     */
+    int compactEvery = 0;
+    /**
+     * Read-only open: no LOCK acquisition, no torn-tail truncation,
+     * commit() refused. For inspection tools running against a
+     * possibly-live catalog.
+     */
+    bool readOnly = false;
+    /** Optional registry for the ctrl.* counters (non-owning). */
+    obs::MetricRegistry *metrics = nullptr;
+};
+
+/** Replayed view of the record families the fleet layer persists. */
+struct CatalogState
+{
+    /** The genesis transaction (run config + job specs); null before. */
+    Json genesis;
+    /** Latest record per job id: {"spec": ..., "status": ...}. */
+    std::map<int, Json> jobs;
+    /** Latest placement decision per job id (envelope included). */
+    std::map<int, Json> placements;
+    /** Checkpoint manifests in seal order. */
+    std::vector<Json> manifests;
+    /** LSN of the last applied transaction (0 = empty catalog). */
+    std::uint64_t lastLsn = 0;
+    /** Event frames applied (genesis excluded). */
+    std::uint64_t framesCommitted = 0;
+
+    bool hasGenesis() const { return !genesis.isNull(); }
+};
+
+/**
+ * One open catalog. At most one writer per directory: open() takes an
+ * exclusive flock on <dir>/LOCK, which the kernel releases when the
+ * process dies — even by SIGKILL — so stale locks cannot wedge a
+ * resume.
+ */
+class Catalog
+{
+  public:
+    /**
+     * Open (creating the directory when missing) and recover. On
+     * failure — notably when another open catalog holds the lock —
+     * returns nullptr and stores a message in @p error when non-null.
+     */
+    static std::unique_ptr<Catalog> tryOpen(CatalogOptions options,
+                                            std::string *error = nullptr);
+
+    /** tryOpen, but fatal on failure. */
+    static std::unique_ptr<Catalog> open(CatalogOptions options);
+
+    Catalog(const Catalog &) = delete;
+    Catalog &operator=(const Catalog &) = delete;
+    ~Catalog();
+
+    /**
+     * Commit @p transaction: stamp the schema token and the next LSN,
+     * append the framed record (fsync when configured), then apply it
+     * to state(). Auto-compacts every compactEvery commits. @return
+     * the assigned LSN.
+     */
+    std::uint64_t commit(Json transaction);
+
+    /**
+     * Fold everything into snapshot.json (write-temp, fsync, rename)
+     * and reset the WAL. Crash-safe at every step: an interrupted
+     * compaction leaves either the old snapshot + full WAL or the new
+     * snapshot + a WAL whose records recovery skips by LSN.
+     */
+    void compact();
+
+    /**
+     * The exact bytes commit() would log for @p transaction at
+     * @p lsn: schema and LSN stamped first, caller members after,
+     * caller copies of the stamps dropped. A resuming scheduler calls
+     * this to recompute a frame's payload and byte-compare it against
+     * recoveredTail().
+     */
+    static std::string serializeTransaction(const Json &transaction,
+                                            std::uint64_t lsn);
+
+    /** The replayed state (updated by every commit). */
+    const CatalogState &state() const { return state_; }
+
+    /**
+     * Serialized transactions recovered from the WAL at open, keyed
+     * by LSN — the un-compacted tail. A resuming scheduler verifies
+     * its re-executed frames byte-for-byte against these.
+     */
+    const std::map<std::uint64_t, std::string> &recoveredTail() const
+    {
+        return recoveredTail_;
+    }
+
+    /** @return True when open dropped a torn/corrupt WAL tail. */
+    bool truncatedTornTail() const { return truncatedTornTail_; }
+
+    const CatalogOptions &options() const { return options_; }
+
+    /** Path helpers (shared with tools/catalog_dump). */
+    static std::string walPath(const std::string &dir);
+    static std::string snapshotPath(const std::string &dir);
+    static std::string lockPath(const std::string &dir);
+
+  private:
+    explicit Catalog(CatalogOptions options);
+
+    bool recover(std::string *error);
+    void applyTransaction(const Json &txn);
+    Json snapshotJson() const;
+
+    CatalogOptions options_;
+    CatalogState state_;
+    std::map<std::uint64_t, std::string> recoveredTail_;
+    std::unique_ptr<WalWriter> wal_;
+    int lockFd_ = -1;
+    bool truncatedTornTail_ = false;
+    /** Commits since the last compaction (auto-compact trigger). */
+    int commitsSinceCompact_ = 0;
+};
+
+} // namespace rap::ctrl
+
+#endif // RAP_CTRL_CATALOG_HPP

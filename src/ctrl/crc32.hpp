@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * ranges — the integrity check framing every WAL record. Table-driven,
+ * no hardware dependence, byte-order independent: the checksum of a
+ * record is identical on every platform, so catalogs are portable.
+ */
+
+#ifndef RAP_CTRL_CRC32_HPP
+#define RAP_CTRL_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rap::ctrl {
+
+/** @return CRC-32 of @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** @return CRC-32 of a byte string. */
+inline std::uint32_t
+crc32(const std::string &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace rap::ctrl
+
+#endif // RAP_CTRL_CRC32_HPP

@@ -1,0 +1,152 @@
+#include "ctrl/wal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "ctrl/crc32.hpp"
+
+namespace rap::ctrl {
+
+namespace {
+
+std::uint32_t
+readU32Le(const unsigned char *bytes)
+{
+    return static_cast<std::uint32_t>(bytes[0]) |
+           static_cast<std::uint32_t>(bytes[1]) << 8 |
+           static_cast<std::uint32_t>(bytes[2]) << 16 |
+           static_cast<std::uint32_t>(bytes[3]) << 24;
+}
+
+void
+writeU32Le(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xFFu));
+    out.push_back(static_cast<char>((value >> 8) & 0xFFu));
+    out.push_back(static_cast<char>((value >> 16) & 0xFFu));
+    out.push_back(static_cast<char>((value >> 24) & 0xFFu));
+}
+
+/**
+ * Cap on one record's payload: a length field above this is garbage
+ * (a torn header read as length), not a real record.
+ */
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+} // namespace
+
+WalReadResult
+readWal(const std::string &path)
+{
+    WalReadResult result;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return result; // no log yet: empty
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(raw.data());
+    std::uint64_t offset = 0;
+    while (offset + kWalFrameHeaderBytes <= raw.size()) {
+        const std::uint32_t length = readU32Le(bytes + offset);
+        const std::uint32_t crc = readU32Le(bytes + offset + 4);
+        if (length > kMaxRecordBytes)
+            break; // garbage header
+        const std::uint64_t end =
+            offset + kWalFrameHeaderBytes + length;
+        if (end > raw.size())
+            break; // torn: payload cut short
+        std::string payload =
+            raw.substr(offset + kWalFrameHeaderBytes, length);
+        if (crc32(payload) != crc)
+            break; // corrupt payload
+        result.records.push_back(std::move(payload));
+        offset = end;
+    }
+    result.validBytes = offset;
+    result.tornTail = offset < raw.size();
+    return result;
+}
+
+WalWriter::WalWriter(const std::string &path, std::uint64_t offset)
+    : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        RAP_FATAL("cannot open WAL '", path,
+                  "': ", std::strerror(errno));
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+        RAP_FATAL("cannot truncate WAL '", path,
+                  "' to ", offset, " bytes: ", std::strerror(errno));
+    }
+    if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+        RAP_FATAL("cannot seek WAL '", path,
+                  "': ", std::strerror(errno));
+    }
+    size_ = offset;
+}
+
+WalWriter::~WalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+WalWriter::append(const std::string &payload)
+{
+    RAP_ASSERT(payload.size() <= kMaxRecordBytes,
+               "WAL record too large: ", payload.size(), " bytes");
+    std::string frame;
+    frame.reserve(kWalFrameHeaderBytes + payload.size());
+    writeU32Le(frame, static_cast<std::uint32_t>(payload.size()));
+    writeU32Le(frame, crc32(payload));
+    frame += payload;
+    // One write(2) per frame: either the whole frame reaches the
+    // kernel or the call fails — a short write on a regular file only
+    // happens on ENOSPC-class errors, which are fatal here anyway.
+    std::size_t written = 0;
+    while (written < frame.size()) {
+        const ssize_t n = ::write(fd_, frame.data() + written,
+                                  frame.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            RAP_FATAL("WAL append to '", path_,
+                      "' failed: ", std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    size_ += frame.size();
+}
+
+void
+WalWriter::sync()
+{
+    if (::fsync(fd_) != 0) {
+        RAP_FATAL("WAL fsync of '", path_,
+                  "' failed: ", std::strerror(errno));
+    }
+}
+
+void
+WalWriter::reset()
+{
+    if (::ftruncate(fd_, 0) != 0) {
+        RAP_FATAL("WAL reset of '", path_,
+                  "' failed: ", std::strerror(errno));
+    }
+    if (::lseek(fd_, 0, SEEK_SET) < 0) {
+        RAP_FATAL("cannot seek WAL '", path_,
+                  "': ", std::strerror(errno));
+    }
+    size_ = 0;
+}
+
+} // namespace rap::ctrl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The append-only write-ahead log under the fleet catalog.
+ *
+ * Record framing is fixed and self-describing:
+ *
+ *   [u32 length LE][u32 crc32(payload) LE][payload bytes]
+ *
+ * A record is valid only when its full frame is on disk and the
+ * payload checksum matches. Reading stops at the first frame that is
+ * torn (header or payload cut short by a crash) or corrupt (checksum
+ * mismatch); everything before that point is intact — appends are
+ * sequential, so a crash can only damage the tail. readWal reports the
+ * byte offset of the last valid frame so the opener can truncate the
+ * torn tail and continue appending from a clean end.
+ *
+ * WalWriter writes each frame with a single write(2) straight to the
+ * file descriptor — no user-space buffering — so a record handed to
+ * append() is in the kernel when append() returns, and on the platter
+ * after sync() (the fsync-on-commit knob). Abandoning the process
+ * without running destructors loses nothing that append() accepted.
+ */
+
+#ifndef RAP_CTRL_WAL_HPP
+#define RAP_CTRL_WAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap::ctrl {
+
+/** Bytes every frame spends on its length + checksum header. */
+inline constexpr std::size_t kWalFrameHeaderBytes = 8;
+
+/** Result of scanning a WAL file. */
+struct WalReadResult
+{
+    /** Payloads of every valid record, in append order. */
+    std::vector<std::string> records;
+    /** File offset just past the last valid frame. */
+    std::uint64_t validBytes = 0;
+    /** True when trailing bytes past validBytes were torn/corrupt. */
+    bool tornTail = false;
+};
+
+/**
+ * Scan @p path (missing file = empty log). Never mutates the file;
+ * the catalog decides whether to truncate a reported torn tail.
+ */
+WalReadResult readWal(const std::string &path);
+
+/** Appends CRC-framed records to one WAL file. */
+class WalWriter
+{
+  public:
+    /**
+     * Open @p path for appending at @p offset (the valid prefix
+     * length from readWal); the file is created when missing and
+     * truncated to @p offset first, discarding any torn tail. Fatal
+     * on I/O errors.
+     */
+    WalWriter(const std::string &path, std::uint64_t offset);
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+    ~WalWriter();
+
+    /** Frame @p payload and write it through; fatal on I/O errors. */
+    void append(const std::string &payload);
+
+    /** fsync the log (the durability point of a commit). */
+    void sync();
+
+    /** Discard every record (compaction: the snapshot now covers them). */
+    void reset();
+
+    /** @return Bytes currently in the log. */
+    std::uint64_t sizeBytes() const { return size_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t size_ = 0;
+};
+
+} // namespace rap::ctrl
+
+#endif // RAP_CTRL_WAL_HPP

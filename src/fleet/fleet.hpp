@@ -10,6 +10,7 @@
 #include "fleet/placement.hpp"
 #include "fleet/queue.hpp"
 #include "fleet/report.hpp"
+#include "fleet/request.hpp"
 #include "fleet/scheduler.hpp"
 
 #endif // RAP_FLEET_FLEET_HPP

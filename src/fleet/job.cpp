@@ -72,6 +72,82 @@ JobSpec::variantKey() const
            std::to_string(static_cast<int>(kind));
 }
 
+Json
+JobSpec::toJson() const
+{
+    Json json = Json::object();
+    json.set("id", Json(id));
+    json.set("name", Json(name));
+    json.set("arrival", Json(arrival));
+    json.set("gpusRequested", Json(gpusRequested));
+    json.set("planId", Json(planId));
+    json.set("ngramStress", Json(ngramStress));
+    json.set("batchPerGpu", Json(batchPerGpu));
+    json.set("iterations", Json(iterations));
+    json.set("system", Json(core::systemId(system)));
+    json.set("checkpointInterval", Json(checkpointInterval));
+    json.set("kind", Json(jobKindId(kind)));
+    Json requests_json = Json::object();
+    requests_json.set("qps", Json(requests.qps));
+    requests_json.set("qpsAmplitude", Json(requests.qpsAmplitude));
+    requests_json.set("qpsPeriod", Json(requests.qpsPeriod));
+    requests_json.set("duration", Json(requests.duration));
+    // Request seeds are masked to 53 bits at synthesis, so the double
+    // round trip below is exact.
+    requests_json.set("seed", Json(requests.seed));
+    json.set("requests", std::move(requests_json));
+    Json window_json = Json::object();
+    window_json.set("maxBatch", Json(window.maxBatch));
+    window_json.set("maxWait", Json(window.maxWait));
+    json.set("window", std::move(window_json));
+    json.set("sloLatency", Json(sloLatency));
+    return json;
+}
+
+JobSpec
+JobSpec::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("JobSpec JSON must be an object");
+    JobSpec spec;
+    spec.id = static_cast<int>(json.at("id").asDouble());
+    spec.name = json.at("name").asString();
+    spec.arrival = json.at("arrival").asDouble();
+    spec.gpusRequested =
+        static_cast<int>(json.at("gpusRequested").asDouble());
+    spec.planId = static_cast<int>(json.at("planId").asDouble());
+    spec.ngramStress =
+        static_cast<int>(json.at("ngramStress").asDouble());
+    spec.batchPerGpu =
+        static_cast<std::int64_t>(json.at("batchPerGpu").asDouble());
+    spec.iterations =
+        static_cast<int>(json.at("iterations").asDouble());
+    const auto system =
+        core::systemFromId(json.at("system").asString());
+    if (!system) {
+        RAP_FATAL("unknown system id '", json.at("system").asString(),
+                  "' in JobSpec JSON");
+    }
+    spec.system = *system;
+    spec.checkpointInterval =
+        static_cast<int>(json.at("checkpointInterval").asDouble());
+    spec.kind = jobKindFromId(json.at("kind").asString());
+    const Json &requests = json.at("requests");
+    spec.requests.qps = requests.at("qps").asDouble();
+    spec.requests.qpsAmplitude =
+        requests.at("qpsAmplitude").asDouble();
+    spec.requests.qpsPeriod = requests.at("qpsPeriod").asDouble();
+    spec.requests.duration = requests.at("duration").asDouble();
+    spec.requests.seed = static_cast<std::uint64_t>(
+        requests.at("seed").asDouble());
+    const Json &window = json.at("window");
+    spec.window.maxBatch =
+        static_cast<int>(window.at("maxBatch").asDouble());
+    spec.window.maxWait = window.at("maxWait").asDouble();
+    spec.sloLatency = json.at("sloLatency").asDouble();
+    return spec;
+}
+
 std::vector<JobSpec>
 makeArrivalTrace(const ArrivalTraceOptions &options)
 {

@@ -85,6 +85,15 @@ struct JobSpec
      * keys on equal envelopes share one memoised simulation.
      */
     std::string variantKey() const;
+
+    /**
+     * JsonSerializable (core/serial.hpp convention): round-trips
+     * exactly — request seeds are masked to 53 bits at synthesis so
+     * the double round trip is lossless. Shared by FleetReport
+     * artifacts and the durable catalog's job records.
+     */
+    Json toJson() const;
+    static JobSpec fromJson(const Json &json);
 };
 
 /** Inference-job synthesis knobs (ArrivalTraceOptions::serving). */

@@ -72,6 +72,66 @@ policyId(PlacementPolicy policy)
     RAP_PANIC("unknown placement policy");
 }
 
+Json
+Placement::toJson() const
+{
+    Json json = Json::object();
+    Json ids = Json::array();
+    for (int id : gpuIds)
+        ids.push(Json(id));
+    json.set("gpuIds", std::move(ids));
+    Json envs = Json::array();
+    for (const auto &env : envelopes) {
+        Json entry = Json::object();
+        entry.set("sm", Json(env.sm));
+        entry.set("bw", Json(env.bw));
+        envs.push(std::move(entry));
+    }
+    json.set("envelopes", std::move(envs));
+    return json;
+}
+
+Placement
+Placement::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("Placement JSON must be an object");
+    Placement placement;
+    for (const Json &id : json.at("gpuIds").elements())
+        placement.gpuIds.push_back(static_cast<int>(id.asDouble()));
+    for (const Json &entry : json.at("envelopes").elements()) {
+        core::GpuEnvelope env;
+        env.sm = entry.at("sm").asDouble();
+        env.bw = entry.at("bw").asDouble();
+        placement.envelopes.push_back(env);
+    }
+    return placement;
+}
+
+Json
+PlacementOptions::toJson() const
+{
+    Json json = Json::object();
+    json.set("policy", Json(policyId(policy)));
+    json.set("headroom", Json(headroom));
+    json.set("minEnvelope", Json(minEnvelope));
+    json.set("demandScale", Json(demandScale));
+    return json;
+}
+
+PlacementOptions
+PlacementOptions::fromJson(const Json &json)
+{
+    if (!json.isObject())
+        RAP_FATAL("PlacementOptions JSON must be an object");
+    PlacementOptions options;
+    options.policy = policyFromId(json.at("policy").asString());
+    options.headroom = json.at("headroom").asDouble();
+    options.minEnvelope = json.at("minEnvelope").asDouble();
+    options.demandScale = json.at("demandScale").asDouble();
+    return options;
+}
+
 PlacementPolicy
 policyFromId(const std::string &id)
 {

@@ -111,6 +111,10 @@ struct Placement
     std::vector<int> gpuIds;
     /** Resource slice granted on each (aligned with gpuIds). */
     std::vector<core::GpuEnvelope> envelopes;
+
+    /** JsonSerializable: the catalog's placement-decision record. */
+    Json toJson() const;
+    static Placement fromJson(const Json &json);
 };
 
 /** Placement tuning. */
@@ -140,6 +144,10 @@ struct PlacementOptions
      * 1.0 recovers strict reservation.
      */
     double demandScale = 0.60;
+
+    /** JsonSerializable: persisted in the catalog's genesis record. */
+    Json toJson() const;
+    static PlacementOptions fromJson(const Json &json);
 };
 
 /**

@@ -1,122 +1,37 @@
 /**
  * @file
- * FleetReport serialization: toJson()/fromJson() round-trip exactly.
- * The CI determinism job diffs these artifacts across thread counts,
- * so every field — per-job specs, outcomes, and the aggregates — is
- * serialized from the exact doubles the scheduler computed.
+ * FleetReport serialization: toJson()/fromJson() round-trip exactly
+ * under the core/serial.hpp JsonSerializable convention (schema token
+ * "rap.fleet_report.v1"). The CI determinism job diffs these
+ * artifacts across thread counts, and the resume gate diffs them
+ * across kill/recover cycles, so every field — per-job specs,
+ * outcomes, and the aggregates — is serialized from the exact doubles
+ * the scheduler computed.
+ *
+ * Optional SLO columns serialize as explicit JSON null and read back
+ * through the absent-tolerant helpers: "never measured" round-trips
+ * as std::nullopt, distinct from a measured zero.
  */
 
 #include "fleet/report.hpp"
 
 #include "common/log.hpp"
+#include "core/serial.hpp"
 
 namespace rap::fleet {
 
 namespace {
 
-/**
- * Absent optional fields serialize as JSON null — never as 0.0 or a
- * stale placeholder — so a round trip preserves "never measured"
- * exactly (the same convention core::RunReport uses for its lifecycle
- * timestamps).
- */
-void
-setOptionalNumber(Json &json, const std::string &key,
-                  const std::optional<double> &value)
-{
-    json.set(key, value ? Json(*value) : Json());
-}
+constexpr const char *kFleetReportSchema = "rap.fleet_report.v1";
 
-std::optional<double>
-getOptionalNumber(const Json &json, const std::string &key)
-{
-    const Json &field = json.at(key);
-    if (field.isNull())
-        return std::nullopt;
-    return field.asDouble();
-}
-
-Json
-specJson(const JobSpec &spec)
-{
-    Json json = Json::object();
-    json.set("id", Json(spec.id));
-    json.set("name", Json(spec.name));
-    json.set("arrival", Json(spec.arrival));
-    json.set("gpusRequested", Json(spec.gpusRequested));
-    json.set("planId", Json(spec.planId));
-    json.set("ngramStress", Json(spec.ngramStress));
-    json.set("batchPerGpu", Json(spec.batchPerGpu));
-    json.set("iterations", Json(spec.iterations));
-    json.set("system", Json(core::systemId(spec.system)));
-    json.set("checkpointInterval", Json(spec.checkpointInterval));
-    json.set("kind", Json(jobKindId(spec.kind)));
-    Json requests = Json::object();
-    requests.set("qps", Json(spec.requests.qps));
-    requests.set("qpsAmplitude", Json(spec.requests.qpsAmplitude));
-    requests.set("qpsPeriod", Json(spec.requests.qpsPeriod));
-    requests.set("duration", Json(spec.requests.duration));
-    // Request seeds are masked to 53 bits at synthesis, so the double
-    // round trip below is exact.
-    requests.set("seed", Json(spec.requests.seed));
-    json.set("requests", std::move(requests));
-    Json window = Json::object();
-    window.set("maxBatch", Json(spec.window.maxBatch));
-    window.set("maxWait", Json(spec.window.maxWait));
-    json.set("window", std::move(window));
-    json.set("sloLatency", Json(spec.sloLatency));
-    return json;
-}
-
-JobSpec
-specFromJson(const Json &json)
-{
-    if (!json.isObject())
-        RAP_FATAL("JobSpec JSON must be an object");
-    JobSpec spec;
-    spec.id = static_cast<int>(json.at("id").asDouble());
-    spec.name = json.at("name").asString();
-    spec.arrival = json.at("arrival").asDouble();
-    spec.gpusRequested =
-        static_cast<int>(json.at("gpusRequested").asDouble());
-    spec.planId = static_cast<int>(json.at("planId").asDouble());
-    spec.ngramStress =
-        static_cast<int>(json.at("ngramStress").asDouble());
-    spec.batchPerGpu =
-        static_cast<std::int64_t>(json.at("batchPerGpu").asDouble());
-    spec.iterations =
-        static_cast<int>(json.at("iterations").asDouble());
-    const auto system =
-        core::systemFromId(json.at("system").asString());
-    if (!system) {
-        RAP_FATAL("unknown system id '", json.at("system").asString(),
-                  "' in JobSpec JSON");
-    }
-    spec.system = *system;
-    spec.checkpointInterval =
-        static_cast<int>(json.at("checkpointInterval").asDouble());
-    spec.kind = jobKindFromId(json.at("kind").asString());
-    const Json &requests = json.at("requests");
-    spec.requests.qps = requests.at("qps").asDouble();
-    spec.requests.qpsAmplitude =
-        requests.at("qpsAmplitude").asDouble();
-    spec.requests.qpsPeriod = requests.at("qpsPeriod").asDouble();
-    spec.requests.duration = requests.at("duration").asDouble();
-    spec.requests.seed = static_cast<std::uint64_t>(
-        requests.at("seed").asDouble());
-    const Json &window = json.at("window");
-    spec.window.maxBatch =
-        static_cast<int>(window.at("maxBatch").asDouble());
-    spec.window.maxWait = window.at("maxWait").asDouble();
-    spec.sloLatency = json.at("sloLatency").asDouble();
-    return spec;
-}
+using core::serial::getOptionalNumber;
+using core::serial::setOptionalNumber;
 
 Json
 outcomeJson(const JobOutcome &outcome)
 {
     Json json = Json::object();
-    json.set("spec", specJson(outcome.spec));
+    json.set("spec", outcome.spec.toJson());
     json.set("firstStart", Json(outcome.firstStart));
     json.set("finish", Json(outcome.finish));
     json.set("placements", Json(outcome.placements));
@@ -155,15 +70,13 @@ outcomeFromJson(const Json &json)
     if (!json.isObject())
         RAP_FATAL("JobOutcome JSON must be an object");
     JobOutcome outcome;
-    outcome.spec = specFromJson(json.at("spec"));
+    outcome.spec = JobSpec::fromJson(json.at("spec"));
     outcome.firstStart = json.at("firstStart").asDouble();
     outcome.finish = json.at("finish").asDouble();
-    outcome.placements =
-        static_cast<int>(json.at("placements").asDouble());
-    outcome.requeues =
-        static_cast<int>(json.at("requeues").asDouble());
+    outcome.placements = core::serial::getInt(json, "placements");
+    outcome.requeues = core::serial::getInt(json, "requeues");
     outcome.crashRequeues =
-        static_cast<int>(json.at("crashRequeues").asDouble());
+        core::serial::getInt(json, "crashRequeues");
     outcome.serviceTime = json.at("serviceTime").asDouble();
     outcome.lostWork = json.at("lostWork").asDouble();
     for (const Json &id : json.at("lastGpus").elements())
@@ -172,19 +85,19 @@ outcomeFromJson(const Json &json)
     outcome.demand.sm = demand.at("sm").asDouble();
     outcome.demand.bw = demand.at("bw").asDouble();
     outcome.report = core::RunReport::fromJson(json.at("report"));
-    const Json &serve_json = json.at("serve");
-    if (!serve_json.isNull()) {
+    const Json *serve_json = json.find("serve");
+    if (serve_json != nullptr && !serve_json->isNull()) {
         rap::serve::SloStats stats;
-        stats.requests = static_cast<std::uint64_t>(
-            serve_json.at("requests").asDouble());
-        stats.batches = static_cast<std::uint64_t>(
-            serve_json.at("batches").asDouble());
-        stats.attained = static_cast<std::uint64_t>(
-            serve_json.at("attained").asDouble());
-        stats.sloLatency = serve_json.at("sloLatency").asDouble();
-        stats.p50 = serve_json.at("p50").asDouble();
-        stats.p95 = serve_json.at("p95").asDouble();
-        stats.p99 = serve_json.at("p99").asDouble();
+        stats.requests =
+            core::serial::getUint64(*serve_json, "requests");
+        stats.batches =
+            core::serial::getUint64(*serve_json, "batches");
+        stats.attained =
+            core::serial::getUint64(*serve_json, "attained");
+        stats.sloLatency = serve_json->at("sloLatency").asDouble();
+        stats.p50 = serve_json->at("p50").asDouble();
+        stats.p95 = serve_json->at("p95").asDouble();
+        stats.p99 = serve_json->at("p99").asDouble();
         outcome.serve = stats;
     }
     return outcome;
@@ -196,6 +109,7 @@ Json
 FleetReport::toJson() const
 {
     Json json = Json::object();
+    core::serial::stampSchema(json, kFleetReportSchema);
     json.set("policy", Json(policyId(policy)));
     json.set("gpuCount", Json(gpuCount));
     Json job_array = Json::array();
@@ -231,21 +145,18 @@ FleetReport::toJson() const
 FleetReport
 FleetReport::fromJson(const Json &json)
 {
-    if (!json.isObject())
-        RAP_FATAL("FleetReport JSON must be an object");
+    core::serial::requireSchema(json, kFleetReportSchema);
     FleetReport report;
     report.policy = policyFromId(json.at("policy").asString());
-    report.gpuCount =
-        static_cast<int>(json.at("gpuCount").asDouble());
+    report.gpuCount = core::serial::getInt(json, "gpuCount");
     for (const Json &job : json.at("jobs").elements())
         report.jobs.push_back(outcomeFromJson(job));
     report.makespan = json.at("makespan").asDouble();
-    report.requeues =
-        static_cast<int>(json.at("requeues").asDouble());
+    report.requeues = core::serial::getInt(json, "requeues");
     report.crashRequeues =
-        static_cast<int>(json.at("crashRequeues").asDouble());
+        core::serial::getInt(json, "crashRequeues");
     report.simulationsRun =
-        static_cast<int>(json.at("simulationsRun").asDouble());
+        core::serial::getInt(json, "simulationsRun");
     report.busyGpuSeconds = json.at("busyGpuSeconds").asDouble();
     report.meanJct = json.at("meanJct").asDouble();
     report.p50Jct = json.at("p50Jct").asDouble();
@@ -258,12 +169,15 @@ FleetReport::fromJson(const Json &json)
     report.gpuOccupancy = json.at("gpuOccupancy").asDouble();
     report.lostWork = json.at("lostWork").asDouble();
     report.goodputSeconds = json.at("goodputSeconds").asDouble();
-    report.serveRequests = static_cast<std::uint64_t>(
-        json.at("serveRequests").asDouble());
-    report.serveBatches = static_cast<std::uint64_t>(
-        json.at("serveBatches").asDouble());
-    report.serveAttained = static_cast<std::uint64_t>(
-        json.at("serveAttained").asDouble());
+    report.serveRequests =
+        core::serial::getUint64(json, "serveRequests");
+    report.serveBatches =
+        core::serial::getUint64(json, "serveBatches");
+    report.serveAttained =
+        core::serial::getUint64(json, "serveAttained");
+    // Absent and null both mean "never measured": these columns only
+    // exist for traces with inference jobs, and defaulting them to
+    // zero would fabricate a measurement.
     report.serveAttainment = getOptionalNumber(json, "serveAttainment");
     report.serveGoodputRps = getOptionalNumber(json, "serveGoodputRps");
     report.serveP50Latency = getOptionalNumber(json, "serveP50Latency");

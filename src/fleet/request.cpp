@@ -1,0 +1,212 @@
+#include "fleet/request.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace rap::fleet {
+
+core::ValidationResult
+FleetRequest::validate() const
+{
+    core::ValidationResult result;
+    const int gpu_count = options_.node.gpuCount;
+    if (gpu_count < 1)
+        result.addError("node.gpuCount", "node needs at least one GPU");
+    if (jobs_.empty())
+        result.addError("jobs", "fleet needs at least one job");
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        const auto &spec = jobs_[j];
+        const std::string field = "jobs[" + std::to_string(j) + "]";
+        if (spec.id != static_cast<int>(j)) {
+            result.addError(field + ".id",
+                            "job ids must be dense and ordered "
+                            "(expected " +
+                                std::to_string(j) + ", found " +
+                                std::to_string(spec.id) + ")");
+        }
+        if (spec.gpusRequested < 1 ||
+            (gpu_count >= 1 && spec.gpusRequested > gpu_count)) {
+            result.addError(field + ".gpusRequested",
+                            "requests " +
+                                std::to_string(spec.gpusRequested) +
+                                " GPUs on a " +
+                                std::to_string(gpu_count) +
+                                "-GPU node");
+        }
+        if (spec.kind == JobKind::Inference) {
+            if (!(spec.sloLatency > 0.0)) {
+                result.addError(field + ".sloLatency",
+                                "inference jobs need a positive SLO "
+                                "latency");
+            }
+            if (spec.checkpointInterval != 0) {
+                result.addError(field + ".checkpointInterval",
+                                "inference jobs have no training "
+                                "state to checkpoint");
+            }
+        }
+    }
+    if (!(options_.envelopeQuantum > 0.0 &&
+          options_.envelopeQuantum <= 1.0)) {
+        result.addError("envelopeQuantum", "must be in (0, 1]");
+    }
+    if (!(options_.restartOverhead >= 0.0) ||
+        !std::isfinite(options_.restartOverhead)) {
+        result.addError("restartOverhead",
+                        "must be finite and non-negative");
+    }
+    if (!(options_.placement.headroom > 0.0 &&
+          options_.placement.headroom <= 1.0)) {
+        result.addError("placement.headroom", "must be in (0, 1]");
+    }
+    if (!(options_.placement.minEnvelope >= 0.0 &&
+          options_.placement.minEnvelope <= 1.0)) {
+        result.addError("placement.minEnvelope", "must be in [0, 1]");
+    }
+    if (!(options_.placement.demandScale > 0.0 &&
+          options_.placement.demandScale <= 1.0)) {
+        result.addError("placement.demandScale", "must be in (0, 1]");
+    }
+    if (options_.engineJobs < 0) {
+        result.addError("engineJobs",
+                        "must be >= 0 (0 = hardware concurrency)");
+    }
+    for (std::size_t e = 0; e < options_.faults.events.size(); ++e) {
+        const auto &event = options_.faults.events[e];
+        const std::string field =
+            "faults.events[" + std::to_string(e) + "]";
+        const bool fleet_kind =
+            event.kind == sim::FaultKind::SmDegrade ||
+            event.kind == sim::FaultKind::HbmDegrade ||
+            event.kind == sim::FaultKind::DeviceCrash;
+        if (!fleet_kind) {
+            result.addError(field + ".kind",
+                            "fleet-scope faults support SmDegrade/"
+                            "HbmDegrade/DeviceCrash only (found " +
+                                sim::faultKindId(event.kind) + ")");
+        }
+        if (event.device >= gpu_count) {
+            result.addError(field + ".device",
+                            "targets GPU " +
+                                std::to_string(event.device) +
+                                " on a " + std::to_string(gpu_count) +
+                                "-GPU node");
+        }
+        if (!(event.time >= 0.0)) {
+            result.addError(field + ".time",
+                            "must be a non-negative fleet-clock time");
+        }
+        if (fleet_kind && event.kind != sim::FaultKind::DeviceCrash &&
+            !(event.factor > 0.0 && event.factor <= 1.0)) {
+            result.addError(field + ".factor",
+                            "degradation factor must be in (0, 1]");
+        }
+    }
+    if (crashFaults_) {
+        if (!(crashMtbf_ > 0.0)) {
+            result.addError("crashFaults.mtbf",
+                            "crash schedule needs a positive MTBF");
+        }
+        if (!(crashHorizon_ > 0.0)) {
+            result.addError("crashFaults.horizon",
+                            "crash schedule needs a positive horizon");
+        }
+    }
+    if (compactEvery_ < 0)
+        result.addError("compactEvery", "must be >= 0 (0 = never)");
+    if (options_.stopAfterEvents < 0)
+        result.addError("stopAfterEvents", "cannot be negative");
+    if (options_.stopAfterEvents > 0 &&
+        options_.catalog == nullptr && catalogDir_.empty()) {
+        result.addError("stopAfterEvents",
+                        "stopping without a catalog would just lose "
+                        "the run");
+    }
+    if (options_.catalog != nullptr && !catalogDir_.empty()) {
+        result.addError("catalogDir",
+                        "mutually exclusive with an adopted catalog "
+                        "handle");
+    }
+    if ((fsyncOnCommit_ || compactEvery_ > 0) &&
+        options_.catalog == nullptr && catalogDir_.empty()) {
+        result.addError("catalogDir",
+                        "fsyncOnCommit/compactEvery need a catalog "
+                        "to act on");
+    }
+    return result;
+}
+
+FleetReport
+FleetRequest::run(ThreadPool *pool)
+{
+    const auto result = validate();
+    if (!result.ok())
+        RAP_FATAL("invalid fleet request:\n", result.render());
+    FleetOptions options = options_;
+    if (crashFaults_) {
+        const auto crashes =
+            sim::makeCrashTrace(crashMtbf_, crashSeed_, crashHorizon_,
+                                options.node.gpuCount);
+        options.faults.events.insert(options.faults.events.end(),
+                                     crashes.begin(), crashes.end());
+    }
+    if (!catalogDir_.empty()) {
+        ctrl::CatalogOptions catalog_options;
+        catalog_options.dir = catalogDir_;
+        catalog_options.fsyncOnCommit = fsyncOnCommit_;
+        catalog_options.compactEvery = compactEvery_;
+        catalog_options.metrics = options.metrics;
+        ownedCatalog_ = ctrl::Catalog::open(std::move(catalog_options));
+        options.catalog = ownedCatalog_.get();
+    }
+    FleetScheduler scheduler(jobs_, std::move(options), pool);
+    auto report = scheduler.run();
+    stopped_ = scheduler.stopped();
+    // An abandoned run's report is partial by design; finalizing it
+    // would dress it up as a finished one.
+    if (!stopped_)
+        report.finalize();
+    return report;
+}
+
+FleetReport
+resumeFleet(ctrl::Catalog &catalog, ThreadPool *pool)
+{
+    const auto &state = catalog.state();
+    RAP_ASSERT(state.hasGenesis(),
+               "catalog has no genesis record — nothing to resume");
+    FleetOptions options =
+        fleetOptionsFromJson(state.genesis.at("config"));
+    std::vector<JobSpec> jobs;
+    for (const Json &spec : state.genesis.at("jobs").elements())
+        jobs.push_back(JobSpec::fromJson(spec));
+    options.catalog = &catalog;
+    options.metrics = catalog.options().metrics;
+    FleetScheduler scheduler(std::move(jobs), std::move(options), pool);
+    auto report = scheduler.run();
+    report.finalize();
+    return report;
+}
+
+FleetReport
+resumeFleet(const ctrl::CatalogOptions &catalog_options,
+            ThreadPool *pool)
+{
+    auto catalog = ctrl::Catalog::open(catalog_options);
+    return resumeFleet(*catalog, pool);
+}
+
+FleetReport
+runFleet(std::vector<JobSpec> jobs, FleetOptions options,
+         ThreadPool *pool)
+{
+    // Deprecated thin shim kept for pre-redesign call sites: routes
+    // through the same validation as FleetRequest::run, so bad
+    // configurations fail with the full error list either way.
+    FleetRequest request(std::move(jobs));
+    request.options() = std::move(options);
+    return request.run(pool);
+}
+
+} // namespace rap::fleet

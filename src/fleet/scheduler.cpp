@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <queue>
 #include <set>
 #include <tuple>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "core/checkpoint.hpp"
+#include "ctrl/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "serve/slo.hpp"
@@ -114,12 +117,36 @@ FleetScheduler::FleetScheduler(std::vector<JobSpec> jobs,
             t += jobs_[j].arrival;
         requestArrivals_[j] = std::move(arrivals);
     }
+    RAP_ASSERT(options_.stopAfterEvents >= 0,
+               "stopAfterEvents cannot be negative");
+    RAP_ASSERT(options_.stopAfterEvents == 0 ||
+                   options_.catalog != nullptr,
+               "stopAfterEvents without a catalog would just lose "
+               "the run");
+    lastDurable_.assign(jobs_.size(), 0.0);
+    sealCount_.assign(jobs_.size(), 0);
     gpus_.resize(static_cast<std::size_t>(options_.node.gpuCount));
     report_.policy = options_.placement.policy;
     report_.gpuCount = options_.node.gpuCount;
     report_.jobs.resize(jobs_.size());
     for (std::size_t j = 0; j < jobs_.size(); ++j)
         report_.jobs[j].spec = jobs_[j];
+}
+
+Json
+FleetScheduler::genesisTransaction() const
+{
+    // The catalog's first record (LSN 1): everything a resume needs
+    // to re-execute the identical run — the semantic options plus the
+    // full job trace. Event frames then commit as LSN frame + 2.
+    Json txn = Json::object();
+    txn.set("kind", Json("genesis"));
+    txn.set("config", fleetOptionsToJson(options_));
+    Json specs = Json::array();
+    for (const auto &spec : jobs_)
+        specs.push(spec.toJson());
+    txn.set("jobs", std::move(specs));
+    return txn;
 }
 
 Placement
@@ -339,6 +366,30 @@ FleetScheduler::run()
                       fleetLabels(options_));
     precomputeReferences();
 
+    // Catalog attachment. A fresh catalog gets the genesis record
+    // committed before any event takes effect; a catalog that already
+    // holds one switches this run into resume mode — the loop
+    // re-executes every frame from event zero and byte-verifies the
+    // recomputed transactions against the durable prefix instead of
+    // re-committing them.
+    std::uint64_t durable_lsn = 0;
+    if (options_.catalog != nullptr) {
+        const Json genesis = genesisTransaction();
+        if (options_.catalog->state().hasGenesis()) {
+            durable_lsn = options_.catalog->state().lastLsn;
+            RAP_ASSERT(
+                options_.catalog->state().genesis.dump() ==
+                    ctrl::Catalog::serializeTransaction(genesis, 1),
+                "catalog genesis does not match this run's trace and "
+                "options — resuming a different run?");
+        } else {
+            options_.catalog->commit(genesis);
+        }
+    }
+    const bool logging = options_.catalog != nullptr;
+    Json frame_ops = Json::array();
+    std::int64_t frame = 0;
+
     std::priority_queue<Event, std::vector<Event>, EventAfter> events;
     for (const auto &spec : jobs_)
         events.push({spec.arrival, EventKind::Arrival, spec.id, 0});
@@ -381,6 +432,19 @@ FleetScheduler::run()
         running.remainingAtStart = queued.remainingFraction;
         running.generation = outcome.placements;
         running_[queued.jobId] = running;
+        if (logging) {
+            // The placement-decision record: granted devices plus the
+            // exact (quantised) envelope reservation the job holds.
+            Json op = Json::object();
+            op.set("op", Json("place"));
+            op.set("job", Json(spec.id));
+            op.set("segment", Json(running.generation));
+            op.set("start", Json(now));
+            op.set("duration", Json(duration));
+            op.set("remaining", Json(queued.remainingFraction));
+            op.set("placement", placement.toJson());
+            frame_ops.push(std::move(op));
+        }
         if (options_.metrics != nullptr) {
             options_.metrics
                 ->counter("fleet.placements", fleetLabels(options_))
@@ -452,10 +516,17 @@ FleetScheduler::run()
     while (!events.empty()) {
         const Event event = events.top();
         events.pop();
+        frame_ops = Json::array();
         accumulateBusy(event.time);
         switch (event.kind) {
           case EventKind::Arrival: {
             queue_.push({event.id, 1.0, event.time, 0});
+            if (logging) {
+                Json op = Json::object();
+                op.set("op", Json("admit"));
+                op.set("job", Json(event.id));
+                frame_ops.push(std::move(op));
+            }
             break;
           }
           case EventKind::Finish: {
@@ -509,6 +580,12 @@ FleetScheduler::run()
             }
             applyReservation(jobs_[ji], it->second.placement, -1);
             running_.erase(it);
+            if (logging) {
+                Json op = Json::object();
+                op.set("op", Json("finish"));
+                op.set("job", Json(event.id));
+                frame_ops.push(std::move(op));
+            }
             break;
           }
           case EventKind::Degrade: {
@@ -534,6 +611,14 @@ FleetScheduler::run()
                 } else {
                     gpu.healthBw = std::min(gpu.healthBw, fault.factor);
                 }
+            }
+            if (logging) {
+                Json op = Json::object();
+                op.set("op", Json("fault"));
+                op.set("fault", Json(sim::faultKindId(fault.kind)));
+                op.set("device", Json(fault.device));
+                op.set("factor", Json(fault.factor));
+                frame_ops.push(std::move(op));
             }
             // A crash always evicts residents (the device is gone);
             // degradations only preempt when the policy says so.
@@ -593,6 +678,24 @@ FleetScheduler::run()
                                              1e-9) *
                                       chk_frac);
                 }
+                if (logging && durable > lastDurable_[ji]) {
+                    // The durable fraction advanced: seal a manifest
+                    // so the catalog records exactly which checkpoint
+                    // the requeued job restarts from.
+                    core::CheckpointManifest manifest;
+                    manifest.jobId = spec.id;
+                    manifest.sequence = sealCount_[ji];
+                    manifest.fraction = durable;
+                    manifest.sealedAt = event.time;
+                    manifest.segment = running.generation;
+                    ++sealCount_[ji];
+                    lastDurable_[ji] = durable;
+                    Json op = Json::object();
+                    op.set("op", Json("seal"));
+                    op.set("job", Json(spec.id));
+                    op.set("manifest", manifest.toJson());
+                    frame_ops.push(std::move(op));
+                }
                 // The segment slice that advanced the job from
                 // `before` to `durable` is kept; everything else it
                 // ran here — volatile iterations plus the restart
@@ -621,9 +724,23 @@ FleetScheduler::run()
                     outcome.report.submittedAt = spec.arrival;
                     outcome.report.startedAt = outcome.firstStart;
                     outcome.report.finishedAt = event.time;
+                    if (logging) {
+                        Json op = Json::object();
+                        op.set("op", Json("finish"));
+                        op.set("job", Json(job_id));
+                        frame_ops.push(std::move(op));
+                    }
                     continue;
                 }
                 queue_.pushFront(queued);
+                if (logging) {
+                    Json op = Json::object();
+                    op.set("op", Json("preempt"));
+                    op.set("job", Json(job_id));
+                    op.set("remaining",
+                           Json(queued.remainingFraction));
+                    frame_ops.push(std::move(op));
+                }
                 if (options_.metrics != nullptr) {
                     options_.metrics
                         ->counter("fleet.requeues",
@@ -674,6 +791,52 @@ FleetScheduler::run()
                 .append(event.time,
                         static_cast<double>(queue_.size()));
         }
+        if (options_.catalog != nullptr) {
+            Json txn = Json::object();
+            txn.set("kind", Json("frame"));
+            txn.set("frame", Json(frame));
+            txn.set("time", Json(event.time));
+            Json ev = Json::object();
+            ev.set("kind", Json(static_cast<int>(event.kind)));
+            ev.set("id", Json(event.id));
+            ev.set("generation", Json(event.generation));
+            txn.set("event", std::move(ev));
+            txn.set("ops", std::move(frame_ops));
+            const auto lsn = static_cast<std::uint64_t>(frame) + 2;
+            if (lsn <= durable_lsn) {
+                // This frame was durable before the crash; the
+                // resumed loop must recompute it bit-for-bit.
+                // Compacted frames left no bytes to compare — the
+                // recovered WAL tail did.
+                const auto &tail = options_.catalog->recoveredTail();
+                const auto it = tail.find(lsn);
+                RAP_ASSERT(
+                    it == tail.end() ||
+                        ctrl::Catalog::serializeTransaction(txn, lsn) ==
+                            it->second,
+                    "resume diverged from the committed WAL at frame ",
+                    frame);
+            } else {
+                // Commit-before-effect: the record is in the log (and
+                // fsync'd when configured) before the loop moves past
+                // this event — a kill here replays the frame, never
+                // invents or loses one.
+                options_.catalog->commit(std::move(txn));
+            }
+            ++frame;
+            if (options_.stopAfterEvents > 0 &&
+                frame >= options_.stopAfterEvents &&
+                !events.empty()) {
+                if (options_.stopMode == StopMode::HardKill) {
+                    // The deterministic "power cut" the resume gate
+                    // exercises: no destructors, no flushes, exit
+                    // code 137.
+                    std::raise(SIGKILL);
+                }
+                stopped_ = true;
+                return report_;
+            }
+        }
     }
 
     RAP_ASSERT(queue_.empty() && running_.empty(),
@@ -691,16 +854,6 @@ FleetScheduler::run()
         report_.serveP99Latency = rap::p99(pooledLatencies_);
     }
     return report_;
-}
-
-FleetReport
-runFleet(std::vector<JobSpec> jobs, FleetOptions options,
-         ThreadPool *pool)
-{
-    FleetScheduler scheduler(std::move(jobs), std::move(options), pool);
-    auto report = scheduler.run();
-    report.finalize();
-    return report;
 }
 
 } // namespace rap::fleet

@@ -32,6 +32,7 @@
 #ifndef RAP_FLEET_SCHEDULER_HPP
 #define RAP_FLEET_SCHEDULER_HPP
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,7 +49,27 @@ namespace rap::obs {
 class MetricRegistry;
 }
 
+namespace rap::ctrl {
+class Catalog;
+}
+
 namespace rap::fleet {
+
+/** What the scheduler does when it reaches stopAfterEvents. */
+enum class StopMode {
+    /**
+     * raise(SIGKILL): the process dies mid-run with no destructors,
+     * no flushes — the honest crash the resume gate recovers from.
+     */
+    HardKill,
+    /**
+     * Return from run() early (stopped() reports true, the partial
+     * report is meaningless). Tests use this to sweep kill points
+     * in-process; it is equivalent to HardKill for the catalog
+     * because every commit is write-through before it applies.
+     */
+    Abandon,
+};
 
 /** Fleet-run configuration. */
 struct FleetOptions
@@ -105,7 +126,37 @@ struct FleetOptions
      * configuration without changing scheduling behaviour.
      */
     int engineJobs = 1;
+    /**
+     * Optional durable catalog (non-owning). When attached, the run
+     * commits a genesis transaction (config + job specs) and then one
+     * transaction per event frame — admissions, placement decisions
+     * with their envelope reservations, preemptions, checkpoint
+     * seals, finishes — each durable in the WAL *before* the loop
+     * proceeds past the frame. A catalog that already holds a genesis
+     * switches the run into resume mode: the loop re-executes from
+     * event zero, byte-verifies recomputed frames against the
+     * recovered WAL tail instead of re-committing them, and commits
+     * live again once past the durable prefix.
+     */
+    ctrl::Catalog *catalog = nullptr;
+    /**
+     * Stop after this many event frames have committed (0 = run to
+     * completion). Requires a catalog — stopping without durable
+     * state would just lose the run.
+     */
+    std::int64_t stopAfterEvents = 0;
+    StopMode stopMode = StopMode::HardKill;
 };
+
+/**
+ * The semantic subset of FleetOptions the catalog's genesis record
+ * persists (placement policy, node, faults, fault handling, quantum,
+ * trace prefix, engine jobs) — everything a resume needs to re-execute
+ * the identical run. Runtime attachments (metrics, catalog pointer,
+ * stop knobs) stay out: they never influence the report bytes.
+ */
+Json fleetOptionsToJson(const FleetOptions &options);
+FleetOptions fleetOptionsFromJson(const Json &json);
 
 /** Runs one arrival trace to completion under one placement policy. */
 class FleetScheduler
@@ -122,6 +173,13 @@ class FleetScheduler
 
     /** Run the discrete-event loop until every job finishes. */
     FleetReport run();
+
+    /**
+     * @return True when run() returned early because it reached
+     * stopAfterEvents under StopMode::Abandon; the returned report is
+     * partial and must be discarded.
+     */
+    bool stopped() const { return stopped_; }
 
   private:
     struct RunningJob
@@ -145,6 +203,7 @@ class FleetScheduler
         serve::BatchReplay replay;
     };
 
+    Json genesisTransaction() const;
     core::RunReport simulate(const JobSpec &spec,
                              const Placement &placement,
                              int segment_index);
@@ -177,9 +236,23 @@ class FleetScheduler
     std::vector<std::vector<Seconds>> requestArrivals_;
     /** Per-request latencies pooled across finished inference jobs. */
     std::vector<Seconds> pooledLatencies_;
+    /**
+     * Catalog bookkeeping: last sealed (durable) fraction and seal
+     * sequence per job, for checkpoint-manifest records. Never read
+     * by scheduling decisions — report bytes are identical with or
+     * without a catalog attached.
+     */
+    std::vector<double> lastDurable_;
+    std::vector<int> sealCount_;
+    bool stopped_ = false;
 };
 
-/** Convenience: build, run, finalize. */
+/**
+ * Deprecated: thin shim over fleet::FleetRequest (fleet/request.hpp),
+ * kept so pre-redesign call sites compile. It routes through the same
+ * validation, so invalid options fail with the full structured error
+ * list. New code should build a FleetRequest.
+ */
 FleetReport runFleet(std::vector<JobSpec> jobs, FleetOptions options,
                      ThreadPool *pool = nullptr);
 

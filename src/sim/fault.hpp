@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -48,6 +50,12 @@ enum class FaultKind {
     JobKill,
 };
 
+/** @return Stable machine token ("sm_degrade") for JSON / labels. */
+std::string faultKindId(FaultKind kind);
+
+/** Inverse of faultKindId; RAP_FATALs on unknown tokens. */
+FaultKind faultKindFromId(const std::string &id);
+
 /** Which link a LinkSlow event targets. */
 enum class FaultLink {
     /** The device's host-to-device (PCIe) link. */
@@ -57,6 +65,12 @@ enum class FaultLink {
     /** Every peer link plus the collective fabric (NVSwitch). */
     Fabric,
 };
+
+/** @return Stable machine token ("fabric") for JSON / labels. */
+std::string faultLinkId(FaultLink link);
+
+/** Inverse of faultLinkId; RAP_FATALs on unknown tokens. */
+FaultLink faultLinkFromId(const std::string &id);
 
 /** Retry behaviour for transient kernel failures. */
 struct RetryPolicy
@@ -68,6 +82,9 @@ struct RetryPolicy
     Seconds backoffCap = 200e-6;
     /** Fraction of the kernel's work a failed attempt still runs. */
     double detectFraction = 0.25;
+
+    Json toJson() const;
+    static RetryPolicy fromJson(const Json &json);
 };
 
 /** One scheduled degradation. */
@@ -101,6 +118,13 @@ struct FaultEvent
 
     /** @return True for DeviceCrash / HostCrash / JobKill. */
     bool isFailStop() const;
+
+    /**
+     * JsonSerializable (core/serial.hpp convention): exact doubles,
+     * the infinite `until` window as JSON null.
+     */
+    Json toJson() const;
+    static FaultEvent fromJson(const Json &json);
 };
 
 /** A complete seeded fault scenario. */
@@ -122,6 +146,10 @@ struct FaultSpec
 
     /** @return Sorted times of the fail-stop events. */
     std::vector<Seconds> failStopTimes() const;
+
+    /** Seeds serialize as decimal strings (exact for all 64 bits). */
+    Json toJson() const;
+    static FaultSpec fromJson(const Json &json);
 };
 
 /**

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "common/json.hpp"
 #include "common/units.hpp"
 
 namespace rap::sim {
@@ -35,6 +36,9 @@ struct GpuSpec
 
     /** @return Total warp slots across all SMs. */
     int totalWarpSlots() const { return smCount * warpSlotsPerSm; }
+
+    Json toJson() const;
+    static GpuSpec fromJson(const Json &json);
 };
 
 /** Static description of the whole training node. */
@@ -52,6 +56,9 @@ struct ClusterSpec
     Seconds pcieLatency = 10e-6;
     /** Host CPU cores (2x AMD EPYC 7742). */
     int cpuCores = 128;
+
+    Json toJson() const;
+    static ClusterSpec fromJson(const Json &json);
 };
 
 /** @return The default single-A100 spec. */

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Durable control-plane tests: WAL framing and torn-tail scanning,
+ * catalog recovery (snapshot + WAL replay, crash-mid-compaction,
+ * double-open refusal), and the resume-determinism sweep — kill the
+ * fleet run at every committed frame, resume, and demand a
+ * byte-identical FleetReport.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "ctrl/catalog.hpp"
+#include "ctrl/wal.hpp"
+#include "fleet/fleet.hpp"
+
+namespace rap {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A clean scratch directory under the system temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / ("rap_test_ctrl." + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Flip one payload byte in place (checksums must catch this). */
+void
+corruptByteAt(const std::string &path, std::uint64_t offset)
+{
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good()) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+}
+
+Json
+makeGenesis(int job_count)
+{
+    Json jobs = Json::array();
+    for (int j = 0; j < job_count; ++j) {
+        Json spec = Json::object();
+        spec.set("id", Json(j));
+        jobs.push(std::move(spec));
+    }
+    Json genesis = Json::object();
+    genesis.set("kind", Json("genesis"));
+    genesis.set("jobs", std::move(jobs));
+    return genesis;
+}
+
+Json
+makeOp(const char *name, int job)
+{
+    Json op = Json::object();
+    op.set("op", Json(name));
+    op.set("job", Json(job));
+    return op;
+}
+
+Json
+makeFrame(int frame, std::vector<Json> ops)
+{
+    Json array = Json::array();
+    for (Json &op : ops)
+        array.push(std::move(op));
+    Json txn = Json::object();
+    txn.set("kind", Json("frame"));
+    txn.set("frame", Json(frame));
+    txn.set("time", Json(0.25 * (frame + 1)));
+    txn.set("ops", std::move(array));
+    return txn;
+}
+
+// ------------------------------------------------------ WAL framing
+
+TEST(Wal, RoundTripsFramedRecords)
+{
+    const std::string dir = freshDir("wal_roundtrip");
+    const std::string path = dir + "/wal.log";
+    const std::vector<std::string> payloads = {
+        "{\"a\":1}", "", std::string(300, 'x'), "tail record"};
+
+    std::uint64_t expected_bytes = 0;
+    {
+        ctrl::WalWriter writer(path, 0);
+        for (const auto &payload : payloads) {
+            writer.append(payload);
+            expected_bytes +=
+                ctrl::kWalFrameHeaderBytes + payload.size();
+            EXPECT_EQ(writer.sizeBytes(), expected_bytes);
+        }
+    }
+
+    const auto result = ctrl::readWal(path);
+    EXPECT_EQ(result.records, payloads);
+    EXPECT_EQ(result.validBytes, expected_bytes);
+    EXPECT_FALSE(result.tornTail);
+
+    // A missing file is an empty log, not an error.
+    const auto missing = ctrl::readWal(dir + "/absent.log");
+    EXPECT_TRUE(missing.records.empty());
+    EXPECT_EQ(missing.validBytes, 0u);
+    EXPECT_FALSE(missing.tornTail);
+}
+
+TEST(Wal, TornFinalRecordKeepsThePrefix)
+{
+    const std::string dir = freshDir("wal_torn");
+    const std::string path = dir + "/wal.log";
+    {
+        ctrl::WalWriter writer(path, 0);
+        writer.append("first record payload");
+        writer.append("second record payload");
+        writer.append("third record payload");
+    }
+    const auto intact = ctrl::readWal(path);
+    ASSERT_EQ(intact.records.size(), 3u);
+
+    // Cut into the last payload: the frame is torn, the prefix whole.
+    fs::resize_file(path, fs::file_size(path) - 5);
+    const auto torn = ctrl::readWal(path);
+    ASSERT_EQ(torn.records.size(), 2u);
+    EXPECT_EQ(torn.records[1], "second record payload");
+    EXPECT_TRUE(torn.tornTail);
+
+    // Cut into the last *header*: same verdict.
+    fs::resize_file(path,
+                    torn.validBytes + ctrl::kWalFrameHeaderBytes - 3);
+    const auto torn_header = ctrl::readWal(path);
+    EXPECT_EQ(torn_header.records.size(), 2u);
+    EXPECT_EQ(torn_header.validBytes, torn.validBytes);
+    EXPECT_TRUE(torn_header.tornTail);
+
+    // Re-opening the writer at validBytes drops the tail for good.
+    {
+        ctrl::WalWriter writer(path, torn.validBytes);
+        writer.append("replacement third");
+    }
+    const auto healed = ctrl::readWal(path);
+    ASSERT_EQ(healed.records.size(), 3u);
+    EXPECT_EQ(healed.records[2], "replacement third");
+    EXPECT_FALSE(healed.tornTail);
+}
+
+TEST(Wal, MidStreamCorruptionStopsTheScan)
+{
+    const std::string dir = freshDir("wal_corrupt");
+    const std::string path = dir + "/wal.log";
+    const std::string first = "first record payload";
+    {
+        ctrl::WalWriter writer(path, 0);
+        writer.append(first);
+        writer.append("second record payload");
+        writer.append("third record payload");
+    }
+    // Flip a byte inside the second record's payload: the scan must
+    // stop there — a bad checksum says nothing about what follows.
+    corruptByteAt(path, ctrl::kWalFrameHeaderBytes + first.size() +
+                            ctrl::kWalFrameHeaderBytes + 2);
+    const auto result = ctrl::readWal(path);
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0], first);
+    EXPECT_EQ(result.validBytes,
+              ctrl::kWalFrameHeaderBytes + first.size());
+    EXPECT_TRUE(result.tornTail);
+}
+
+// ------------------------------------------------- catalog recovery
+
+TEST(Catalog, CommitsReplayOnReopen)
+{
+    const std::string dir = freshDir("catalog_replay");
+    ctrl::CatalogOptions options;
+    options.dir = dir;
+    {
+        auto catalog = ctrl::Catalog::open(options);
+        EXPECT_EQ(catalog->commit(makeGenesis(2)), 1u);
+        EXPECT_EQ(catalog->commit(makeFrame(
+                      0, {makeOp("admit", 0), makeOp("admit", 1)})),
+                  2u);
+        Json seal = Json::object();
+        seal.set("op", Json("seal"));
+        seal.set("job", Json(0));
+        Json manifest = Json::object();
+        manifest.set("fraction", Json(0.5));
+        seal.set("manifest", std::move(manifest));
+        EXPECT_EQ(catalog->commit(makeFrame(
+                      1, {std::move(seal), makeOp("finish", 0)})),
+                  3u);
+    }
+
+    auto catalog = ctrl::Catalog::open(options);
+    const auto &state = catalog->state();
+    EXPECT_TRUE(state.hasGenesis());
+    EXPECT_EQ(state.lastLsn, 3u);
+    EXPECT_EQ(state.framesCommitted, 2u);
+    ASSERT_EQ(state.jobs.size(), 2u);
+    EXPECT_EQ(state.jobs.at(0).at("status").asString(), "finished");
+    EXPECT_EQ(state.jobs.at(1).at("status").asString(), "queued");
+    ASSERT_EQ(state.manifests.size(), 1u);
+    EXPECT_DOUBLE_EQ(state.manifests[0].at("fraction").asDouble(),
+                     0.5);
+    // The whole tail is recoverable for byte-verification, and each
+    // record is exactly what serializeTransaction would emit.
+    ASSERT_EQ(catalog->recoveredTail().size(), 3u);
+    EXPECT_EQ(catalog->recoveredTail().at(1),
+              ctrl::Catalog::serializeTransaction(makeGenesis(2), 1));
+    EXPECT_FALSE(catalog->truncatedTornTail());
+    // Appends continue from the recovered LSN.
+    EXPECT_EQ(catalog->commit(makeFrame(2, {makeOp("finish", 1)})),
+              4u);
+}
+
+TEST(Catalog, TornTailIsTruncatedOnOpenButNotReadOnly)
+{
+    const std::string dir = freshDir("catalog_torn");
+    ctrl::CatalogOptions options;
+    options.dir = dir;
+    {
+        auto catalog = ctrl::Catalog::open(options);
+        catalog->commit(makeGenesis(1));
+        catalog->commit(makeFrame(0, {makeOp("admit", 0)}));
+        catalog->commit(makeFrame(1, {makeOp("finish", 0)}));
+    }
+    const std::string wal = ctrl::Catalog::walPath(dir);
+    const auto full_size = fs::file_size(wal);
+    fs::resize_file(wal, full_size - 3);
+
+    // Read-only open reports the tear but leaves the file alone.
+    {
+        auto read_only = options;
+        read_only.readOnly = true;
+        auto catalog = ctrl::Catalog::tryOpen(read_only);
+        ASSERT_NE(catalog, nullptr);
+        EXPECT_TRUE(catalog->truncatedTornTail());
+        EXPECT_EQ(catalog->state().lastLsn, 2u);
+        EXPECT_EQ(fs::file_size(wal), full_size - 3);
+    }
+
+    // A writable open truncates the tear and commits past it: the
+    // interrupted record is gone, everything before it intact.
+    auto catalog = ctrl::Catalog::open(options);
+    EXPECT_TRUE(catalog->truncatedTornTail());
+    EXPECT_EQ(catalog->state().lastLsn, 2u);
+    EXPECT_EQ(catalog->state().jobs.at(0).at("status").asString(),
+              "queued");
+    EXPECT_EQ(catalog->commit(makeFrame(1, {makeOp("finish", 0)})),
+              3u);
+    const auto healed = ctrl::readWal(wal);
+    EXPECT_EQ(healed.records.size(), 3u);
+    EXPECT_FALSE(healed.tornTail);
+}
+
+TEST(Catalog, CrashMidCompactionSkipsStaleWalRecords)
+{
+    const std::string dir = freshDir("catalog_midcompact");
+    ctrl::CatalogOptions options;
+    options.dir = dir;
+    const std::string wal = ctrl::Catalog::walPath(dir);
+    std::string stale_wal_bytes;
+    {
+        auto catalog = ctrl::Catalog::open(options);
+        catalog->commit(makeGenesis(1));
+        catalog->commit(makeFrame(0, {makeOp("admit", 0)}));
+        catalog->commit(makeFrame(1, {makeOp("finish", 0)}));
+        {
+            std::ifstream in(wal, std::ios::binary);
+            std::ostringstream bytes;
+            bytes << in.rdbuf();
+            stale_wal_bytes = bytes.str();
+        }
+        catalog->compact(); // snapshot written, WAL reset
+    }
+    // Re-instate the pre-compaction WAL: exactly the on-disk picture
+    // a crash between the snapshot rename and the WAL reset leaves.
+    {
+        std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+        out << stale_wal_bytes;
+    }
+    ASSERT_TRUE(fs::exists(ctrl::Catalog::snapshotPath(dir)));
+
+    auto catalog = ctrl::Catalog::open(options);
+    const auto &state = catalog->state();
+    // Every stale record was skipped by LSN, none double-applied.
+    EXPECT_EQ(state.lastLsn, 3u);
+    EXPECT_EQ(state.framesCommitted, 2u);
+    EXPECT_TRUE(state.hasGenesis());
+    EXPECT_EQ(state.jobs.at(0).at("status").asString(), "finished");
+    EXPECT_TRUE(catalog->recoveredTail().empty());
+    EXPECT_EQ(catalog->commit(makeFrame(2, {makeOp("admit", 0)})),
+              4u);
+}
+
+TEST(Catalog, AutoCompactionPreservesStateAcrossReopen)
+{
+    const std::string dir = freshDir("catalog_autocompact");
+    ctrl::CatalogOptions options;
+    options.dir = dir;
+    options.compactEvery = 2;
+    {
+        auto catalog = ctrl::Catalog::open(options);
+        catalog->commit(makeGenesis(2));
+        catalog->commit(makeFrame(0, {makeOp("admit", 0)}));
+        // Compaction just fired; this lands in the fresh WAL.
+        catalog->commit(makeFrame(1, {makeOp("admit", 1)}));
+    }
+    auto catalog = ctrl::Catalog::open(options);
+    EXPECT_EQ(catalog->state().lastLsn, 3u);
+    EXPECT_EQ(catalog->state().framesCommitted, 2u);
+    EXPECT_EQ(catalog->state().jobs.at(1).at("status").asString(),
+              "queued");
+    // Only the post-compaction record needed replaying.
+    EXPECT_EQ(catalog->recoveredTail().size(), 1u);
+}
+
+TEST(Catalog, SecondWriterIsRefusedWhileTheFirstLives)
+{
+    const std::string dir = freshDir("catalog_lock");
+    ctrl::CatalogOptions options;
+    options.dir = dir;
+    auto first = ctrl::Catalog::open(options);
+    ASSERT_NE(first, nullptr);
+
+    std::string error;
+    auto second = ctrl::Catalog::tryOpen(options, &error);
+    EXPECT_EQ(second, nullptr);
+    EXPECT_NE(error.find("already open"), std::string::npos) << error;
+
+    // Read-only inspection is allowed beside the live writer...
+    auto read_only = options;
+    read_only.readOnly = true;
+    EXPECT_NE(ctrl::Catalog::tryOpen(read_only), nullptr);
+
+    // ...and the lock dies with its holder.
+    first.reset();
+    EXPECT_NE(ctrl::Catalog::tryOpen(options, &error), nullptr);
+}
+
+// ------------------------------------------- resume determinism
+
+TEST(FleetResume, KillAtEveryFrameResumesByteIdentical)
+{
+    fleet::ArrivalTraceOptions trace_options;
+    trace_options.tiny = true;
+    trace_options.jobCount = 3;
+    trace_options.meanInterarrival = 0.01;
+    trace_options.seed = 0x7e577e5703ULL;
+    auto trace = fleet::makeArrivalTrace(trace_options);
+    // Job 0 checkpoints and gets preempted mid-run, so the sweep
+    // crosses admit, place, seal, fault, preempt, and finish frames.
+    trace[0].gpusRequested = 1;
+    trace[0].planId = 0;
+    trace[0].iterations = 8;
+    trace[0].checkpointInterval = 1;
+
+    const auto healthy =
+        fleet::FleetRequest(trace)
+            .policy(fleet::PlacementPolicy::ExclusiveFirstFit)
+            .run();
+    const auto fault = sim::FaultEvent::smDegrade(
+        healthy.jobs[0].lastGpus.at(0),
+        healthy.jobs[0].firstStart +
+            0.4 * healthy.jobs[0].serviceTime,
+        0.5);
+
+    // The uninterrupted catalog run is the byte-for-byte reference.
+    const std::string ref_dir = freshDir("resume_ref");
+    std::string want;
+    {
+        fleet::FleetRequest request(trace);
+        request.policy(fleet::PlacementPolicy::ExclusiveFirstFit)
+            .addFault(fault)
+            .catalogDir(ref_dir);
+        want = request.run().toJson().dump(2);
+        EXPECT_FALSE(request.stopped());
+    }
+    ASSERT_GE(healthy.toJson().dump(2).size(), 1u);
+
+    std::uint64_t total_frames = 0;
+    {
+        ctrl::CatalogOptions ref_options;
+        ref_options.dir = ref_dir;
+        ref_options.readOnly = true;
+        auto catalog = ctrl::Catalog::tryOpen(ref_options);
+        ASSERT_NE(catalog, nullptr);
+        total_frames = catalog->state().framesCommitted;
+    }
+    ASSERT_GE(total_frames, 7u)
+        << "the sweep needs a multi-frame run to mean anything";
+
+    for (std::uint64_t n = 1; n < total_frames; ++n) {
+        SCOPED_TRACE("kill after frame " + std::to_string(n));
+        const std::string dir =
+            freshDir("resume_kill_" + std::to_string(n));
+        {
+            // Abandon stands in for SIGKILL: commits are
+            // write-through before they apply, so stopping the loop
+            // leaves the same catalog a dead process would.
+            fleet::FleetRequest request(trace);
+            request.policy(fleet::PlacementPolicy::ExclusiveFirstFit)
+                .addFault(fault)
+                .catalogDir(dir)
+                .stopAfterEvents(static_cast<std::int64_t>(n),
+                                 fleet::StopMode::Abandon);
+            request.run();
+            ASSERT_TRUE(request.stopped());
+        }
+        ctrl::CatalogOptions resume_options;
+        resume_options.dir = dir;
+        const auto resumed = fleet::resumeFleet(resume_options);
+        EXPECT_EQ(resumed.toJson().dump(2), want);
+    }
+}
+
+TEST(FleetResume, ResumingAFinishedRunReproducesTheReport)
+{
+    fleet::ArrivalTraceOptions trace_options;
+    trace_options.tiny = true;
+    trace_options.jobCount = 2;
+    trace_options.meanInterarrival = 0.01;
+    trace_options.seed = 0x7e577e5704ULL;
+
+    const std::string dir = freshDir("resume_finished");
+    std::string want;
+    {
+        fleet::FleetRequest request(trace_options);
+        request.policy(fleet::PlacementPolicy::RapShared)
+            .catalogDir(dir);
+        want = request.run().toJson().dump(2);
+    }
+    // Nothing left to re-execute live: the whole run byte-verifies
+    // against the recovered tail and the report comes out identical.
+    ctrl::CatalogOptions resume_options;
+    resume_options.dir = dir;
+    EXPECT_EQ(fleet::resumeFleet(resume_options).toJson().dump(2),
+              want);
+}
+
+} // namespace
+} // namespace rap

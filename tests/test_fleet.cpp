@@ -273,9 +273,10 @@ TEST(FleetQueue, FifoWithFrontReinsertion)
 TEST(FleetScheduler, AllJobsFinishWithSaneLifecycles)
 {
     const auto trace = makeArrivalTrace(tinyTraceOptions(5));
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto report = runFleet(trace, options);
+    const auto report =
+        FleetRequest(trace)
+            .policy(PlacementPolicy::ExclusiveFirstFit)
+            .run();
 
     ASSERT_EQ(report.jobs.size(), trace.size());
     for (const auto &job : report.jobs) {
@@ -305,9 +306,9 @@ TEST(FleetScheduler, AllJobsFinishWithSaneLifecycles)
 TEST(FleetScheduler, SharedPlacementCoLocatesJobs)
 {
     const auto trace = makeArrivalTrace(tinyTraceOptions(5));
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::RapShared;
-    const auto report = runFleet(trace, options);
+    const auto report = FleetRequest(trace)
+                            .policy(PlacementPolicy::RapShared)
+                            .run();
     for (const auto &job : report.jobs) {
         EXPECT_GT(job.finish, 0.0) << job.spec.name;
         EXPECT_GE(job.queueingDelay(), 0.0) << job.spec.name;
@@ -327,17 +328,21 @@ TEST(FleetScheduler, DegradeRequeuesAndReplansResidentJobs)
         spec.planId = 0;
         spec.iterations = 8;
     }
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    auto makeRequest = [&] {
+        FleetRequest request(trace);
+        request.policy(PlacementPolicy::ExclusiveFirstFit);
+        return request;
+    };
+    const auto healthy = makeRequest().run();
     ASSERT_GT(healthy.makespan, 0.0);
 
-    auto faulted = options;
-    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
-        0, healthy.jobs[0].firstStart +
-               0.5 * healthy.jobs[0].serviceTime,
-        0.5));
-    const auto degraded = runFleet(trace, faulted);
+    const auto degraded =
+        makeRequest()
+            .addFault(sim::FaultEvent::smDegrade(
+                0, healthy.jobs[0].firstStart +
+                       0.5 * healthy.jobs[0].serviceTime,
+                0.5))
+            .run();
 
     EXPECT_GE(degraded.requeues, 1);
     const auto &job0 = degraded.jobs[0];
@@ -360,23 +365,27 @@ TEST(FleetScheduler, LaterMilderFaultCannotRestoreCapacity)
     trace[0].gpusRequested = 1;
     trace[0].planId = 0;
     trace[0].iterations = 8;
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    auto makeRequest = [&] {
+        FleetRequest request(trace);
+        request.policy(PlacementPolicy::ExclusiveFirstFit);
+        return request;
+    };
+    const auto healthy = makeRequest().run();
     const int gpu = healthy.jobs[0].lastGpus.at(0);
     const Seconds start = healthy.jobs[0].firstStart;
     const Seconds segment = healthy.jobs[0].serviceTime;
 
-    auto one_fault = options;
-    one_fault.faults.events.push_back(
-        sim::FaultEvent::smDegrade(gpu, start + 0.4 * segment, 0.7));
-    const auto single = runFleet(trace, one_fault);
+    const auto first_fault =
+        sim::FaultEvent::smDegrade(gpu, start + 0.4 * segment, 0.7);
+    const auto single = makeRequest().addFault(first_fault).run();
     ASSERT_GE(single.jobs[0].requeues, 1);
 
-    auto two_faults = one_fault;
-    two_faults.faults.events.push_back(
-        sim::FaultEvent::smDegrade(gpu, start + 0.6 * segment, 0.95));
-    const auto composed = runFleet(trace, two_faults);
+    const auto composed =
+        makeRequest()
+            .addFault(first_fault)
+            .addFault(sim::FaultEvent::smDegrade(
+                gpu, start + 0.6 * segment, 0.95))
+            .run();
 
     // The second preemption costs work on its own; what it must NOT
     // do is hand the job a 0.95-health GPU whose faster final segment
@@ -396,16 +405,20 @@ TEST(FleetScheduler, UncheckpointedPreemptionLosesAllElapsedWork)
     trace[0].gpusRequested = 1;
     trace[0].planId = 0;
     trace[0].iterations = 8;
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    auto makeRequest = [&] {
+        FleetRequest request(trace);
+        request.policy(PlacementPolicy::ExclusiveFirstFit);
+        return request;
+    };
+    const auto healthy = makeRequest().run();
     const Seconds fault_time = healthy.jobs[0].firstStart +
                                0.5 * healthy.jobs[0].serviceTime;
 
-    auto faulted = options;
-    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
-        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
-    const auto degraded = runFleet(trace, faulted);
+    const auto degraded =
+        makeRequest()
+            .addFault(sim::FaultEvent::smDegrade(
+                healthy.jobs[0].lastGpus[0], fault_time, 0.5))
+            .run();
 
     const auto &job = degraded.jobs[0];
     ASSERT_GE(job.requeues, 1);
@@ -426,19 +439,23 @@ TEST(FleetScheduler, CheckpointedJobResumesFromDurableFraction)
     trace[0].planId = 0;
     trace[0].iterations = 8;
     trace[0].checkpointInterval = 1;
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    auto makeRequest = [&] {
+        FleetRequest request(trace);
+        request.policy(PlacementPolicy::ExclusiveFirstFit);
+        return request;
+    };
+    const auto healthy = makeRequest().run();
     const Seconds segment = healthy.jobs[0].serviceTime;
     // 0.4 of the segment elapses: 3 of 8 iterations (0.375) are
     // sealed; the 0.025-segment remainder is forfeited.
     const Seconds fault_time =
         healthy.jobs[0].firstStart + 0.4 * segment;
 
-    auto faulted = options;
-    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
-        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
-    const auto degraded = runFleet(trace, faulted);
+    const auto degraded =
+        makeRequest()
+            .addFault(sim::FaultEvent::smDegrade(
+                healthy.jobs[0].lastGpus[0], fault_time, 0.5))
+            .run();
 
     const auto &job = degraded.jobs[0];
     ASSERT_GE(job.requeues, 1);
@@ -453,20 +470,22 @@ TEST(FleetScheduler, RestartOverheadDelaysTheResumedSegment)
     trace[0].gpusRequested = 1;
     trace[0].planId = 0;
     trace[0].iterations = 8;
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    auto makeRequest = [&] {
+        FleetRequest request(trace);
+        request.policy(PlacementPolicy::ExclusiveFirstFit);
+        return request;
+    };
+    const auto healthy = makeRequest().run();
     const Seconds fault_time = healthy.jobs[0].firstStart +
                                0.5 * healthy.jobs[0].serviceTime;
 
-    auto faulted = options;
-    faulted.faults.events.push_back(sim::FaultEvent::smDegrade(
-        healthy.jobs[0].lastGpus[0], fault_time, 0.5));
-    const auto free_restart = runFleet(trace, faulted);
+    const auto fault = sim::FaultEvent::smDegrade(
+        healthy.jobs[0].lastGpus[0], fault_time, 0.5);
+    const auto free_restart = makeRequest().addFault(fault).run();
     ASSERT_GE(free_restart.jobs[0].requeues, 1);
 
-    faulted.restartOverhead = 0.05;
-    const auto charged = runFleet(trace, faulted);
+    const auto charged =
+        makeRequest().addFault(fault).restartOverhead(0.05).run();
     // One resumed segment, so exactly one restart charge lands on the
     // timeline.
     EXPECT_NEAR(charged.jobs[0].finish,
@@ -479,22 +498,24 @@ TEST(FleetScheduler, DeviceCrashExcludesGpuAndRequeuesResidents)
     trace[0].gpusRequested = 1;
     trace[0].planId = 0;
     trace[0].iterations = 8;
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto healthy = runFleet(trace, options);
+    const auto healthy =
+        FleetRequest(trace)
+            .policy(PlacementPolicy::ExclusiveFirstFit)
+            .run();
     const int gpu = healthy.jobs[0].lastGpus.at(0);
     const Seconds crash_time = healthy.jobs[0].firstStart +
                                0.5 * healthy.jobs[0].serviceTime;
 
-    auto crashed = options;
     // Crashes preempt even with degradation-requeue turned off —
     // there is no way to keep running on a dead GPU.
-    crashed.requeueOnDegrade = false;
-    crashed.faults.events.push_back(
-        sim::FaultEvent::deviceCrash(gpu, crash_time));
     obs::MetricRegistry registry;
-    crashed.metrics = &registry;
-    const auto report = runFleet(trace, crashed);
+    const auto report =
+        FleetRequest(trace)
+            .policy(PlacementPolicy::ExclusiveFirstFit)
+            .requeueOnDegrade(false)
+            .addFault(sim::FaultEvent::deviceCrash(gpu, crash_time))
+            .metrics(&registry)
+            .run();
 
     EXPECT_EQ(report.crashRequeues, 1);
     const auto &job = report.jobs[0];
@@ -516,11 +537,12 @@ TEST(FleetScheduler, ReportBitIdenticalAcrossThreadCounts)
     for (const auto policy : {PlacementPolicy::ExclusiveFirstFit,
                               PlacementPolicy::RapShared}) {
         SCOPED_TRACE(policyName(policy));
-        FleetOptions options;
-        options.placement.policy = policy;
-        const auto serial = runFleet(trace, options, nullptr);
+        // One request, two run() calls: the builder is reusable.
+        FleetRequest request(trace);
+        request.policy(policy);
+        const auto serial = request.run(nullptr);
         ThreadPool pool(4);
-        const auto threaded = runFleet(trace, options, &pool);
+        const auto threaded = request.run(&pool);
         expectSameFleetReport(serial, threaded);
     }
 }
@@ -538,9 +560,9 @@ TEST(FleetPlacement, PolicyIdRoundTrips)
 TEST(FleetReportJson, RoundTripsExactly)
 {
     const auto trace = makeArrivalTrace(tinyTraceOptions(4));
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::RapShared;
-    const auto report = runFleet(trace, options);
+    const auto report = FleetRequest(trace)
+                            .policy(PlacementPolicy::RapShared)
+                            .run();
 
     const std::string text = report.toJson().dump(2);
     std::string error;
@@ -560,9 +582,10 @@ TEST(FleetReportJson, AbsentServeFieldsRoundTripAsNull)
     // columns must serialize as explicit nulls (never garbage
     // numbers) and come back absent, not zero-valued.
     const auto trace = makeArrivalTrace(tinyTraceOptions(3));
-    FleetOptions options;
-    options.placement.policy = PlacementPolicy::ExclusiveFirstFit;
-    const auto report = runFleet(trace, options);
+    const auto report =
+        FleetRequest(trace)
+            .policy(PlacementPolicy::ExclusiveFirstFit)
+            .run();
     EXPECT_EQ(report.serveRequests, 0u);
     EXPECT_FALSE(report.serveAttainment.has_value());
     EXPECT_FALSE(report.serveGoodputRps.has_value());
@@ -593,11 +616,10 @@ TEST(FleetMetrics, SnapshotIsThreadCountInvariant)
 
     auto snapshotFor = [&](ThreadPool *pool) {
         obs::MetricRegistry registry;
-        FleetOptions options;
-        options.placement.policy = PlacementPolicy::RapShared;
-        options.metrics = &registry;
-        options.metricsScope = "test";
-        runFleet(trace, options, pool);
+        FleetRequest(trace)
+            .policy(PlacementPolicy::RapShared)
+            .metrics(&registry, "test")
+            .run(pool);
         return obs::snapshotJson(registry).dump(2);
     };
 
@@ -611,6 +633,88 @@ TEST(FleetMetrics, SnapshotIsThreadCountInvariant)
           "fleet.segment", "fleet.run", "fleet.precompute"}) {
         EXPECT_NE(serial.find(name), std::string::npos) << name;
     }
+}
+
+bool
+hasError(const core::ValidationResult &result,
+         const std::string &field)
+{
+    for (const auto &error : result.errors())
+        if (error.field == field)
+            return true;
+    return false;
+}
+
+TEST(FleetRequestValidation, WellFormedRequestValidates)
+{
+    FleetRequest request(makeArrivalTrace(tinyTraceOptions(3)));
+    request.policy(PlacementPolicy::RapShared)
+        .restartOverhead(0.05)
+        .envelopeQuantum(0.05);
+    const auto result = request.validate();
+    EXPECT_TRUE(result.ok()) << result.render();
+}
+
+TEST(FleetRequestValidation, BadKnobsAreRejectedNotClamped)
+{
+    FleetRequest request(makeArrivalTrace(tinyTraceOptions(2)));
+    request.restartOverhead(-1.0)
+        .envelopeQuantum(0.0)
+        .crashFaults(/*mtbf=*/0.0, /*seed=*/1, /*horizon=*/-5.0);
+    request.options().placement.headroom = 1.5;
+    request.options().placement.demandScale = 0.0;
+    request.options().engineJobs = -2;
+
+    const auto result = request.validate();
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(hasError(result, "restartOverhead"));
+    EXPECT_TRUE(hasError(result, "envelopeQuantum"));
+    EXPECT_TRUE(hasError(result, "crashFaults.mtbf"));
+    EXPECT_TRUE(hasError(result, "crashFaults.horizon"));
+    EXPECT_TRUE(hasError(result, "placement.headroom"));
+    EXPECT_TRUE(hasError(result, "placement.demandScale"));
+    EXPECT_TRUE(hasError(result, "engineJobs"));
+    // Every problem surfaces at once, one rendered line each.
+    EXPECT_GE(result.errors().size(), 7u);
+    EXPECT_NE(result.render().find("restartOverhead: "),
+              std::string::npos);
+}
+
+TEST(FleetRequestValidation, MalformedTraceAndFaultsAreNamed)
+{
+    auto trace = makeArrivalTrace(tinyTraceOptions(2));
+    trace[1].id = 7; // ids must stay dense
+    FleetRequest request(std::move(trace));
+    request.addFault(sim::FaultEvent::smDegrade(99, -1.0, 0.0));
+
+    const auto result = request.validate();
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(hasError(result, "jobs[1].id"));
+    EXPECT_TRUE(hasError(result, "faults.events[0].device"));
+    EXPECT_TRUE(hasError(result, "faults.events[0].time"));
+    EXPECT_TRUE(hasError(result, "faults.events[0].factor"));
+}
+
+TEST(FleetRequestValidation, CatalogComboRulesAreEnforced)
+{
+    // A stop point without any catalog would just lose the run.
+    FleetRequest stop_without(makeArrivalTrace(tinyTraceOptions(2)));
+    stop_without.stopAfterEvents(4);
+    EXPECT_TRUE(
+        hasError(stop_without.validate(), "stopAfterEvents"));
+
+    // Durability knobs with no catalog to act on.
+    FleetRequest knobs(makeArrivalTrace(tinyTraceOptions(2)));
+    knobs.fsyncOnCommit(true).compactEvery(8);
+    EXPECT_TRUE(hasError(knobs.validate(), "catalogDir"));
+
+    // An adopted handle and an owned directory cannot both win.
+    // validate() only checks the handle's presence, never
+    // dereferences it, so a sentinel address is enough here.
+    FleetRequest both(makeArrivalTrace(tinyTraceOptions(2)));
+    both.catalog(reinterpret_cast<ctrl::Catalog *>(&both))
+        .catalogDir("/tmp/unused");
+    EXPECT_TRUE(hasError(both.validate(), "catalogDir"));
 }
 
 } // namespace

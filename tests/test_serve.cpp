@@ -260,9 +260,10 @@ TEST(FleetServe, MixedTraceServesEveryRequest)
         inference_jobs += spec.kind == fleet::JobKind::Inference;
     ASSERT_EQ(inference_jobs, 2);
 
-    fleet::FleetOptions options;
-    options.placement.policy = fleet::PlacementPolicy::RapShared;
-    const auto report = fleet::runFleet(trace, options);
+    const auto report =
+        fleet::FleetRequest(trace)
+            .policy(fleet::PlacementPolicy::RapShared)
+            .run();
 
     std::uint64_t requests = 0, attained = 0;
     for (const auto &job : report.jobs) {
@@ -301,9 +302,10 @@ TEST(FleetServe, MixedTraceServesEveryRequest)
 TEST(FleetServe, ReportJsonRoundTripsServingFields)
 {
     const auto trace = fleet::makeArrivalTrace(mixedTraceOptions());
-    fleet::FleetOptions options;
-    options.placement.policy = fleet::PlacementPolicy::RapShared;
-    const auto report = fleet::runFleet(trace, options);
+    const auto report =
+        fleet::FleetRequest(trace)
+            .policy(fleet::PlacementPolicy::RapShared)
+            .run();
     ASSERT_GT(report.serveRequests, 0u);
 
     const std::string text = report.toJson().dump(2);
@@ -346,11 +348,11 @@ TEST(FleetServe, ReportJsonRoundTripsServingFields)
 TEST(FleetServe, ServingColumnsAreThreadCountInvariant)
 {
     const auto trace = fleet::makeArrivalTrace(mixedTraceOptions());
-    fleet::FleetOptions options;
-    options.placement.policy = fleet::PlacementPolicy::RapShared;
-    const auto serial = fleet::runFleet(trace, options, nullptr);
+    fleet::FleetRequest request(trace);
+    request.policy(fleet::PlacementPolicy::RapShared);
+    const auto serial = request.run(nullptr);
     ThreadPool pool(4);
-    const auto threaded = fleet::runFleet(trace, options, &pool);
+    const auto threaded = request.run(&pool);
     EXPECT_EQ(serial.toJson().dump(2), threaded.toJson().dump(2));
     EXPECT_EQ(serial.renderSummary(), threaded.renderSummary());
     EXPECT_EQ(serial.renderJobs(), threaded.renderJobs());
@@ -366,11 +368,11 @@ TEST(FleetServe, UnattainableSloStillDrainsTheQueue)
     const auto trace = fleet::makeArrivalTrace(trace_options);
 
     obs::MetricRegistry registry;
-    fleet::FleetOptions options;
-    options.placement.policy = fleet::PlacementPolicy::RapShared;
-    options.metrics = &registry;
-    options.metricsScope = "tight_slo";
-    const auto report = fleet::runFleet(trace, options);
+    const auto report =
+        fleet::FleetRequest(trace)
+            .policy(fleet::PlacementPolicy::RapShared)
+            .metrics(&registry, "tight_slo")
+            .run();
 
     for (const auto &job : report.jobs)
         EXPECT_GT(job.finish, 0.0) << job.spec.name;
