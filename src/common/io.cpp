@@ -1,0 +1,572 @@
+#include "common/io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+
+namespace rap::io {
+
+std::string
+ioOpName(IoOp op)
+{
+    switch (op) {
+      case IoOp::Open: return "open";
+      case IoOp::Read: return "read";
+      case IoOp::Write: return "write";
+      case IoOp::Sync: return "sync";
+      case IoOp::Truncate: return "truncate";
+      case IoOp::Seek: return "seek";
+    }
+    RAP_PANIC("unknown IoOp ", static_cast<int>(op));
+}
+
+bool
+IoError::retryable() const
+{
+    // EINTR is always worth another attempt; EIO may be a transient
+    // path failure. ENOSPC / EDQUOT only clear when space frees —
+    // retrying inside one operation is noise.
+    return errnum == EINTR || errnum == EIO || errnum == EAGAIN;
+}
+
+std::string
+IoError::message() const
+{
+    return ioOpName(op) + " '" + path + "' failed at byte " +
+           std::to_string(offset) + ": " + std::strerror(errnum) +
+           (injected ? " (injected)" : "");
+}
+
+bool
+IoFaultSchedule::enabled() const
+{
+    return shortWriteRate > 0.0 || eintrRate > 0.0 ||
+           transientEioRate > 0.0 || enospcAfterBytes > 0 ||
+           syncFailRate > 0.0;
+}
+
+namespace {
+
+/** The real thing: raw descriptors with EINTR-safe syscall loops. */
+class PosixFile final : public File
+{
+  public:
+    PosixFile(std::string path, int fd)
+        : path_(std::move(path)), fd_(fd)
+    {
+    }
+
+    ~PosixFile() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    std::int64_t
+    write(const char *data, std::size_t size, IoError *error) override
+    {
+        for (;;) {
+            const ssize_t n = ::write(fd_, data, size);
+            if (n >= 0) {
+                offset_ += static_cast<std::uint64_t>(n);
+                return n;
+            }
+            if (errno == EINTR)
+                continue; // a signal is not an I/O failure
+            fill(error, IoOp::Write);
+            return -1;
+        }
+    }
+
+    std::int64_t
+    read(char *data, std::size_t size, IoError *error) override
+    {
+        for (;;) {
+            const ssize_t n = ::read(fd_, data, size);
+            if (n >= 0) {
+                offset_ += static_cast<std::uint64_t>(n);
+                return n;
+            }
+            if (errno == EINTR)
+                continue;
+            fill(error, IoOp::Read);
+            return -1;
+        }
+    }
+
+    IoStatus
+    sync() override
+    {
+        while (::fsync(fd_) != 0) {
+            if (errno == EINTR)
+                continue;
+            IoError error;
+            fill(&error, IoOp::Sync);
+            return IoStatus::fail(std::move(error));
+        }
+        return IoStatus::success();
+    }
+
+    IoStatus
+    truncate(std::uint64_t size) override
+    {
+        while (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+            if (errno == EINTR)
+                continue;
+            IoError error;
+            fill(&error, IoOp::Truncate);
+            return IoStatus::fail(std::move(error));
+        }
+        return seek(size);
+    }
+
+    IoStatus
+    seek(std::uint64_t offset) override
+    {
+        if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+            IoError error;
+            fill(&error, IoOp::Seek);
+            return IoStatus::fail(std::move(error));
+        }
+        offset_ = offset;
+        return IoStatus::success();
+    }
+
+    const std::string &path() const override { return path_; }
+
+  private:
+    void
+    fill(IoError *error, IoOp op) const
+    {
+        if (error == nullptr)
+            return;
+        error->op = op;
+        error->path = path_;
+        error->errnum = errno;
+        error->offset = offset_;
+        error->injected = false;
+    }
+
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t offset_ = 0;
+};
+
+} // namespace
+
+/**
+ * Decorator injecting the shared IoContext schedule's faults ahead of
+ * the real operation. Draws are consumed in operation order from the
+ * context's single stream, so a fixed call sequence sees a fixed
+ * fault sequence.
+ */
+class FaultyFile final : public File
+{
+  public:
+    FaultyFile(std::unique_ptr<File> inner, IoContext *context)
+        : inner_(std::move(inner)), context_(context)
+    {
+    }
+
+    std::int64_t
+    write(const char *data, std::size_t size, IoError *error) override
+    {
+        auto &state = context_->state_;
+        const auto &schedule = context_->schedule_;
+        if (armed(state)) {
+            if (popPending(state.pendingEintr)) {
+                inject(error, IoOp::Write, EINTR);
+                return -1;
+            }
+            if (popPending(state.pendingEio)) {
+                inject(error, IoOp::Write, EIO);
+                return -1;
+            }
+            if (schedule.enospcAfterBytes > 0 &&
+                state.bytesWritten + size > schedule.enospcAfterBytes) {
+                // Partial acceptance up to the budget, like a real
+                // filling disk: the torn frame this leaves is exactly
+                // what recovery must cope with.
+                const std::uint64_t room =
+                    schedule.enospcAfterBytes > state.bytesWritten
+                        ? schedule.enospcAfterBytes - state.bytesWritten
+                        : 0;
+                if (room > 0) {
+                    const auto n = inner_->write(
+                        data, static_cast<std::size_t>(room), error);
+                    if (n > 0) {
+                        state.bytesWritten +=
+                            static_cast<std::uint64_t>(n);
+                        return n;
+                    }
+                }
+                inject(error, IoOp::Write, ENOSPC);
+                return -1;
+            }
+            if (schedule.eintrRate > 0.0 &&
+                state.rng.bernoulli(schedule.eintrRate)) {
+                state.pendingEintr =
+                    std::max(0, schedule.eintrBurst - 1);
+                inject(error, IoOp::Write, EINTR);
+                return -1;
+            }
+            if (schedule.transientEioRate > 0.0 &&
+                state.rng.bernoulli(schedule.transientEioRate)) {
+                state.pendingEio =
+                    std::max(0, schedule.transientEioBurst - 1);
+                inject(error, IoOp::Write, EIO);
+                return -1;
+            }
+            if (schedule.shortWriteRate > 0.0 && size > 1 &&
+                state.rng.bernoulli(schedule.shortWriteRate)) {
+                // Cut to a seeded strict prefix; the caller's
+                // writeFully loop must come back for the rest.
+                const auto cut = static_cast<std::size_t>(
+                    state.rng.uniformInt(
+                        1, static_cast<std::int64_t>(size) - 1));
+                ++state.injected;
+                const auto n = inner_->write(data, cut, error);
+                if (n > 0)
+                    state.bytesWritten += static_cast<std::uint64_t>(n);
+                return n;
+            }
+        }
+        const auto n = inner_->write(data, size, error);
+        if (n > 0)
+            state.bytesWritten += static_cast<std::uint64_t>(n);
+        return n;
+    }
+
+    std::int64_t
+    read(char *data, std::size_t size, IoError *error) override
+    {
+        auto &state = context_->state_;
+        const auto &schedule = context_->schedule_;
+        if (armed(state)) {
+            if (popPending(state.pendingEintr)) {
+                inject(error, IoOp::Read, EINTR);
+                return -1;
+            }
+            if (schedule.eintrRate > 0.0 &&
+                state.rng.bernoulli(schedule.eintrRate)) {
+                state.pendingEintr =
+                    std::max(0, schedule.eintrBurst - 1);
+                inject(error, IoOp::Read, EINTR);
+                return -1;
+            }
+        }
+        return inner_->read(data, size, error);
+    }
+
+    IoStatus
+    sync() override
+    {
+        auto &state = context_->state_;
+        const auto &schedule = context_->schedule_;
+        if (armed(state)) {
+            IoError error;
+            if (popPending(state.pendingSyncFail)) {
+                inject(&error, IoOp::Sync, EIO);
+                return IoStatus::fail(std::move(error));
+            }
+            if (schedule.syncFailRate > 0.0 &&
+                state.rng.bernoulli(schedule.syncFailRate)) {
+                state.pendingSyncFail =
+                    std::max(0, schedule.syncFailBurst - 1);
+                inject(&error, IoOp::Sync, EIO);
+                return IoStatus::fail(std::move(error));
+            }
+        }
+        return inner_->sync();
+    }
+
+    IoStatus
+    truncate(std::uint64_t size) override
+    {
+        // Truncation frees budgeted bytes (the WAL reset after a
+        // compaction must un-fill the modelled disk).
+        auto &state = context_->state_;
+        state.ops += 1;
+        if (state.bytesWritten > size)
+            state.bytesWritten = size;
+        return inner_->truncate(size);
+    }
+
+    IoStatus
+    seek(std::uint64_t offset) override
+    {
+        return inner_->seek(offset);
+    }
+
+    const std::string &path() const override { return inner_->path(); }
+
+  private:
+    /** Count the op; @return true once armAfterOps ops have passed. */
+    bool
+    armed(IoContext::FaultState &state)
+    {
+        state.ops += 1;
+        return state.ops > context_->schedule_.armAfterOps;
+    }
+
+    static bool
+    popPending(int &pending)
+    {
+        if (pending <= 0)
+            return false;
+        --pending;
+        return true;
+    }
+
+    void
+    inject(IoError *error, IoOp op, int errnum)
+    {
+        ++context_->state_.injected;
+        if (error == nullptr)
+            return;
+        error->op = op;
+        error->path = inner_->path();
+        error->errnum = errnum;
+        error->offset = context_->state_.bytesWritten;
+        error->injected = true;
+    }
+
+    std::unique_ptr<File> inner_;
+    IoContext *context_;
+};
+
+IoContext::IoContext(IoFaultSchedule schedule)
+    : schedule_(schedule)
+{
+    state_.rng = Rng(schedule_.seed);
+}
+
+std::unique_ptr<File>
+IoContext::open(const std::string &path, OpenMode mode, IoError *error)
+{
+    auto file = openPosixFile(path, mode, error);
+    if (file == nullptr || !schedule_.enabled())
+        return file;
+    return std::make_unique<FaultyFile>(std::move(file), this);
+}
+
+std::unique_ptr<File>
+openPosixFile(const std::string &path, OpenMode mode, IoError *error)
+{
+    int flags = O_CLOEXEC;
+    switch (mode) {
+      case OpenMode::ReadWrite:
+        flags |= O_RDWR | O_CREAT;
+        break;
+      case OpenMode::Truncate:
+        flags |= O_RDWR | O_CREAT | O_TRUNC;
+        break;
+      case OpenMode::ReadOnly:
+        flags |= O_RDONLY;
+        break;
+    }
+    int fd = -1;
+    do {
+        fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (error != nullptr) {
+            error->op = IoOp::Open;
+            error->path = path;
+            error->errnum = errno;
+            error->offset = 0;
+            error->injected = false;
+        }
+        return nullptr;
+    }
+    return std::make_unique<PosixFile>(path, fd);
+}
+
+std::unique_ptr<File>
+openFile(IoContext *context, const std::string &path, OpenMode mode,
+         IoError *error)
+{
+    if (context != nullptr)
+        return context->open(path, mode, error);
+    return openPosixFile(path, mode, error);
+}
+
+namespace {
+
+/** Capped exponential virtual backoff before retry @p attempt. */
+double
+backoffBefore(const IoRetryPolicy &policy, int attempt)
+{
+    double backoff = policy.backoffBase;
+    for (int k = 1; k < attempt; ++k) {
+        backoff *= 2.0;
+        if (backoff >= policy.backoffCap)
+            return policy.backoffCap;
+    }
+    return std::min(backoff, policy.backoffCap);
+}
+
+void
+countRetry(IoStats *stats, const IoRetryPolicy &policy, int attempt)
+{
+    if (stats == nullptr)
+        return;
+    ++stats->retries;
+    stats->virtualBackoffSeconds += backoffBefore(policy, attempt);
+}
+
+} // namespace
+
+IoStatus
+writeFully(File &file, const char *data, std::size_t size,
+           const IoRetryPolicy &policy, IoStats *stats)
+{
+    std::size_t written = 0;
+    int attempts = 0;
+    while (written < size) {
+        IoError error;
+        const auto n =
+            file.write(data + written, size - written, &error);
+        if (n > 0) {
+            written += static_cast<std::size_t>(n);
+            attempts = 0; // progress resets the transient budget
+            continue;
+        }
+        if (n == 0) {
+            // A zero-byte write on a regular file is a stall, not an
+            // error; treat it like a retryable short write.
+            error.op = IoOp::Write;
+            error.path = file.path();
+            error.errnum = EAGAIN;
+            error.offset = written;
+        }
+        if (error.errnum == EINTR) {
+            // Signals retry for free, forever: EINTR is delivery
+            // timing, not storage health.
+            countRetry(stats, policy, 1);
+            continue;
+        }
+        ++attempts;
+        if (!error.retryable() || attempts >= policy.maxAttempts) {
+            if (stats != nullptr)
+                ++stats->gaveUp;
+            return IoStatus::fail(std::move(error));
+        }
+        countRetry(stats, policy, attempts);
+    }
+    return IoStatus::success();
+}
+
+IoStatus
+syncFully(File &file, const IoRetryPolicy &policy, IoStats *stats)
+{
+    for (int attempts = 1;; ++attempts) {
+        auto status = file.sync();
+        if (status.ok())
+            return status;
+        if (status.error->errnum == EINTR) {
+            countRetry(stats, policy, 1);
+            continue;
+        }
+        if (!status.error->retryable() ||
+            attempts >= policy.maxAttempts) {
+            if (stats != nullptr)
+                ++stats->gaveUp;
+            return status;
+        }
+        countRetry(stats, policy, attempts);
+    }
+}
+
+IoStatus
+readFileBytes(IoContext *context, const std::string &path,
+              std::string *out)
+{
+    out->clear();
+    IoError error;
+    auto file = openFile(context, path, OpenMode::ReadOnly, &error);
+    if (file == nullptr)
+        return IoStatus::fail(std::move(error));
+    char buffer[1 << 16];
+    for (;;) {
+        const auto n = file->read(buffer, sizeof(buffer), &error);
+        if (n < 0) {
+            if (error.errnum == EINTR || error.errnum == EIO ||
+                error.errnum == EAGAIN) {
+                // Reads sit on the recovery path: be patient with
+                // anything that might clear — a retry here costs
+                // nothing and salvages the scan.
+                continue;
+            }
+            return IoStatus::fail(std::move(error));
+        }
+        if (n == 0)
+            return IoStatus::success();
+        out->append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+std::uint64_t
+fileSizeBytes(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+bool
+truncateFileTo(const std::string &path, std::uint64_t size)
+{
+    if (fileSizeBytes(path) < size)
+        return false;
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    return !ec;
+}
+
+bool
+flipByteAt(const std::string &path, std::uint64_t offset,
+           unsigned char mask)
+{
+    if (offset >= fileSizeBytes(path) || mask == 0)
+        return false;
+    IoError error;
+    auto file = openPosixFile(path, OpenMode::ReadWrite, &error);
+    if (file == nullptr || !file->seek(offset).ok())
+        return false;
+    char byte = 0;
+    if (file->read(&byte, 1, &error) != 1)
+        return false;
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^ mask);
+    if (!file->seek(offset).ok())
+        return false;
+    return file->write(&byte, 1, &error) == 1;
+}
+
+bool
+duplicateTailBytes(const std::string &path, std::uint64_t bytes)
+{
+    const auto size = fileSizeBytes(path);
+    if (bytes == 0 || bytes > size)
+        return false;
+    std::string raw;
+    if (!readFileBytes(nullptr, path, &raw).ok())
+        return false;
+    const std::string tail =
+        raw.substr(raw.size() - static_cast<std::size_t>(bytes));
+    IoError error;
+    auto file = openPosixFile(path, OpenMode::ReadWrite, &error);
+    if (file == nullptr || !file->seek(size).ok())
+        return false;
+    IoRetryPolicy policy;
+    return writeFully(*file, tail.data(), tail.size(), policy, nullptr)
+        .ok();
+}
+
+} // namespace rap::io

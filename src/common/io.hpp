@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Durable-path I/O with deterministic storage-fault injection.
+ *
+ * Every byte the control plane persists — the catalog WAL, snapshot
+ * compactions, the ingest spill log — flows through the File
+ * abstraction here instead of raw syscalls. PosixFile is the real
+ * thing (EINTR-safe at every syscall); FaultyFile is a decorator that
+ * injects the partial failures production storage actually produces —
+ * short writes, EINTR storms, transient EIO, ENOSPC once a byte
+ * budget is spent, fsync failure — from a seeded IoFaultSchedule, so
+ * every chaos scenario is reproducible from (schedule, seed) alone,
+ * exactly the way sim/fault.hpp reproduces device faults.
+ *
+ * Failures are values, not aborts: operations return an IoStatus
+ * carrying a structured IoError (operation, path, errno, offset).
+ * writeFully / syncFully layer a bounded retry policy on top — EINTR
+ * always retries, transient EIO retries with capped exponential
+ * *virtual* backoff (a deterministic accumulator, never a sleep),
+ * ENOSPC-class errors give up immediately — and count retries /
+ * give-ups into a caller-owned IoStats the durable layers mirror into
+ * their obs counters (`ctrl.io.retries`, `ctrl.io.gave_up`).
+ *
+ * The chaos helpers at the bottom mutate files at rest (truncate a
+ * tail, flip a byte, duplicate trailing bytes): the post-crash damage
+ * a torn sector or bit rot leaves, applied deterministically by the
+ * recovery soak.
+ */
+
+#ifndef RAP_COMMON_IO_HPP
+#define RAP_COMMON_IO_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace rap::io {
+
+/** Which operation an IoError came from. */
+enum class IoOp {
+    Open,
+    Read,
+    Write,
+    Sync,
+    Truncate,
+    Seek,
+};
+
+/** @return Stable lowercase token ("write") for logs and tests. */
+std::string ioOpName(IoOp op);
+
+/** One structured I/O failure. */
+struct IoError
+{
+    IoOp op = IoOp::Write;
+    /** File the operation targeted. */
+    std::string path;
+    /** errno value (EIO, ENOSPC, EINTR, ...). */
+    int errnum = 0;
+    /** Byte offset the operation had reached when it failed. */
+    std::uint64_t offset = 0;
+    /** True when a FaultyFile injected this error. */
+    bool injected = false;
+
+    /** @return True for errors a bounded retry may clear (EINTR/EIO). */
+    bool retryable() const;
+
+    /** @return "write '<path>' failed at byte N: <strerror>". */
+    std::string message() const;
+};
+
+/** Outcome of one I/O operation: ok() or a structured error. */
+struct IoStatus
+{
+    std::optional<IoError> error;
+
+    bool ok() const { return !error.has_value(); }
+
+    static IoStatus success() { return {}; }
+    static IoStatus fail(IoError e) { return {std::move(e)}; }
+};
+
+/**
+ * Minimal file handle the durable layers write through. write() has
+ * POSIX short-write semantics on purpose — the fault decorator cuts
+ * writes short below the retry loop, which is what makes short-write
+ * healing testable.
+ */
+class File
+{
+  public:
+    virtual ~File() = default;
+
+    /**
+     * Write up to @p size bytes at the current offset.
+     * @return Bytes written (possibly < size), or -1 with @p error
+     * filled.
+     */
+    virtual std::int64_t write(const char *data, std::size_t size,
+                               IoError *error) = 0;
+
+    /**
+     * Read up to @p size bytes at the current offset.
+     * @return Bytes read (0 = EOF), or -1 with @p error filled.
+     */
+    virtual std::int64_t read(char *data, std::size_t size,
+                              IoError *error) = 0;
+
+    /** Flush to stable storage. */
+    virtual IoStatus sync() = 0;
+
+    /** Truncate to @p size bytes and seek there. */
+    virtual IoStatus truncate(std::uint64_t size) = 0;
+
+    /** Seek the read/write offset. */
+    virtual IoStatus seek(std::uint64_t offset) = 0;
+
+    virtual const std::string &path() const = 0;
+};
+
+/** How File::open treats existing bytes. */
+enum class OpenMode {
+    /** Read/write, created when missing, existing bytes kept. */
+    ReadWrite,
+    /** Read/write, created when missing, truncated to empty. */
+    Truncate,
+    /** Read-only; missing file is an Open error. */
+    ReadOnly,
+};
+
+/**
+ * Deterministic storage-fault schedule. All rates are per-operation
+ * probabilities drawn from one seeded stream in operation order, so
+ * equal (schedule, operation sequence) pairs inject equal faults at
+ * any thread count. Zero-initialised = inject nothing.
+ */
+struct IoFaultSchedule
+{
+    /** Seed of the per-operation fault draws. */
+    std::uint64_t seed = 0x10fa015ULL;
+    /**
+     * Operations to pass through cleanly before any fault fires —
+     * arms the schedule at a chosen commit point.
+     */
+    std::uint64_t armAfterOps = 0;
+    /** Probability a write is cut short (at a seeded fraction). */
+    double shortWriteRate = 0.0;
+    /** Probability an op fails EINTR; storms burst this many times. */
+    double eintrRate = 0.0;
+    int eintrBurst = 1;
+    /** Probability an op fails transient EIO, bursting this long. */
+    double transientEioRate = 0.0;
+    int transientEioBurst = 1;
+    /**
+     * Disk-full model: total bytes accepted across every file sharing
+     * the IoContext before writes fail ENOSPC (0 = unlimited).
+     */
+    std::uint64_t enospcAfterBytes = 0;
+    /** Probability an fsync fails EIO, bursting this long. */
+    double syncFailRate = 0.0;
+    int syncFailBurst = 1;
+
+    /** @return True when any fault can ever fire. */
+    bool enabled() const;
+};
+
+/** Retry budget for transient failures on durable paths. */
+struct IoRetryPolicy
+{
+    /** Attempts per operation (EINTR retries do not consume these). */
+    int maxAttempts = 4;
+    /** Virtual backoff before retry k: base * 2^(k-1), capped. */
+    double backoffBase = 1e-3;
+    double backoffCap = 50e-3;
+};
+
+/** Caller-owned tallies the retry helpers update. */
+struct IoStats
+{
+    /** Operations re-attempted after a retryable failure. */
+    std::uint64_t retries = 0;
+    /** Operations abandoned past the retry budget. */
+    std::uint64_t gaveUp = 0;
+    /** Deterministic virtual seconds spent backing off (never slept). */
+    double virtualBackoffSeconds = 0.0;
+};
+
+/**
+ * Shared I/O environment: opens files, and when a fault schedule is
+ * set, wraps them in FaultyFile decorators sharing one seeded draw
+ * stream and one ENOSPC byte budget — "one failing disk", not one
+ * failing file. Not thread-safe; durable paths are single-writer.
+ */
+class IoContext
+{
+  public:
+    IoContext() = default;
+    explicit IoContext(IoFaultSchedule schedule);
+
+    IoContext(const IoContext &) = delete;
+    IoContext &operator=(const IoContext &) = delete;
+
+    /**
+     * Open @p path. On failure returns nullptr with @p error filled
+     * (when non-null). The returned file must not outlive the context.
+     */
+    std::unique_ptr<File> open(const std::string &path, OpenMode mode,
+                               IoError *error = nullptr);
+
+    const IoFaultSchedule &schedule() const { return schedule_; }
+
+    /** Total faults injected so far (chaos-bench accounting). */
+    std::uint64_t injectedFaults() const { return state_.injected; }
+
+    /** Bytes accepted against the ENOSPC budget so far. */
+    std::uint64_t bytesWritten() const { return state_.bytesWritten; }
+
+  private:
+    friend class FaultyFile;
+
+    /** Mutable draw/budget state shared by every decorated file. */
+    struct FaultState
+    {
+        Rng rng{0};
+        std::uint64_t ops = 0;
+        std::uint64_t bytesWritten = 0;
+        std::uint64_t injected = 0;
+        int pendingEintr = 0;
+        int pendingEio = 0;
+        int pendingSyncFail = 0;
+    };
+
+    IoFaultSchedule schedule_;
+    FaultState state_;
+};
+
+/**
+ * Open @p path without an IoContext: a plain PosixFile (EINTR-safe,
+ * no injection). The default for production call sites.
+ */
+std::unique_ptr<File> openPosixFile(const std::string &path,
+                                    OpenMode mode,
+                                    IoError *error = nullptr);
+
+/**
+ * Open through @p context when non-null, else plain POSIX — the
+ * one-liner every durable layer uses.
+ */
+std::unique_ptr<File> openFile(IoContext *context,
+                               const std::string &path, OpenMode mode,
+                               IoError *error = nullptr);
+
+/**
+ * Write all of @p size bytes, healing short writes, retrying EINTR
+ * unconditionally and transient EIO within @p policy's budget
+ * (virtual backoff only). ENOSPC-class errors fail immediately —
+ * retrying a full disk is noise. @p stats may be null.
+ */
+IoStatus writeFully(File &file, const char *data, std::size_t size,
+                    const IoRetryPolicy &policy, IoStats *stats);
+
+/** sync() with the same retry semantics as writeFully. */
+IoStatus syncFully(File &file, const IoRetryPolicy &policy,
+                   IoStats *stats);
+
+/**
+ * Read the whole file into @p out (EINTR-safe). Missing file is an
+ * Open error; the caller decides whether that is fatal.
+ */
+IoStatus readFileBytes(IoContext *context, const std::string &path,
+                       std::string *out);
+
+// ---------------------------------------------------------- chaos
+//
+// At-rest mutations modelling post-crash damage. All return false
+// (untouched) when the file is too small for the request.
+
+/** @return Size of @p path in bytes, or 0 when missing. */
+std::uint64_t fileSizeBytes(const std::string &path);
+
+/** Truncate @p path to @p size bytes. */
+bool truncateFileTo(const std::string &path, std::uint64_t size);
+
+/** XOR the byte at @p offset with @p mask (default flips bit 6). */
+bool flipByteAt(const std::string &path, std::uint64_t offset,
+                unsigned char mask = 0x40);
+
+/** Append a copy of the final @p bytes bytes (a replayed tail). */
+bool duplicateTailBytes(const std::string &path, std::uint64_t bytes);
+
+} // namespace rap::io
+
+#endif // RAP_COMMON_IO_HPP

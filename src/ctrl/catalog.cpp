@@ -1,6 +1,7 @@
 #include "ctrl/catalog.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -114,36 +115,46 @@ Catalog::open(CatalogOptions options)
 bool
 Catalog::recover(std::string *error)
 {
+    const auto fail = [error](std::string message) {
+        if (error != nullptr)
+            *error = std::move(message);
+        return false;
+    };
     if (!options_.readOnly) {
         // The kernel drops a flock when its holder dies — SIGKILL
         // included — so refusal here always means a *live* writer.
         lockFd_ = ::open(lockPath(options_.dir).c_str(),
                          O_RDWR | O_CREAT | O_CLOEXEC, 0644);
         if (lockFd_ < 0) {
-            if (error != nullptr) {
-                *error = "cannot open '" + lockPath(options_.dir) +
-                         "': " + std::strerror(errno);
-            }
-            return false;
+            return fail("cannot open '" + lockPath(options_.dir) +
+                        "': " + std::strerror(errno));
         }
         if (::flock(lockFd_, LOCK_EX | LOCK_NB) != 0) {
-            if (error != nullptr) {
-                *error = "catalog '" + options_.dir +
-                         "' is already open (flock held)";
-            }
             ::close(lockFd_);
             lockFd_ = -1;
-            return false;
+            return fail("catalog '" + options_.dir +
+                        "' is already open (flock held)");
         }
     }
 
     const std::string snap_path = snapshotPath(options_.dir);
     if (std::filesystem::exists(snap_path)) {
-        const Json snapshot = readJsonFile(snap_path);
+        std::string raw;
+        const auto read =
+            io::readFileBytes(options_.io, snap_path, &raw);
+        if (!read.ok())
+            return fail("catalog snapshot unreadable: " +
+                        read.error->message());
+        std::string parse_error;
+        const Json snapshot = Json::parse(raw, &parse_error);
+        if (!snapshot.isObject()) {
+            return fail("catalog snapshot '" + snap_path +
+                        "' is not valid JSON: " + parse_error);
+        }
         const Json *schema = snapshot.find("schema");
         if (schema == nullptr || schema->asString() != kCatalogSchema) {
-            RAP_FATAL("catalog snapshot '", snap_path,
-                      "' has wrong schema");
+            return fail("catalog snapshot '" + snap_path +
+                        "' has wrong schema");
         }
         state_.lastLsn = static_cast<std::uint64_t>(
             snapshot.at("lastLsn").asDouble());
@@ -163,7 +174,28 @@ Catalog::recover(std::string *error)
     }
     const std::uint64_t snapshot_lsn = state_.lastLsn;
 
-    const auto wal = readWal(walPath(options_.dir));
+    const auto wal = readWal(walPath(options_.dir), options_.io);
+    if (wal.corruptMidLog) {
+        if (!options_.salvageCorruptTail) {
+            // Truncating here would silently discard every committed
+            // record at and past the damage; make the operator choose.
+            return fail(
+                "catalog WAL '" + walPath(options_.dir) +
+                "' is corrupt at frame " +
+                std::to_string(wal.badFrameIndex) + " (offset " +
+                std::to_string(wal.badFrameOffset) +
+                "): " + wal.badReason +
+                "; re-open with salvage to keep the " +
+                std::to_string(wal.records.size()) +
+                " records before it");
+        }
+        salvagedCorruptTail_ = true;
+        logWarn("catalog WAL salvage: dropping frame ",
+                wal.badFrameIndex, "+ at offset ", wal.badFrameOffset,
+                " (", wal.badReason, "), keeping ",
+                wal.records.size(), " records");
+        count(options_.metrics, "ctrl.wal.salvaged");
+    }
     std::uint64_t replayed = 0;
     for (const std::string &payload : wal.records) {
         std::string parse_error;
@@ -171,8 +203,9 @@ Catalog::recover(std::string *error)
         if (!txn.isObject()) {
             // The checksum passed, so this is not crash damage —
             // something else wrote garbage into the log.
-            RAP_FATAL("catalog WAL record is not valid JSON: ",
-                      parse_error);
+            return fail("catalog WAL record " +
+                        std::to_string(replayed) +
+                        " is not valid JSON: " + parse_error);
         }
         const auto lsn =
             static_cast<std::uint64_t>(txn.at("lsn").asDouble());
@@ -181,9 +214,25 @@ Catalog::recover(std::string *error)
             // the WAL reset: the snapshot already covers this record.
             continue;
         }
-        RAP_ASSERT(lsn == state_.lastLsn + 1,
-                   "catalog WAL gap: expected LSN ",
-                   state_.lastLsn + 1, ", found ", lsn);
+        if (lsn <= state_.lastLsn) {
+            // A replayed write can duplicate the tail frame. A
+            // byte-identical echo is harmless; anything else claims
+            // two different histories for one LSN.
+            const auto it = recoveredTail_.find(lsn);
+            if (it != recoveredTail_.end() && it->second == payload) {
+                count(options_.metrics, "ctrl.wal.duplicates_skipped");
+                continue;
+            }
+            return fail("catalog WAL replays LSN " +
+                        std::to_string(lsn) +
+                        " with different bytes: two histories for "
+                        "one record");
+        }
+        if (lsn != state_.lastLsn + 1) {
+            return fail("catalog WAL gap: expected LSN " +
+                        std::to_string(state_.lastLsn + 1) +
+                        ", found " + std::to_string(lsn));
+        }
         applyTransaction(txn);
         recoveredTail_[lsn] = payload;
         ++replayed;
@@ -195,9 +244,21 @@ Catalog::recover(std::string *error)
         count(options_.metrics, "ctrl.wal.truncated_records");
     }
     if (!options_.readOnly) {
-        // Re-opening the writer at validBytes drops the torn tail.
-        wal_ = std::make_unique<WalWriter>(walPath(options_.dir),
-                                           wal.validBytes);
+        // Re-opening the writer at validBytes drops the torn (or
+        // explicitly salvaged) tail. When even that fails the disk is
+        // already gone: come up degraded rather than not at all.
+        std::string open_error;
+        wal_ = WalWriter::tryOpen(walPath(options_.dir), wal.validBytes,
+                                  options_.io, options_.retry,
+                                  &open_error);
+        if (wal_ == nullptr) {
+            io::IoError synthetic;
+            synthetic.op = io::IoOp::Open;
+            synthetic.path = walPath(options_.dir);
+            synthetic.errnum = EIO;
+            logWarn("catalog WAL writer open failed: ", open_error);
+            degrade(synthetic);
+        }
     }
     return true;
 }
@@ -209,6 +270,42 @@ Catalog::serializeTransaction(const Json &transaction,
     return stampTransaction(transaction, lsn).dump();
 }
 
+void
+Catalog::degrade(const io::IoError &error)
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    logWarn("catalog '", options_.dir,
+            "' entering degraded in-memory mode: ", error.message(),
+            " — commits keep applying but are no longer durable");
+    count(options_.metrics, "ctrl.catalog.degraded");
+}
+
+io::IoStats
+Catalog::ioStats() const
+{
+    io::IoStats total = localIoStats_;
+    if (wal_ != nullptr) {
+        total.retries += wal_->ioStats().retries;
+        total.gaveUp += wal_->ioStats().gaveUp;
+        total.virtualBackoffSeconds +=
+            wal_->ioStats().virtualBackoffSeconds;
+    }
+    return total;
+}
+
+void
+Catalog::mirrorIoStats()
+{
+    const io::IoStats total = ioStats();
+    count(options_.metrics, "ctrl.io.retries",
+          total.retries - mirroredIoStats_.retries);
+    count(options_.metrics, "ctrl.io.gave_up",
+          total.gaveUp - mirroredIoStats_.gaveUp);
+    mirroredIoStats_ = total;
+}
+
 std::uint64_t
 Catalog::commit(Json transaction)
 {
@@ -217,19 +314,27 @@ Catalog::commit(Json transaction)
     const std::uint64_t lsn = state_.lastLsn + 1;
     const Json stamped = stampTransaction(transaction, lsn);
     const std::string payload = stamped.dump();
-    wal_->append(payload);
-    if (options_.fsyncOnCommit) {
-        wal_->sync();
-        count(options_.metrics, "ctrl.wal.syncs");
+    if (!degraded_) {
+        auto status = wal_->append(payload);
+        if (status.ok()) {
+            count(options_.metrics, "ctrl.wal.appends");
+            count(options_.metrics, "ctrl.wal.bytes",
+                  payload.size() + kWalFrameHeaderBytes);
+            if (options_.fsyncOnCommit) {
+                status = wal_->sync();
+                if (status.ok())
+                    count(options_.metrics, "ctrl.wal.syncs");
+            }
+        }
+        if (!status.ok())
+            degrade(*status.error);
+        mirrorIoStats();
     }
-    count(options_.metrics, "ctrl.wal.appends");
-    count(options_.metrics, "ctrl.wal.bytes",
-          payload.size() + kWalFrameHeaderBytes);
     // Durable first, applied second: a kill between the two loses
     // only the in-memory view, which recovery rebuilds from the log.
     applyTransaction(stamped);
     ++commitsSinceCompact_;
-    if (options_.compactEvery > 0 &&
+    if (!degraded_ && options_.compactEvery > 0 &&
         commitsSinceCompact_ >= options_.compactEvery) {
         compact();
     }
@@ -321,23 +426,64 @@ Catalog::compact()
 {
     RAP_ASSERT(!options_.readOnly,
                "compact on a read-only catalog");
+    if (degraded_)
+        return; // nothing durable left to fold
     const std::string final_path = snapshotPath(options_.dir);
     const std::string tmp_path = final_path + ".tmp";
     // Write-temp, fsync, rename: the snapshot becomes visible
     // atomically, so recovery sees either the old or the new one —
-    // never a half-written file.
-    writeJsonFile(snapshotJson(), tmp_path);
-    syncPath(tmp_path);
+    // never a half-written file. A failed write (disk full, say)
+    // leaves the old snapshot and the full WAL untouched: compaction
+    // is an optimisation, skipping it loses nothing.
+    const auto abandon = [&](const io::IoStatus &status) {
+        logWarn("catalog compaction abandoned: ",
+                status.error->message(),
+                " — keeping the old snapshot and the full WAL");
+        std::error_code ec;
+        std::filesystem::remove(tmp_path, ec);
+        count(options_.metrics, "ctrl.snapshot.failed");
+        commitsSinceCompact_ = 0; // retry after another interval
+        mirrorIoStats();
+    };
+    {
+        io::IoError open_error;
+        auto tmp = io::openFile(options_.io, tmp_path,
+                                io::OpenMode::Truncate, &open_error);
+        if (tmp == nullptr) {
+            abandon(io::IoStatus::fail(open_error));
+            return;
+        }
+        const std::string body = snapshotJson().dump(2);
+        auto status = io::writeFully(*tmp, body.data(), body.size(),
+                                     options_.retry, &localIoStats_);
+        if (status.ok())
+            status = io::syncFully(*tmp, options_.retry,
+                                   &localIoStats_);
+        if (!status.ok()) {
+            abandon(status);
+            return;
+        }
+    }
     if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-        RAP_FATAL("cannot rename catalog snapshot into place: ",
-                  std::strerror(errno));
+        io::IoError rename_error;
+        rename_error.op = io::IoOp::Write;
+        rename_error.path = final_path;
+        rename_error.errnum = errno;
+        abandon(io::IoStatus::fail(rename_error));
+        return;
     }
     syncPath(options_.dir);
     // The WAL reset comes last. A crash right before it leaves stale
-    // records the next recovery skips by LSN (<= snapshot lastLsn).
-    wal_->reset();
+    // records the next recovery skips by LSN (<= snapshot lastLsn);
+    // a *failed* reset leaves the same stale records, equally benign.
+    if (auto status = wal_->reset(); !status.ok()) {
+        logWarn("catalog WAL reset after compaction failed: ",
+                status.error->message(),
+                " — stale records will be skipped by LSN on recovery");
+    }
     commitsSinceCompact_ = 0;
     count(options_.metrics, "ctrl.snapshot.writes");
+    mirrorIoStats();
 }
 
 } // namespace rap::ctrl

@@ -21,6 +21,20 @@
  * specs, placement decisions (with their envelope reservations), and
  * checkpoint manifests. The catalog itself is schema-agnostic beyond
  * the transaction envelope — apply() folds ops structurally.
+ *
+ * Failure semantics (the recovery trichotomy): every durable outcome
+ * is one of
+ *  - byte-identical recovery: a torn WAL tail is truncated and the
+ *    valid prefix replayed, producing the exact pre-crash state;
+ *  - a structured refusal: mid-log corruption (a complete frame with
+ *    a bad checksum, a replay gap, a non-identical duplicate LSN)
+ *    fails tryOpen with a message naming the first bad frame — unless
+ *    salvageCorruptTail explicitly accepts the valid prefix;
+ *  - flagged degradation: when the disk refuses writes past the retry
+ *    budget at runtime, the catalog warns once, raises
+ *    `ctrl.catalog.degraded`, stops writing, and keeps applying
+ *    commits in memory so the fleet can finish its run.
+ * Silent data loss is never on the menu.
  */
 
 #ifndef RAP_CTRL_CATALOG_HPP
@@ -67,8 +81,20 @@ struct CatalogOptions
      * possibly-live catalog.
      */
     bool readOnly = false;
+    /**
+     * Accept a WAL whose tail is mid-log corrupt by truncating it to
+     * the valid prefix. Off by default: corruption is refused with a
+     * structured error, because truncating it silently would discard
+     * committed records. Turning this on is the operator saying "I
+     * know, keep what is readable".
+     */
+    bool salvageCorruptTail = false;
     /** Optional registry for the ctrl.* counters (non-owning). */
     obs::MetricRegistry *metrics = nullptr;
+    /** Optional fault-injection context (non-owning; null = POSIX). */
+    io::IoContext *io = nullptr;
+    /** Retry budget for every durable write under the catalog. */
+    io::IoRetryPolicy retry;
 };
 
 /** Replayed view of the record families the fleet layer persists. */
@@ -156,6 +182,18 @@ class Catalog
     /** @return True when open dropped a torn/corrupt WAL tail. */
     bool truncatedTornTail() const { return truncatedTornTail_; }
 
+    /** @return True when salvage mode truncated mid-log corruption. */
+    bool salvagedCorruptTail() const { return salvagedCorruptTail_; }
+
+    /**
+     * @return True once the disk refused a write past the retry
+     * budget: commits still apply in memory but nothing is durable.
+     */
+    bool degraded() const { return degraded_; }
+
+    /** Retry/give-up tallies across the WAL and compaction writes. */
+    io::IoStats ioStats() const;
+
     const CatalogOptions &options() const { return options_; }
 
     /** Path helpers (shared with tools/catalog_dump). */
@@ -169,13 +207,23 @@ class Catalog
     bool recover(std::string *error);
     void applyTransaction(const Json &txn);
     Json snapshotJson() const;
+    /** Enter flagged in-memory mode (first call warns + counts). */
+    void degrade(const io::IoError &error);
+    /** Push the io-stat deltas since the last call into metrics. */
+    void mirrorIoStats();
 
     CatalogOptions options_;
     CatalogState state_;
     std::map<std::uint64_t, std::string> recoveredTail_;
     std::unique_ptr<WalWriter> wal_;
+    /** Retries/give-ups outside the WAL writer (compaction, reads). */
+    io::IoStats localIoStats_;
+    /** Totals already mirrored into the metric registry. */
+    io::IoStats mirroredIoStats_;
     int lockFd_ = -1;
     bool truncatedTornTail_ = false;
+    bool salvagedCorruptTail_ = false;
+    bool degraded_ = false;
     /** Commits since the last compaction (auto-compact trigger). */
     int commitsSinceCompact_ = 0;
 };

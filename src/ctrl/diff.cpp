@@ -1,0 +1,100 @@
+#include "ctrl/diff.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace rap::ctrl {
+
+namespace {
+
+/** "status \"running\"" when the record has one, else its JSON. */
+std::string
+describeRecord(const Json &record)
+{
+    if (const Json *status = record.find("status"))
+        return "status \"" + status->asString() + "\"";
+    return record.dump();
+}
+
+/**
+ * Diff one id-keyed record family. Ids are walked in sorted order, so
+ * equal inputs render equal reports regardless of how they were
+ * built.
+ */
+void
+diffFamily(std::ostringstream &out, const char *family,
+           const std::map<int, Json> &left,
+           const std::map<int, Json> &right)
+{
+    std::set<int> ids;
+    for (const auto &[id, record] : left)
+        ids.insert(id);
+    for (const auto &[id, record] : right)
+        ids.insert(id);
+    for (const int id : ids) {
+        const auto l = left.find(id);
+        const auto r = right.find(id);
+        if (l == left.end()) {
+            out << "  + " << family << " " << id << ": only right ("
+                << describeRecord(r->second) << ")\n";
+        } else if (r == right.end()) {
+            out << "  - " << family << " " << id << ": only left ("
+                << describeRecord(l->second) << ")\n";
+        } else if (l->second.dump() != r->second.dump()) {
+            out << "  ~ " << family << " " << id << ": "
+                << describeRecord(l->second) << " | "
+                << describeRecord(r->second) << "\n";
+        }
+    }
+}
+
+} // namespace
+
+std::string
+diffCatalogStates(const CatalogState &left, const CatalogState &right)
+{
+    std::ostringstream out;
+    if (left.lastLsn != right.lastLsn) {
+        out << "  lastLsn: " << left.lastLsn << " | " << right.lastLsn
+            << "\n";
+    }
+    if (left.framesCommitted != right.framesCommitted) {
+        out << "  framesCommitted: " << left.framesCommitted << " | "
+            << right.framesCommitted << "\n";
+    }
+    if (left.genesis.dump() != right.genesis.dump()) {
+        if (!left.hasGenesis()) {
+            out << "  genesis: only right\n";
+        } else if (!right.hasGenesis()) {
+            out << "  genesis: only left\n";
+        } else {
+            out << "  genesis: differs (left "
+                << left.genesis.dump().size() << " bytes | right "
+                << right.genesis.dump().size() << " bytes)\n";
+        }
+    }
+    diffFamily(out, "job", left.jobs, right.jobs);
+    diffFamily(out, "placement", left.placements, right.placements);
+    const std::size_t manifests =
+        std::min(left.manifests.size(), right.manifests.size());
+    std::size_t diverge = 0;
+    while (diverge < manifests &&
+           left.manifests[diverge].dump() ==
+               right.manifests[diverge].dump()) {
+        ++diverge;
+    }
+    if (left.manifests.size() != right.manifests.size() ||
+        diverge < manifests) {
+        out << "  manifests: " << left.manifests.size() << " | "
+            << right.manifests.size();
+        if (diverge < manifests)
+            out << " (diverge at index " << diverge << ")";
+        else
+            out << " (common prefix identical)";
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace rap::ctrl

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural diff between two replayed catalog states, rendered as a
+ * deterministic multi-line report (`catalog_dump --diff` and the
+ * golden test consume it byte-for-byte).
+ *
+ * The diff is structural, not textual: it walks the record families —
+ * genesis, jobs, placements, manifests — and reports what diverged in
+ * catalog terms ("job 3: status \"running\" | \"finished\"") instead
+ * of dumping two JSON blobs side by side. Records are compared by
+ * their deterministic serialization, so "identical" means
+ * byte-identical durable content.
+ */
+
+#ifndef RAP_CTRL_DIFF_HPP
+#define RAP_CTRL_DIFF_HPP
+
+#include <string>
+
+#include "ctrl/catalog.hpp"
+
+namespace rap::ctrl {
+
+/**
+ * @return A deterministic line-based report of every structural
+ * difference between @p left and @p right, or the empty string when
+ * the states are identical.
+ */
+std::string diffCatalogStates(const CatalogState &left,
+                              const CatalogState &right);
+
+} // namespace rap::ctrl
+
+#endif // RAP_CTRL_DIFF_HPP

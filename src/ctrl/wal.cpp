@@ -2,10 +2,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "common/log.hpp"
 #include "ctrl/crc32.hpp"
@@ -34,71 +30,125 @@ writeU32Le(std::string &out, std::uint32_t value)
 
 /**
  * Cap on one record's payload: a length field above this is garbage
- * (a torn header read as length), not a real record.
+ * (bit rot in the header), not a real record.
  */
 constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
 
 } // namespace
 
 WalReadResult
-readWal(const std::string &path)
+readWal(const std::string &path, io::IoContext *io)
 {
     WalReadResult result;
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open())
-        return result; // no log yet: empty
-    std::string raw((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+    std::string raw;
+    const auto read = io::readFileBytes(io, path, &raw);
+    if (!read.ok())
+        return result; // no log yet (or unreadable): empty
     const auto *bytes =
         reinterpret_cast<const unsigned char *>(raw.data());
     std::uint64_t offset = 0;
-    while (offset + kWalFrameHeaderBytes <= raw.size()) {
-        const std::uint32_t length = readU32Le(bytes + offset);
-        const std::uint32_t crc = readU32Le(bytes + offset + 4);
-        if (length > kMaxRecordBytes)
-            break; // garbage header
+    while (offset < raw.size()) {
+        WalFrameInfo info;
+        info.offset = offset;
+        if (offset + kWalFrameHeaderBytes > raw.size()) {
+            // A crash mid-append persists a prefix; a sub-header
+            // remnant can only be the tail of such a write.
+            result.tornTail = true;
+            result.badReason = "torn header (frame cut short at EOF)";
+            result.frames.push_back(info);
+            break;
+        }
+        info.length = readU32Le(bytes + offset);
+        info.crcStored = readU32Le(bytes + offset + 4);
+        if (info.length > kMaxRecordBytes) {
+            // The header is fully on disk, so its length field is the
+            // one the writer framed — unless something rotted it. No
+            // torn write produces an implausible length.
+            result.corruptMidLog = true;
+            result.badReason = "implausible length field (" +
+                               std::to_string(info.length) +
+                               " bytes): header bit rot";
+            result.frames.push_back(info);
+            break;
+        }
         const std::uint64_t end =
-            offset + kWalFrameHeaderBytes + length;
-        if (end > raw.size())
-            break; // torn: payload cut short
+            offset + kWalFrameHeaderBytes + info.length;
+        if (end > raw.size()) {
+            result.tornTail = true;
+            result.badReason = "torn payload (" +
+                               std::to_string(end - raw.size()) +
+                               " bytes missing at EOF)";
+            result.frames.push_back(info);
+            break;
+        }
+        info.complete = true;
         std::string payload =
-            raw.substr(offset + kWalFrameHeaderBytes, length);
-        if (crc32(payload) != crc)
-            break; // corrupt payload
+            raw.substr(offset + kWalFrameHeaderBytes, info.length);
+        if (crc32(payload) != info.crcStored) {
+            // The whole frame is present yet wrong: bit rot, not a
+            // crash. Truncating here would silently discard every
+            // committed record after it, so it is never the default.
+            result.corruptMidLog = true;
+            result.badReason = "checksum mismatch on a complete frame";
+            result.frames.push_back(info);
+            break;
+        }
+        info.crcOk = true;
+        result.frames.push_back(info);
         result.records.push_back(std::move(payload));
         offset = end;
     }
     result.validBytes = offset;
-    result.tornTail = offset < raw.size();
+    if (result.damaged()) {
+        result.badFrameOffset = offset;
+        result.badFrameIndex = result.records.size();
+    }
     return result;
 }
 
+WalWriter::WalWriter(std::string path, std::unique_ptr<io::File> file,
+                     io::IoRetryPolicy retry, std::uint64_t offset)
+    : path_(std::move(path)), file_(std::move(file)), retry_(retry),
+      size_(offset)
+{
+}
+
+std::unique_ptr<WalWriter>
+WalWriter::tryOpen(const std::string &path, std::uint64_t offset,
+                   io::IoContext *io, const io::IoRetryPolicy &retry,
+                   std::string *error)
+{
+    io::IoError io_error;
+    auto file =
+        io::openFile(io, path, io::OpenMode::ReadWrite, &io_error);
+    if (file == nullptr) {
+        if (error != nullptr)
+            *error = io_error.message();
+        return nullptr;
+    }
+    if (auto status = file->truncate(offset); !status.ok()) {
+        if (error != nullptr)
+            *error = status.error->message();
+        return nullptr;
+    }
+    return std::unique_ptr<WalWriter>(
+        new WalWriter(path, std::move(file), retry, offset));
+}
+
 WalWriter::WalWriter(const std::string &path, std::uint64_t offset)
-    : path_(path)
 {
-    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-    if (fd_ < 0) {
-        RAP_FATAL("cannot open WAL '", path,
-                  "': ", std::strerror(errno));
-    }
-    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
-        RAP_FATAL("cannot truncate WAL '", path,
-                  "' to ", offset, " bytes: ", std::strerror(errno));
-    }
-    if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
-        RAP_FATAL("cannot seek WAL '", path,
-                  "': ", std::strerror(errno));
-    }
-    size_ = offset;
+    std::string error;
+    auto writer =
+        tryOpen(path, offset, nullptr, io::IoRetryPolicy{}, &error);
+    if (writer == nullptr)
+        RAP_FATAL("cannot open WAL '", path, "': ", error);
+    path_ = std::move(writer->path_);
+    file_ = std::move(writer->file_);
+    retry_ = writer->retry_;
+    size_ = writer->size_;
 }
 
-WalWriter::~WalWriter()
-{
-    if (fd_ >= 0)
-        ::close(fd_);
-}
-
-void
+io::IoStatus
 WalWriter::append(const std::string &payload)
 {
     RAP_ASSERT(payload.size() <= kMaxRecordBytes,
@@ -108,45 +158,34 @@ WalWriter::append(const std::string &payload)
     writeU32Le(frame, static_cast<std::uint32_t>(payload.size()));
     writeU32Le(frame, crc32(payload));
     frame += payload;
-    // One write(2) per frame: either the whole frame reaches the
-    // kernel or the call fails — a short write on a regular file only
-    // happens on ENOSPC-class errors, which are fatal here anyway.
-    std::size_t written = 0;
-    while (written < frame.size()) {
-        const ssize_t n = ::write(fd_, frame.data() + written,
-                                  frame.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            RAP_FATAL("WAL append to '", path_,
-                      "' failed: ", std::strerror(errno));
-        }
-        written += static_cast<std::size_t>(n);
+    auto status = io::writeFully(*file_, frame.data(), frame.size(),
+                                 retry_, &ioStats_);
+    if (!status.ok()) {
+        // Roll the torn frame back to the last record boundary so a
+        // later successful append cannot bury partial bytes mid-log
+        // (which the scanner would rightly flag as corruption). Best
+        // effort: if even the truncate fails, recovery-on-open will
+        // drop the torn tail instead.
+        (void)file_->truncate(size_);
+        return status;
     }
     size_ += frame.size();
+    return status;
 }
 
-void
+io::IoStatus
 WalWriter::sync()
 {
-    if (::fsync(fd_) != 0) {
-        RAP_FATAL("WAL fsync of '", path_,
-                  "' failed: ", std::strerror(errno));
-    }
+    return io::syncFully(*file_, retry_, &ioStats_);
 }
 
-void
+io::IoStatus
 WalWriter::reset()
 {
-    if (::ftruncate(fd_, 0) != 0) {
-        RAP_FATAL("WAL reset of '", path_,
-                  "' failed: ", std::strerror(errno));
-    }
-    if (::lseek(fd_, 0, SEEK_SET) < 0) {
-        RAP_FATAL("cannot seek WAL '", path_,
-                  "': ", std::strerror(errno));
-    }
-    size_ = 0;
+    auto status = file_->truncate(0);
+    if (status.ok())
+        size_ = 0;
+    return status;
 }
 
 } // namespace rap::ctrl

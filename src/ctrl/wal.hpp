@@ -7,31 +7,62 @@
  *   [u32 length LE][u32 crc32(payload) LE][payload bytes]
  *
  * A record is valid only when its full frame is on disk and the
- * payload checksum matches. Reading stops at the first frame that is
- * torn (header or payload cut short by a crash) or corrupt (checksum
- * mismatch); everything before that point is intact — appends are
- * sequential, so a crash can only damage the tail. readWal reports the
- * byte offset of the last valid frame so the opener can truncate the
- * torn tail and continue appending from a clean end.
+ * payload checksum matches. The scanner distinguishes two kinds of
+ * damage, because they demand opposite responses:
  *
- * WalWriter writes each frame with a single write(2) straight to the
- * file descriptor — no user-space buffering — so a record handed to
- * append() is in the kernel when append() returns, and on the platter
- * after sync() (the fsync-on-commit knob). Abandoning the process
- * without running destructors loses nothing that append() accepted.
+ *  - a *torn tail*: the final frame is cut short (header or payload
+ *    ends past EOF). That is what a crash mid-append leaves — appends
+ *    are sequential, a torn write persists a prefix — so the valid
+ *    prefix is intact and the tail is safe to truncate.
+ *  - *corruption*: a frame that is fully present but wrong — checksum
+ *    mismatch, or a complete header whose length field is garbage.
+ *    No crash writes that; it is bit rot or foreign writes, it can sit
+ *    anywhere in the log, and truncating it would silently discard
+ *    every committed record after it. It surfaces as a structured
+ *    verdict (offset, frame index, reason) for the opener to refuse
+ *    or explicitly salvage.
+ *
+ * readWal also reports per-frame health (offset, claimed length,
+ * checksum verdict) so `catalog_dump --scan` can show an operator a
+ * damaged log without loading it.
+ *
+ * WalWriter writes each frame through common/io's File layer — short
+ * writes healed, EINTR retried forever, transient EIO retried within
+ * a bounded budget of deterministic virtual backoff — and reports
+ * anything past the budget as a structured IoError instead of
+ * aborting, so the catalog above can degrade gracefully when the
+ * disk actually dies.
  */
 
 #ifndef RAP_CTRL_WAL_HPP
 #define RAP_CTRL_WAL_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/io.hpp"
 
 namespace rap::ctrl {
 
 /** Bytes every frame spends on its length + checksum header. */
 inline constexpr std::size_t kWalFrameHeaderBytes = 8;
+
+/** Health record for one scanned frame (valid or not). */
+struct WalFrameInfo
+{
+    /** File offset of the frame header. */
+    std::uint64_t offset = 0;
+    /** Length field as read (claimed payload bytes). */
+    std::uint32_t length = 0;
+    /** Stored checksum field. */
+    std::uint32_t crcStored = 0;
+    /** True when the whole frame fits before EOF. */
+    bool complete = false;
+    /** True when the payload checksum matches (complete frames only). */
+    bool crcOk = false;
+};
 
 /** Result of scanning a WAL file. */
 struct WalReadResult
@@ -40,15 +71,28 @@ struct WalReadResult
     std::vector<std::string> records;
     /** File offset just past the last valid frame. */
     std::uint64_t validBytes = 0;
-    /** True when trailing bytes past validBytes were torn/corrupt. */
+    /** True when the final frame was cut short (truncatable). */
     bool tornTail = false;
+    /** True when a fully-present frame is damaged (NOT truncatable). */
+    bool corruptMidLog = false;
+    /** First bad frame: offset, ordinal, and a human reason. */
+    std::uint64_t badFrameOffset = 0;
+    std::uint64_t badFrameIndex = 0;
+    std::string badReason;
+    /** Per-frame health, including the bad frame (scan support). */
+    std::vector<WalFrameInfo> frames;
+
+    bool damaged() const { return tornTail || corruptMidLog; }
 };
 
 /**
  * Scan @p path (missing file = empty log). Never mutates the file;
- * the catalog decides whether to truncate a reported torn tail.
+ * the catalog decides whether a reported torn tail is truncated or a
+ * corrupt frame is refused/salvaged. @p io is the optional
+ * fault-injection context (null = plain POSIX).
  */
-WalReadResult readWal(const std::string &path);
+WalReadResult readWal(const std::string &path,
+                      io::IoContext *io = nullptr);
 
 /** Appends CRC-framed records to one WAL file. */
 class WalWriter
@@ -57,30 +101,48 @@ class WalWriter
     /**
      * Open @p path for appending at @p offset (the valid prefix
      * length from readWal); the file is created when missing and
-     * truncated to @p offset first, discarding any torn tail. Fatal
-     * on I/O errors.
+     * truncated to @p offset first, discarding any torn tail.
+     * @return nullptr with @p error filled when the disk refuses even
+     * the retried open/truncate.
      */
+    static std::unique_ptr<WalWriter>
+    tryOpen(const std::string &path, std::uint64_t offset,
+            io::IoContext *io, const io::IoRetryPolicy &retry,
+            std::string *error);
+
+    /** tryOpen with plain POSIX I/O; fatal on failure (test helper). */
     WalWriter(const std::string &path, std::uint64_t offset);
 
     WalWriter(const WalWriter &) = delete;
     WalWriter &operator=(const WalWriter &) = delete;
-    ~WalWriter();
 
-    /** Frame @p payload and write it through; fatal on I/O errors. */
-    void append(const std::string &payload);
+    /**
+     * Frame @p payload and write it through, healing short writes and
+     * retrying transient errors within the retry budget. On failure
+     * the log may hold a torn frame — the next scan truncates it.
+     */
+    [[nodiscard]] io::IoStatus append(const std::string &payload);
 
-    /** fsync the log (the durability point of a commit). */
-    void sync();
+    /** fsync the log (the durability point of a commit), with retry. */
+    [[nodiscard]] io::IoStatus sync();
 
-    /** Discard every record (compaction: the snapshot now covers them). */
-    void reset();
+    /** Discard every record (compaction: the snapshot covers them). */
+    [[nodiscard]] io::IoStatus reset();
 
     /** @return Bytes currently in the log. */
     std::uint64_t sizeBytes() const { return size_; }
 
+    /** Retry/give-up tallies accumulated by this writer. */
+    const io::IoStats &ioStats() const { return ioStats_; }
+
   private:
+    WalWriter(std::string path, std::unique_ptr<io::File> file,
+              io::IoRetryPolicy retry, std::uint64_t offset);
+
     std::string path_;
-    int fd_ = -1;
+    std::unique_ptr<io::File> file_;
+    io::IoRetryPolicy retry_;
+    io::IoStats ioStats_;
     std::uint64_t size_ = 0;
 };
 

@@ -114,6 +114,8 @@ FleetReport::renderSummary() const
             << formatSeconds(serveP95Latency.value_or(0.0)) << " / "
             << formatSeconds(serveP99Latency.value_or(0.0)) << "\n";
     }
+    if (catalogDegraded)
+        oss << "  catalog         DEGRADED (run not resumable)\n";
     return oss.str();
 }
 

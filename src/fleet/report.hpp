@@ -90,6 +90,12 @@ struct FleetReport
      * by the scheduler's event loop (drives gpuOccupancy).
      */
     Seconds busyGpuSeconds = 0.0;
+    /**
+     * True when the catalog disk died past its retry budget mid-run
+     * and the scheduler finished in flagged in-memory mode: the
+     * numbers are real, but the run is not resumable.
+     */
+    bool catalogDegraded = false;
 
     // Aggregates, valid after finalize().
     Seconds meanJct = 0.0;

@@ -121,6 +121,7 @@ FleetReport::toJson() const
     json.set("crashRequeues", Json(crashRequeues));
     json.set("simulationsRun", Json(simulationsRun));
     json.set("busyGpuSeconds", Json(busyGpuSeconds));
+    json.set("catalogDegraded", Json(catalogDegraded));
     json.set("meanJct", Json(meanJct));
     json.set("p50Jct", Json(p50Jct));
     json.set("p95Jct", Json(p95Jct));
@@ -158,6 +159,9 @@ FleetReport::fromJson(const Json &json)
     report.simulationsRun =
         core::serial::getInt(json, "simulationsRun");
     report.busyGpuSeconds = json.at("busyGpuSeconds").asDouble();
+    // Reports serialized before the flag existed read as not-degraded.
+    if (const Json *degraded = json.find("catalogDegraded"))
+        report.catalogDegraded = degraded->asBool();
     report.meanJct = json.at("meanJct").asDouble();
     report.p50Jct = json.at("p50Jct").asDouble();
     report.p95Jct = json.at("p95Jct").asDouble();

@@ -834,6 +834,7 @@ FleetScheduler::run()
                     std::raise(SIGKILL);
                 }
                 stopped_ = true;
+                report_.catalogDegraded = options_.catalog->degraded();
                 return report_;
             }
         }
@@ -841,6 +842,13 @@ FleetScheduler::run()
 
     RAP_ASSERT(queue_.empty() && running_.empty(),
                "fleet drained with work outstanding");
+    if (options_.catalog != nullptr && options_.catalog->degraded()) {
+        // The run itself is fine — the numbers below are exact — but
+        // nothing past the last durable commit survives a restart.
+        report_.catalogDegraded = true;
+        logWarn("fleet run finished with a degraded catalog: results "
+                "are complete but the run is not resumable");
+    }
     Seconds makespan = 0.0;
     for (const auto &outcome : report_.jobs)
         makespan = std::max(makespan, outcome.finish);

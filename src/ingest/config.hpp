@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/io.hpp"
 #include "common/units.hpp"
 #include "data/criteo.hpp"
 #include "ingest/rate_profile.hpp"
@@ -76,6 +77,12 @@ struct IngestConfig
     std::string spillPath;
     /** Sample ingest.queue_depth every N-th arrival. */
     int depthSampleEvery = 64;
+    /**
+     * Fault-injection context for the spill log (non-owning; null =
+     * plain POSIX). When the spill disk dies past the retry budget,
+     * the stager falls back to dropping — counted, never silent.
+     */
+    io::IoContext *io = nullptr;
 };
 
 /** One rejected knob: (field, why). Folded into core validation. */

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
+#include <string_view>
 #include <unistd.h>
 
 #include "common/log.hpp"
@@ -51,20 +52,29 @@ SpillLog::~SpillLog()
     removeFile();
 }
 
-void
-SpillLog::open(const std::string &path)
+bool
+SpillLog::open(const std::string &path, io::IoContext *io)
 {
     path_ = path.empty() ? uniqueSpillPath() : path;
-    out_.open(path_, std::ios::trunc);
-    if (!out_)
-        RAP_FATAL("cannot open spill log for writing: ", path_);
+    io_ = io;
+    io::IoError error;
+    out_ = io::openFile(io_, path_, io::OpenMode::Truncate, &error);
+    if (out_ == nullptr) {
+        logWarn("cannot open spill log: ", error.message());
+        path_.clear();
+        return false;
+    }
     appended_ = 0;
+    goodBytes_ = 0;
+    return true;
 }
 
-void
+bool
 SpillLog::append(const Event &event)
 {
-    RAP_ASSERT(out_.is_open(), "spill log not open");
+    RAP_ASSERT(out_ != nullptr, "spill log not open");
+    if (broken_)
+        return false;
     line_.clear();
     appendHex(line_, event.stream);
     line_ += '\t';
@@ -74,27 +84,46 @@ SpillLog::append(const Event &event)
     line_ += '\t';
     data::encodeCriteoRow(event.row, line_);
     line_ += '\n';
-    out_ << line_;
-    if (!out_)
-        RAP_FATAL("failed writing spill log: ", path_);
+    const auto status = io::writeFully(*out_, line_.data(),
+                                       line_.size(), retry_,
+                                       &ioStats_);
+    if (!status.ok()) {
+        // Roll back to the previous line boundary so the partial
+        // write cannot corrupt the replay; the caller accounts the
+        // event as dropped. When even the rollback fails, refuse all
+        // later appends: the clean prefix (everything this log ever
+        // acknowledged) still replays, because a partial line never
+        // contains its trailing newline.
+        if (!out_->truncate(goodBytes_).ok())
+            broken_ = true;
+        return false;
+    }
+    goodBytes_ += line_.size();
     ++appended_;
+    return true;
 }
 
 void
 SpillLog::replay(const data::Schema &schema,
                  const std::function<void(Event &&)> &fn)
 {
-    if (!out_.is_open())
+    if (out_ == nullptr)
         return;
-    out_.close();
-    std::ifstream in(path_);
-    if (!in)
-        RAP_FATAL("cannot reopen spill log for replay: ", path_);
-    std::string line;
+    out_.reset();
+    std::string raw;
+    const auto read = io::readFileBytes(io_, path_, &raw);
+    if (!read.ok())
+        RAP_FATAL("cannot reopen spill log for replay: ",
+                  read.error->message());
+    std::string_view rest(raw);
     std::uint64_t replayed = 0;
     data::RowError error;
-    while (std::getline(in, line)) {
-        std::string_view view(line);
+    while (!rest.empty()) {
+        const auto newline = rest.find('\n');
+        if (newline == std::string_view::npos)
+            break; // rollback failure left a torn final line
+        std::string_view view = rest.substr(0, newline);
+        rest.remove_prefix(newline + 1);
         // Three fixed metadata fields, then the row codec's TSV.
         std::uint64_t stream = 0, seq = 0, bits = 0;
         bool ok = true;
@@ -131,8 +160,7 @@ SpillLog::replay(const data::Schema &schema,
 void
 SpillLog::removeFile()
 {
-    if (out_.is_open())
-        out_.close();
+    out_.reset();
     if (!path_.empty()) {
         std::error_code ec;
         std::filesystem::remove(path_, ec);

@@ -10,16 +10,23 @@
  * the row via data/row_codec.hpp's round-trip-exact encoder, so a
  * replayed event is bit-identical to the one spilled — checksums over
  * replayed batches stay producer-count-invariant.
+ *
+ * Writes go through common/io's File layer (short writes healed,
+ * EINTR free, transient EIO retried within the budget). A write the
+ * budget cannot save rolls the file back to the previous line
+ * boundary and fails the append — the caller counts the event as
+ * dropped instead of trusting a log that silently lost it.
  */
 
 #ifndef RAP_INGEST_SPILL_HPP
 #define RAP_INGEST_SPILL_HPP
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "common/io.hpp"
 #include "data/schema.hpp"
 #include "ingest/event.hpp"
 
@@ -37,21 +44,33 @@ class SpillLog
     /**
      * Open for writing (truncates). @p path may be empty: a unique
      * file under the system temp directory is created instead.
-     * Fatal on I/O failure.
+     * @p io is the optional fault-injection context (non-owning).
+     * @return False when the disk refuses the open — the caller
+     * decides the fallback (the stager downgrades to dropping).
      */
-    void open(const std::string &path);
+    [[nodiscard]] bool open(const std::string &path,
+                            io::IoContext *io = nullptr);
 
-    bool isOpen() const { return out_.is_open(); }
+    bool isOpen() const { return out_ != nullptr; }
     const std::string &path() const { return path_; }
     std::uint64_t appended() const { return appended_; }
 
-    /** Persist one event (append order = spill order). */
-    void append(const Event &event);
+    /** Retry/give-up tallies accumulated by this log. */
+    const io::IoStats &ioStats() const { return ioStats_; }
+
+    /**
+     * Persist one event (append order = spill order). @return False
+     * when the write failed past the retry budget; the log is rolled
+     * back to the previous line so later appends stay parseable, and
+     * the event is the caller's to account as lost.
+     */
+    [[nodiscard]] bool append(const Event &event);
 
     /**
      * Close the writer and stream every spilled event back through
-     * @p fn in append order. Fatal on a malformed line — the log is
-     * ours, corruption means a bug.
+     * @p fn in append order. Fatal on a malformed line — every
+     * successful append ended on a line boundary, so the log is
+     * either clean or our accounting is buggy.
      */
     void replay(const data::Schema &schema,
                 const std::function<void(Event &&)> &fn);
@@ -60,10 +79,21 @@ class SpillLog
     void removeFile();
 
   private:
-    std::ofstream out_;
+    std::unique_ptr<io::File> out_;
+    io::IoContext *io_ = nullptr;
+    io::IoRetryPolicy retry_;
+    io::IoStats ioStats_;
     std::string path_;
     std::string line_;
     std::uint64_t appended_ = 0;
+    /** Bytes confirmed on disk (the rollback point for append). */
+    std::uint64_t goodBytes_ = 0;
+    /**
+     * Set when a failed append could not be rolled back: appending
+     * after the torn bytes would corrupt the replay, so every later
+     * append refuses immediately. The clean prefix still replays.
+     */
+    bool broken_ = false;
 };
 
 } // namespace rap::ingest

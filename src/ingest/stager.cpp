@@ -43,6 +43,8 @@ IngestMetrics::create(obs::MetricRegistry &registry,
     metrics.events = &registry.counter("ingest.events", labels);
     metrics.dropped = &registry.counter("ingest.dropped", labels);
     metrics.spilled = &registry.counter("ingest.spilled", labels);
+    metrics.spillFailed =
+        &registry.counter("ingest.spill_failed", labels);
     metrics.replayed = &registry.counter("ingest.replayed", labels);
     metrics.batches = &registry.counter("ingest.batches", labels);
     metrics.stagingLatency = &registry.histogram(
@@ -62,8 +64,13 @@ Stager::Stager(const IngestConfig &config, data::Schema schema,
       sparseCols_(schema_.sparseCount()), batchHash_(kFnvOffset)
 {
     stats_.checksum = kFnvOffset;
-    if (config_.policy == BackpressurePolicy::Spill)
-        spill_.open(config_.spillPath);
+    if (config_.policy == BackpressurePolicy::Spill &&
+        !spill_.open(config_.spillPath, config_.io)) {
+        // No spill disk at all: run on, but overload now drops (and
+        // every such drop is counted as a spill failure too).
+        logWarn("spill log unavailable; overload events will be "
+                "dropped and counted under ingest.spill_failed");
+    }
 }
 
 void
@@ -96,11 +103,21 @@ Stager::push(Event &&event)
                 metrics_.dropped->inc();
             break;
           case BackpressurePolicy::Spill:
-            spill_.append(event);
-            ++stats_.spilled;
-            if (metrics_.spilled != nullptr)
-                metrics_.spilled->inc();
-            return; // diverted; replayed in finish()
+            if (spill_.isOpen() && spill_.append(event)) {
+                ++stats_.spilled;
+                if (metrics_.spilled != nullptr)
+                    metrics_.spilled->inc();
+            } else {
+                // The spill disk refused the event: dropping loudly
+                // beats replaying a log that silently lost it.
+                ++stats_.spillFailed;
+                ++stats_.dropped;
+                if (metrics_.spillFailed != nullptr)
+                    metrics_.spillFailed->inc();
+                if (metrics_.dropped != nullptr)
+                    metrics_.dropped->inc();
+            }
+            return; // diverted (or dropped); never queued live
         }
     }
 

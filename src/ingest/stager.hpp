@@ -58,6 +58,7 @@ struct IngestMetrics
     obs::Counter *events = nullptr;
     obs::Counter *dropped = nullptr;
     obs::Counter *spilled = nullptr;
+    obs::Counter *spillFailed = nullptr;
     obs::Counter *replayed = nullptr;
     obs::Counter *batches = nullptr;
     obs::Histogram *stagingLatency = nullptr;
@@ -76,6 +77,13 @@ struct StagerStats
     std::uint64_t stagedLive = 0;
     std::uint64_t dropped = 0;
     std::uint64_t spilled = 0;
+    /**
+     * Events the spill disk refused past the retry budget (or after
+     * the log failed to open). They are dropped — counted here and in
+     * `dropped`, mirrored to ingest.spill_failed — never silently
+     * replayed short.
+     */
+    std::uint64_t spillFailed = 0;
     std::uint64_t replayed = 0;
     std::uint64_t batches = 0;
     std::uint64_t rowsStaged = 0;

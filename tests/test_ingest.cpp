@@ -352,12 +352,12 @@ TEST(SpillLogTest, RoundTripsEventsBitExactly)
 {
     const auto schema = miniSchema();
     SpillLog log;
-    log.open("test_ingest_spill_log.tsv");
+    ASSERT_TRUE(log.open("test_ingest_spill_log.tsv"));
     const auto first = miniEvent(3, 17, 0.125, 0.1f, -1e-30f);
     const auto second =
         miniEvent(1, 2, std::nextafter(0.125, 1.0), 6.0f, 0.0f);
-    log.append(first);
-    log.append(second);
+    EXPECT_TRUE(log.append(first));
+    EXPECT_TRUE(log.append(second));
     EXPECT_EQ(log.appended(), 2u);
 
     std::vector<Event> replayed;

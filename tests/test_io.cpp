@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the durable-path I/O layer: POSIX round trips, the
+ * seeded fault decorator (short writes, EINTR storms, transient EIO,
+ * the shared ENOSPC byte budget, fsync failure), the bounded-retry
+ * helpers with their deterministic virtual backoff, and the at-rest
+ * chaos mutators the recovery soak uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace rap {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshPath(const std::string &name)
+{
+    const fs::path path =
+        fs::temp_directory_path() / ("rap_test_io." + name);
+    fs::remove(path);
+    return path.string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::string out;
+    EXPECT_TRUE(io::readFileBytes(nullptr, path, &out).ok());
+    return out;
+}
+
+TEST(PosixFile, WritesReadsTruncatesAndSeeks)
+{
+    const std::string path = freshPath("posix");
+    io::IoError error;
+    auto file = io::openPosixFile(path, io::OpenMode::Truncate, &error);
+    ASSERT_NE(file, nullptr) << error.message();
+    EXPECT_EQ(file->path(), path);
+
+    const std::string payload = "hello durable world";
+    EXPECT_EQ(file->write(payload.data(), payload.size(), &error),
+              static_cast<std::int64_t>(payload.size()));
+    EXPECT_TRUE(file->sync().ok());
+    EXPECT_TRUE(file->seek(6).ok());
+    char buffer[8] = {};
+    EXPECT_EQ(file->read(buffer, 7, &error), 7);
+    EXPECT_EQ(std::string(buffer, 7), "durable");
+
+    EXPECT_TRUE(file->truncate(5).ok());
+    file.reset();
+    EXPECT_EQ(slurp(path), "hello");
+
+    // Missing file in ReadOnly mode is a structured Open error.
+    auto missing = io::openPosixFile(freshPath("absent"),
+                                     io::OpenMode::ReadOnly, &error);
+    EXPECT_EQ(missing, nullptr);
+    EXPECT_EQ(error.op, io::IoOp::Open);
+    EXPECT_EQ(error.errnum, ENOENT);
+    EXPECT_FALSE(error.retryable());
+    EXPECT_NE(error.message().find("open"), std::string::npos);
+}
+
+TEST(FaultyFile, ShortWritesAreHealedByWriteFully)
+{
+    io::IoFaultSchedule schedule;
+    schedule.shortWriteRate = 0.8;
+    io::IoContext context(schedule);
+
+    const std::string path = freshPath("short_write");
+    auto file = context.open(path, io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    const std::string payload(4096, 'q');
+    io::IoStats stats;
+    std::string want;
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(io::writeFully(*file, payload.data(),
+                                   payload.size(), io::IoRetryPolicy{},
+                                   &stats)
+                        .ok());
+        want += payload;
+    }
+    file.reset();
+    EXPECT_EQ(slurp(path), want);
+    EXPECT_GT(context.injectedFaults(), 0u);
+    // Healing a short write is progress, not a retry.
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.gaveUp, 0u);
+}
+
+TEST(FaultyFile, EintrStormsRetryForFree)
+{
+    io::IoFaultSchedule schedule;
+    schedule.eintrRate = 0.5;
+    schedule.eintrBurst = 3;
+    io::IoContext context(schedule);
+
+    const std::string path = freshPath("eintr");
+    auto file = context.open(path, io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoStats stats;
+    io::IoRetryPolicy policy;
+    policy.maxAttempts = 2; // EINTR must not consume these
+    const std::string payload(512, 'e');
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_TRUE(io::writeFully(*file, payload.data(),
+                                   payload.size(), policy, &stats)
+                        .ok());
+    }
+    EXPECT_EQ(stats.gaveUp, 0u);
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_GT(stats.virtualBackoffSeconds, 0.0);
+    file.reset();
+    EXPECT_EQ(io::fileSizeBytes(path), 32u * 512u);
+}
+
+TEST(FaultyFile, TransientEioIsRetriedWithinBudget)
+{
+    io::IoFaultSchedule schedule;
+    schedule.transientEioRate = 0.3;
+    schedule.transientEioBurst = 2;
+    io::IoContext context(schedule);
+
+    const std::string path = freshPath("eio_heals");
+    auto file = context.open(path, io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoStats stats;
+    io::IoRetryPolicy policy;
+    // A generous budget rides out every burst this seed produces:
+    // transient faults heal, nothing gives up, every byte lands.
+    policy.maxAttempts = 12;
+    const std::string payload = "survives the burst";
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_TRUE(io::writeFully(*file, payload.data(),
+                                   payload.size(), policy, &stats)
+                        .ok());
+    }
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_EQ(stats.gaveUp, 0u);
+    file.reset();
+    EXPECT_EQ(io::fileSizeBytes(path), 32 * payload.size());
+}
+
+TEST(FaultyFile, PersistentEioGivesUpPastTheBudget)
+{
+    io::IoFaultSchedule schedule;
+    schedule.transientEioRate = 1.0;
+    schedule.transientEioBurst = 1 << 20;
+    schedule.armAfterOps = 1;
+    io::IoContext context(schedule);
+
+    const std::string path = freshPath("eio_fatal");
+    auto file = context.open(path, io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoStats stats;
+    io::IoRetryPolicy policy;
+    policy.maxAttempts = 3;
+    const std::string payload = "first";
+    EXPECT_TRUE(io::writeFully(*file, payload.data(), payload.size(),
+                               policy, &stats)
+                    .ok());
+    const auto status = io::writeFully(*file, payload.data(),
+                                       payload.size(), policy, &stats);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error->errnum, EIO);
+    EXPECT_TRUE(status.error->injected);
+    EXPECT_EQ(stats.gaveUp, 1u);
+    EXPECT_EQ(stats.retries, 2u); // maxAttempts - 1
+}
+
+TEST(FaultyFile, EnospcBudgetIsSharedAndPartial)
+{
+    io::IoFaultSchedule schedule;
+    schedule.enospcAfterBytes = 100;
+    io::IoContext context(schedule);
+
+    const std::string path_a = freshPath("enospc_a");
+    const std::string path_b = freshPath("enospc_b");
+    auto a = context.open(path_a, io::OpenMode::Truncate);
+    auto b = context.open(path_b, io::OpenMode::Truncate);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    const std::string chunk(60, 'z');
+    io::IoStats stats;
+    // First 60 bytes fit; the second write on the *other* file hits
+    // the shared budget: 40 bytes land (a torn tail), then ENOSPC —
+    // immediately, not after retries (a full disk does not heal).
+    EXPECT_TRUE(io::writeFully(*a, chunk.data(), chunk.size(),
+                               io::IoRetryPolicy{}, &stats)
+                    .ok());
+    const auto status = io::writeFully(*b, chunk.data(), chunk.size(),
+                                       io::IoRetryPolicy{}, &stats);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error->errnum, ENOSPC);
+    EXPECT_FALSE(status.error->retryable());
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.gaveUp, 1u);
+    a.reset();
+    b.reset();
+    EXPECT_EQ(io::fileSizeBytes(path_a), 60u);
+    EXPECT_EQ(io::fileSizeBytes(path_b), 40u);
+
+    // Truncation returns bytes to the modelled disk.
+    auto c = context.open(path_b, io::OpenMode::ReadWrite);
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->truncate(0).ok());
+    EXPECT_TRUE(io::writeFully(*c, chunk.data(), 30,
+                               io::IoRetryPolicy{}, &stats)
+                    .ok());
+}
+
+TEST(FaultyFile, SyncFailuresAreInjectedAndRetried)
+{
+    io::IoFaultSchedule schedule;
+    schedule.syncFailRate = 0.3;
+    schedule.syncFailBurst = 2;
+    io::IoContext context(schedule);
+
+    const std::string path = freshPath("sync_fail");
+    auto file = context.open(path, io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoStats stats;
+    io::IoRetryPolicy policy;
+    policy.maxAttempts = 12;
+    for (int i = 0; i < 32; ++i)
+        EXPECT_TRUE(io::syncFully(*file, policy, &stats).ok());
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_EQ(stats.gaveUp, 0u);
+    EXPECT_GT(context.injectedFaults(), 0u);
+}
+
+TEST(FaultyFile, SameSeedSameFaultSequence)
+{
+    const auto run = [](std::uint64_t seed) {
+        io::IoFaultSchedule schedule;
+        schedule.seed = seed;
+        schedule.shortWriteRate = 0.3;
+        schedule.eintrRate = 0.2;
+        schedule.transientEioRate = 0.2;
+        io::IoContext context(schedule);
+        const std::string path = freshPath("determinism");
+        auto file = context.open(path, io::OpenMode::Truncate);
+        EXPECT_NE(file, nullptr);
+        io::IoStats stats;
+        const std::string payload(257, 'd');
+        for (int i = 0; i < 64; ++i) {
+            EXPECT_TRUE(io::writeFully(*file, payload.data(),
+                                       payload.size(),
+                                       io::IoRetryPolicy{}, &stats)
+                            .ok());
+        }
+        return std::make_pair(context.injectedFaults(), stats.retries);
+    };
+    const auto first = run(42);
+    const auto second = run(42);
+    const auto different = run(43);
+    EXPECT_EQ(first, second);
+    EXPECT_GT(first.first, 0u);
+    EXPECT_NE(first, different); // astronomically unlikely to match
+}
+
+TEST(IoRetryPolicy, VirtualBackoffIsCappedExponential)
+{
+    io::IoFaultSchedule schedule;
+    schedule.transientEioRate = 1.0;
+    schedule.transientEioBurst = 1 << 20;
+    io::IoContext context(schedule);
+    auto file = context.open(freshPath("backoff"),
+                             io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoStats stats;
+    io::IoRetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.backoffBase = 1e-3;
+    policy.backoffCap = 4e-3;
+    const char byte = 'x';
+    EXPECT_FALSE(
+        io::writeFully(*file, &byte, 1, policy, &stats).ok());
+    // Retries 1..4 back off 1ms, 2ms, 4ms (cap), 4ms (cap).
+    EXPECT_EQ(stats.retries, 4u);
+    EXPECT_DOUBLE_EQ(stats.virtualBackoffSeconds, 11e-3);
+}
+
+TEST(IoChaos, AtRestMutatorsModelPostCrashDamage)
+{
+    const std::string path = freshPath("chaos");
+    {
+        io::IoError error;
+        auto file =
+            io::openPosixFile(path, io::OpenMode::Truncate, &error);
+        ASSERT_NE(file, nullptr);
+        const std::string payload = "0123456789";
+        ASSERT_EQ(file->write(payload.data(), payload.size(), &error),
+                  10);
+    }
+    EXPECT_EQ(io::fileSizeBytes(path), 10u);
+
+    // Flip: XOR one byte in place.
+    EXPECT_TRUE(io::flipByteAt(path, 3, 0x01));
+    EXPECT_EQ(slurp(path), "0122456789");
+    EXPECT_TRUE(io::flipByteAt(path, 3, 0x01)); // involution
+    EXPECT_EQ(slurp(path), "0123456789");
+    EXPECT_FALSE(io::flipByteAt(path, 10)); // past EOF: untouched
+
+    // Duplicate tail: a replayed sector.
+    EXPECT_TRUE(io::duplicateTailBytes(path, 4));
+    EXPECT_EQ(slurp(path), "01234567896789");
+    EXPECT_FALSE(io::duplicateTailBytes(path, 200));
+
+    // Truncate: a torn write.
+    EXPECT_TRUE(io::truncateFileTo(path, 5));
+    EXPECT_EQ(slurp(path), "01234");
+    EXPECT_FALSE(io::truncateFileTo(path, 50)); // cannot grow
+
+    EXPECT_EQ(io::fileSizeBytes(freshPath("chaos_missing")), 0u);
+}
+
+TEST(IoContext, ArmAfterOpsDelaysTheSchedule)
+{
+    io::IoFaultSchedule schedule;
+    schedule.transientEioRate = 1.0;
+    schedule.transientEioBurst = 1 << 20;
+    schedule.armAfterOps = 3;
+    io::IoContext context(schedule);
+    auto file = context.open(freshPath("armed"),
+                             io::OpenMode::Truncate);
+    ASSERT_NE(file, nullptr);
+
+    io::IoError error;
+    const char byte = 'a';
+    // Ops 1..3 pass clean; op 4 takes the first injected fault.
+    EXPECT_EQ(file->write(&byte, 1, &error), 1);
+    EXPECT_EQ(file->write(&byte, 1, &error), 1);
+    EXPECT_EQ(file->write(&byte, 1, &error), 1);
+    EXPECT_EQ(context.injectedFaults(), 0u);
+    EXPECT_EQ(file->write(&byte, 1, &error), -1);
+    EXPECT_EQ(error.errnum, EIO);
+    EXPECT_TRUE(error.injected);
+    EXPECT_EQ(context.injectedFaults(), 1u);
+}
+
+} // namespace
+} // namespace rap
